@@ -1,0 +1,181 @@
+//! Experiment F2/F3 — Figure 2 (isolated applications, pairwise
+//! adapters) vs Figure 3 (environment hub).
+//!
+//! For populations of N synthetic applications: integration effort
+//! (adapters vs mappings), exchange success under partial wiring, and
+//! per-exchange conversion cost. Expected shape: closed-world effort
+//! grows O(N²) and partial wiring fails exchanges; the hub grows O(N)
+//! and never fails, at a fixed 2-conversions-per-exchange price.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mocca::env::{AppId, ClosedWorld, FormatMapping, InteropHub, NativeArtifact};
+
+/// A synthetic app population of size `n`, each with its own vocabulary
+/// for title/body/author.
+fn synthetic_mapping(i: usize) -> FormatMapping {
+    FormatMapping::new([
+        (format!("t{i}"), "title".to_owned()),
+        (format!("b{i}"), "body".to_owned()),
+        (format!("a{i}"), "author".to_owned()),
+    ])
+}
+
+fn synthetic_artifact(i: usize) -> NativeArtifact {
+    let mut fields = BTreeMap::new();
+    fields.insert(format!("t{i}"), "Title".to_owned());
+    fields.insert(format!("b{i}"), "Body text".to_owned());
+    fields.insert(format!("a{i}"), "cn=Someone".to_owned());
+    NativeArtifact {
+        app: AppId::new(format!("app{i}")),
+        format: format!("app{i}-native"),
+        fields,
+    }
+}
+
+fn hub_for(n: usize) -> InteropHub {
+    let mut hub = InteropHub::new();
+    for i in 0..n {
+        hub.register_mapping(AppId::new(format!("app{i}")), synthetic_mapping(i));
+    }
+    hub
+}
+
+fn direct_adapter(i: usize, j: usize) -> FormatMapping {
+    let from = synthetic_mapping(i);
+    let to = synthetic_mapping(j);
+    let pairs: Vec<(String, String)> = from
+        .pairs
+        .iter()
+        .filter_map(|(fi, c)| {
+            to.pairs
+                .iter()
+                .find(|(_, tc)| tc == c)
+                .map(|(tj, _)| (fi.clone(), tj.clone()))
+        })
+        .collect();
+    FormatMapping { pairs }
+}
+
+/// A closed world with the first `wired` of the N(N-1) adapters written.
+fn closed_for(n: usize, wired: usize) -> ClosedWorld {
+    let mut world = ClosedWorld::new();
+    let mut count = 0;
+    'outer: for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                if count >= wired {
+                    break 'outer;
+                }
+                world.install_adapter(
+                    AppId::new(format!("app{i}")),
+                    AppId::new(format!("app{j}")),
+                    direct_adapter(i, j),
+                );
+                count += 1;
+            }
+        }
+    }
+    world
+}
+
+fn all_pairs_exchange_hub(hub: &mut InteropHub, n: usize) -> usize {
+    let mut ok = 0;
+    for i in 0..n {
+        let artifact = synthetic_artifact(i);
+        for j in 0..n {
+            if i != j
+                && hub
+                    .exchange(&artifact, &AppId::new(format!("app{j}")))
+                    .is_ok()
+            {
+                ok += 1;
+            }
+        }
+    }
+    ok
+}
+
+fn all_pairs_exchange_closed(world: &mut ClosedWorld, n: usize) -> (usize, usize) {
+    let (mut ok, mut fail) = (0, 0);
+    for i in 0..n {
+        let artifact = synthetic_artifact(i);
+        for j in 0..n {
+            if i != j {
+                match world.exchange(&artifact, &AppId::new(format!("app{j}"))) {
+                    Ok(_) => ok += 1,
+                    Err(_) => fail += 1,
+                }
+            }
+        }
+    }
+    (ok, fail)
+}
+
+fn print_shape() {
+    println!("── F2/F3: integration effort and exchange success ──");
+    println!(
+        "  N    closed adapters needed   hub mappings   half-wired closed success   hub success"
+    );
+    for n in [2usize, 4, 8, 16, 32] {
+        let full = n * (n - 1);
+        let mut partial = closed_for(n, full / 2);
+        let (ok, fail) = all_pairs_exchange_closed(&mut partial, n);
+        let mut hub = hub_for(n);
+        let hub_ok = all_pairs_exchange_hub(&mut hub, n);
+        println!(
+            "  {n:<4} {full:<25} {n:<14} {ok:>4}/{:<4} ({:>3.0}%)          {hub_ok:>4}/{full:<4} (100%)",
+            ok + fail,
+            100.0 * ok as f64 / (ok + fail).max(1) as f64,
+        );
+    }
+    println!("  per-exchange conversions: hub = 2, direct adapter = 1");
+    println!("  (the hub wins on effort and coverage; the adapter wins per message — the paper's openness trade)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape();
+    let mut group = c.benchmark_group("fig23");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("hub_setup_plus_all_pairs", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut hub = hub_for(n);
+                    all_pairs_exchange_hub(&mut hub, n)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("closed_setup_plus_all_pairs", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut world = closed_for(n, n * (n - 1));
+                    all_pairs_exchange_closed(&mut world, n)
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("hub_single_exchange", n), &n, |b, &n| {
+            let mut hub = hub_for(n);
+            let artifact = synthetic_artifact(0);
+            b.iter(|| hub.exchange(&artifact, &AppId::new("app1")).unwrap());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("closed_single_exchange", n),
+            &n,
+            |b, &n| {
+                let mut world = closed_for(n, n * (n - 1));
+                let artifact = synthetic_artifact(0);
+                b.iter(|| world.exchange(&artifact, &AppId::new("app1")).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Experiment R3 — §4 "Support for Activities".
+//!
+//! Scheduling, dependency propagation and progress monitoring at
+//! growing programme sizes. Expected shape: schedule order and
+//! monitoring scale roughly linearly with activities+edges; downstream
+//! propagation is bounded by the affected subgraph, not the programme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mocca::activity::{
+    Activity, ActivityId, ActivityState, DependencyKind, InterActivityModel, Monitor,
+};
+use simnet::SimTime;
+
+/// A programme of `n` activities arranged as `chains` parallel chains
+/// with occasional cross-links, like a real engineering project.
+fn programme(n: usize, chains: usize) -> InterActivityModel {
+    let mut m = InterActivityModel::new();
+    let ids: Vec<ActivityId> = (0..n)
+        .map(|i| ActivityId::from(format!("a{i}").as_str()))
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        let mut a = Activity::new(id.clone(), format!("activity {i}"));
+        a.deadline = Some(SimTime::from_secs(((i + 1) * 86_400) as u64));
+        m.register(a).unwrap();
+    }
+    // Parallel chains: a_k -> a_{k+chains}.
+    for i in 0..n.saturating_sub(chains) {
+        m.add_dependency(&ids[i], DependencyKind::Before, &ids[i + chains])
+            .unwrap();
+    }
+    // Cross-links every 7th activity shares information with the next chain.
+    for i in (0..n.saturating_sub(1)).step_by(7) {
+        m.add_dependency(
+            &ids[i],
+            DependencyKind::SharesInformation(format!("doc{i}")),
+            &ids[i + 1],
+        )
+        .unwrap();
+    }
+    m
+}
+
+fn print_shape() {
+    println!("── R3: activity services at scale ──");
+    println!("  activities   before-edges   schedule len   downstream(a0)   overdue@30d");
+    for n in [10usize, 100, 1_000] {
+        let mut m = programme(n, 4);
+        // Start the first few and leave them behind schedule.
+        for i in 0..4.min(n) {
+            let id = ActivityId::from(format!("a{i}").as_str());
+            let a = m.activity_mut(&id).unwrap();
+            a.transition(ActivityState::Active).unwrap();
+            a.report_progress(10).unwrap();
+        }
+        let edges = m
+            .dependencies()
+            .iter()
+            .filter(|d| d.kind == DependencyKind::Before)
+            .count();
+        let order = m.schedule_order();
+        let downstream = m.downstream_of(&ActivityId::from("a0")).len();
+        let report = Monitor::report(&m, SimTime::from_secs(30 * 86_400));
+        println!(
+            "  {n:<12} {edges:<14} {:<14} {downstream:<16} {}",
+            order.len(),
+            report.overdue().count()
+        );
+    }
+    println!("  shape: schedule covers all; downstream(a0) ≈ n/chains; overdue grows with the lag window");
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape();
+    let mut group = c.benchmark_group("req3_activities");
+    group.sample_size(10);
+    for n in [10usize, 100, 1_000] {
+        let m = programme(n, 4);
+        group.bench_with_input(BenchmarkId::new("schedule_order", n), &n, |b, _| {
+            b.iter(|| m.schedule_order().len());
+        });
+        group.bench_with_input(BenchmarkId::new("downstream_propagation", n), &n, |b, _| {
+            let root = ActivityId::from("a0");
+            b.iter(|| m.downstream_of(&root).len());
+        });
+        group.bench_with_input(BenchmarkId::new("monitor_report", n), &n, |b, _| {
+            b.iter(|| {
+                Monitor::report(&m, SimTime::from_secs(30 * 86_400))
+                    .statuses
+                    .len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("membership_churn", n), &n, |b, _| {
+            let mut m = programme(n, 4);
+            let id = ActivityId::from("a0");
+            let person: cscw_directory::Dn = "cn=Churner".parse().unwrap();
+            b.iter(|| {
+                let a = m.activity_mut(&id).unwrap();
+                a.join(person.clone(), mocca::activity::ActivityRole("r".into()));
+                a.leave(&person)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Experiment R2 — §4 "Support for Communication".
+//!
+//! Synchronous (session hub) vs asynchronous (X.400) delivery latency
+//! in simulated time, priority classes, and cross-media conversion
+//! cost by size. Expected shape: sync latency = link round trip;
+//! async = per-hop processing × priority factor; conversion cost grows
+//! linearly with content size and fax ≫ paper ≫ text on the wire.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cscw_bench::mail_world;
+use cscw_directory::Dn;
+use cscw_messaging::{BodyPart, Ipm, Priority, SubmitOptions};
+use mocca::comm::channel::{SessionHandle, SessionHub, SessionMember};
+use simnet::{LinkSpec, Sim, SimDuration, TopologyBuilder};
+
+fn dn(s: &str) -> Dn {
+    s.parse().unwrap()
+}
+
+fn sync_latency(seed: u64) -> SimDuration {
+    let mut b = TopologyBuilder::new();
+    let hub = b.add_node("hub");
+    let a = b.add_node("a");
+    let c = b.add_node("c");
+    b.full_mesh(LinkSpec::wan());
+    let mut sim = Sim::new(b.build(), seed);
+    sim.register(hub, SessionHub::new());
+    sim.register(a, SessionMember::new());
+    sim.register(c, SessionMember::new());
+    let ha = SessionHandle {
+        hub,
+        member_node: a,
+        who: dn("cn=A"),
+    };
+    let hc = SessionHandle {
+        hub,
+        member_node: c,
+        who: dn("cn=C"),
+    };
+    ha.join(&mut sim);
+    hc.join(&mut sim);
+    let before = sim.now();
+    ha.utter(&mut sim, "ping");
+    sim.run_until_idle();
+    let received = sim.node::<SessionMember>(c).unwrap().received();
+    received
+        .last()
+        .map(|u| u.at.saturating_since(before))
+        .unwrap_or(SimDuration::MAX)
+}
+
+fn async_latency(seed: u64, priority: Priority) -> SimDuration {
+    let (mut sim, mut a, b) = mail_world(seed);
+    let submit = sim.now();
+    let ipm = Ipm::text(a.address().clone(), b.address().clone(), "s", "t");
+    a.submit_and_run(
+        &mut sim,
+        ipm,
+        SubmitOptions {
+            priority,
+            ..Default::default()
+        },
+    );
+    let inbox = b.inbox(&sim).unwrap();
+    inbox[0].delivered_at.saturating_since(submit)
+}
+
+fn print_shape() {
+    println!("── R2: delivery latency by mode (simulated) ──");
+    let sync = sync_latency(1);
+    let urgent = async_latency(1, Priority::Urgent);
+    let normal = async_latency(2, Priority::Normal);
+    let bulk = async_latency(3, Priority::NonUrgent);
+    println!("  synchronous session relay:     {sync}");
+    println!("  X.400 urgent:                  {urgent}");
+    println!("  X.400 normal:                  {normal}");
+    println!("  X.400 non-urgent:              {bulk}");
+    assert!(sync < urgent && urgent < normal && normal < bulk);
+
+    println!("── R2: media conversion cost (work units) and wire weight (bytes) ──");
+    println!("  chars   text→fax cost   fax bytes   text→paper cost   paper bytes");
+    for chars in [80usize, 800, 8_000] {
+        let text = BodyPart::Text("x".repeat(chars));
+        let (fax, fax_cost) = text.convert_to("fax").unwrap();
+        let (paper, paper_cost) = text.convert_to("paper").unwrap();
+        println!(
+            "  {chars:<7} {:<15} {:<11} {:<17} {}",
+            fax_cost.0,
+            fax.wire_size(),
+            paper_cost.0,
+            paper.wire_size()
+        );
+    }
+    println!("  shape: costs linear in size; fax raster ≫ text on the wire");
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape();
+    let mut group = c.benchmark_group("req2_communication");
+    group.sample_size(10);
+    group.bench_function("sync_session_relay", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            sync_latency(seed)
+        });
+    });
+    for (label, priority) in [
+        ("urgent", Priority::Urgent),
+        ("normal", Priority::Normal),
+        ("bulk", Priority::NonUrgent),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("async_delivery", label),
+            &priority,
+            |b, &p| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    async_latency(seed, p)
+                });
+            },
+        );
+    }
+    for chars in [80usize, 800, 8_000] {
+        group.bench_with_input(BenchmarkId::new("text_to_fax", chars), &chars, |b, &n| {
+            let text = BodyPart::Text("x".repeat(n));
+            b.iter(|| text.convert_to("fax").unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("text_to_paper", chars), &chars, |b, &n| {
+            let text = BodyPart::Text("x".repeat(n));
+            b.iter(|| text.convert_to("paper").unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Experiment R1 — §4 "Support for Information Sharing".
+//!
+//! Directory-backed knowledge base: search scaling with entry count,
+//! scope and filter selectivity; shared-repository access checks.
+//! Expected shape: base/one-level searches stay flat as the DIT grows;
+//! subtree searches grow linearly with the subtree, not the whole DIT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cscw_bench::populated_dit;
+use cscw_directory::{Dn, Filter, SearchRequest, SearchScope};
+
+fn dn(s: &str) -> Dn {
+    s.parse().unwrap()
+}
+
+fn print_shape() {
+    println!("── R1: directory search scaling (simulated entries visited) ──");
+    println!("  entries   subtree-all   subtree-filtered   one-level(org0)   base");
+    for n in [100usize, 1_000, 5_000] {
+        let dit = populated_dit(n, 10);
+        let all = dit
+            .search(&SearchRequest::new(
+                dn("c=UK"),
+                SearchScope::Subtree,
+                Filter::True,
+            ))
+            .unwrap()
+            .entries
+            .len();
+        let filtered = dit
+            .search(&SearchRequest::new(
+                dn("c=UK"),
+                SearchScope::Subtree,
+                "(&(objectClass=person)(capabilityLevel>=4))"
+                    .parse()
+                    .unwrap(),
+            ))
+            .unwrap()
+            .entries
+            .len();
+        let one = dit
+            .search(&SearchRequest::new(
+                dn("c=UK,o=org0"),
+                SearchScope::OneLevel,
+                Filter::True,
+            ))
+            .unwrap()
+            .entries
+            .len();
+        let base = dit
+            .search(&SearchRequest::new(
+                dn("c=UK,o=org0"),
+                SearchScope::Base,
+                Filter::True,
+            ))
+            .unwrap()
+            .entries
+            .len();
+        println!("  {n:<9} {all:<13} {filtered:<18} {one:<17} {base}");
+    }
+    println!("  shape: filters select ~40% (levels 4..5 of 1..5); one-level sees only its org");
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape();
+    let mut group = c.benchmark_group("req1_sharing");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 5_000] {
+        let dit = populated_dit(n, 10);
+        group.bench_with_input(BenchmarkId::new("subtree_search_all", n), &n, |b, _| {
+            b.iter(|| {
+                dit.search(&SearchRequest::new(
+                    dn("c=UK"),
+                    SearchScope::Subtree,
+                    Filter::True,
+                ))
+                .unwrap()
+                .entries
+                .len()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("subtree_search_filtered", n),
+            &n,
+            |b, _| {
+                let filter: Filter = "(&(objectClass=person)(occupiesrole=cn=coordinator))"
+                    .parse()
+                    .unwrap();
+                b.iter(|| {
+                    dit.search(&SearchRequest::new(
+                        dn("c=UK"),
+                        SearchScope::Subtree,
+                        filter.clone(),
+                    ))
+                    .unwrap()
+                    .entries
+                    .len()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("one_level_search", n), &n, |b, _| {
+            b.iter(|| {
+                dit.search(&SearchRequest::new(
+                    dn("c=UK,o=org0"),
+                    SearchScope::OneLevel,
+                    Filter::True,
+                ))
+                .unwrap()
+                .entries
+                .len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("base_read", n), &n, |b, _| {
+            let target = dn("c=UK,o=org0,cn=person0");
+            b.iter(|| dit.read(&target).unwrap().attr_count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

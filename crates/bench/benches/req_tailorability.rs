@@ -1,0 +1,120 @@
+//! Experiment R4 — §4 "Support for Tailorability".
+//!
+//! Cost of user-level tailoring: rule evaluation vs hard-coded
+//! behaviour, rule-count scaling, parameter resolution across scopes,
+//! and re-tailor latency. Expected shape: rules cost linearly in the
+//! rule count but remain cheap in absolute terms — tailorability is
+//! affordable; resolution is effectively constant per lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mocca::info::InfoContent;
+use mocca::tailor::{
+    Constraint, EventPattern, RuleAction, RuleEngine, Scope, TailorContext, TailorRule, TailorStore,
+};
+use odp::Value;
+
+fn engine_with(n: usize) -> RuleEngine {
+    let mut e = RuleEngine::new();
+    for i in 0..n {
+        e.add_rule(TailorRule {
+            name: format!("rule{i}"),
+            pattern: EventPattern::of_kind("message").with_field("topic", &format!("topic{i}")),
+            action: RuleAction::MoveToFolder(format!("folder{i}")),
+        });
+    }
+    e
+}
+
+fn message(topic: &str) -> InfoContent {
+    InfoContent::fields([("topic", topic), ("subject", "hello")])
+}
+
+/// The hard-coded equivalent of one filing decision.
+fn hard_coded_filing(content: &InfoContent) -> &'static str {
+    match content.field("topic") {
+        Some("topic0") => "folder0",
+        Some(_) => "other",
+        None => "inbox",
+    }
+}
+
+fn store_with_overrides(n: usize) -> TailorStore {
+    let mut s = TailorStore::new();
+    s.declare(
+        "medium",
+        Constraint::OneOf(vec!["text".into(), "fax".into()]),
+        Value::from("text"),
+    )
+    .unwrap();
+    for i in 0..n {
+        s.set("medium", Scope::Group(format!("g{i}")), Value::from("fax"))
+            .unwrap();
+    }
+    s
+}
+
+fn print_shape() {
+    println!("── R4: tailoring cost shape ──");
+    println!("  rules   actions fired on match   actions fired on miss");
+    for n in [1usize, 10, 100] {
+        let e = engine_with(n);
+        let mut hit = message("topic0");
+        let fired_hit = e.apply("message", &mut hit).len();
+        let mut miss = message("no-such-topic");
+        let fired_miss = e.apply("message", &mut miss).len();
+        println!("  {n:<7} {fired_hit:<25} {fired_miss}");
+    }
+    println!("  (evaluation walks all rules; firing stays selective — the affordability claim)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape();
+    let mut group = c.benchmark_group("req4_tailorability");
+    group.sample_size(20);
+    group.bench_function("hard_coded_baseline", |b| {
+        let content = message("topic0");
+        b.iter(|| hard_coded_filing(&content));
+    });
+    for n in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::new("rule_engine_match", n), &n, |b, &n| {
+            let e = engine_with(n);
+            b.iter(|| {
+                let mut content = message("topic0");
+                e.apply("message", &mut content).len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rule_engine_miss", n), &n, |b, &n| {
+            let e = engine_with(n);
+            b.iter(|| {
+                let mut content = message("none");
+                e.apply("message", &mut content).len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("param_resolution", n), &n, |b, &n| {
+            let s = store_with_overrides(n);
+            let ctx = TailorContext {
+                user: "tom".into(),
+                groups: vec![format!("g{}", n / 2)],
+                organisation: Some("lancaster".into()),
+            };
+            b.iter(|| s.effective("medium", &ctx).unwrap());
+        });
+    }
+    group.bench_function("retailor_add_remove_rule", |b| {
+        let mut e = engine_with(50);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            e.add_rule(TailorRule {
+                name: format!("live{i}"),
+                pattern: EventPattern::of_kind("message"),
+                action: RuleAction::Notify("x".into()),
+            });
+            e.remove_rule(&format!("live{i}"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

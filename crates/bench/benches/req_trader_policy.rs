@@ -1,0 +1,150 @@
+//! Experiment R6 — §6.1: "the organisational knowledge base … will be
+//! associated to the trader, containing or dictating among other the
+//! trading policy."
+//!
+//! Trader imports with and without the organisational policy attached,
+//! across offer-pool sizes. Expected shape: the policy filters offers
+//! (smaller result sets for restricted importers) at a per-offer cost
+//! linear in the pool — governance costs a constant factor, not a new
+//! complexity class.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cscw_directory::Dn;
+use mocca::org::{
+    OrgRule, OrgTradingPolicy, OrganisationalModel, Person, RelationKind, Role, RuleKind,
+};
+use odp::{ImportRequest, InterfaceRef, InterfaceType, OperationSig, Trader, Value, ValueKind};
+use parking_lot::RwLock;
+use simnet::NodeId;
+
+fn dn(s: &str) -> Dn {
+    s.parse().unwrap()
+}
+
+fn service_type() -> InterfaceType {
+    InterfaceType::new("printer").with_operation(OperationSig::new(
+        "print",
+        [ValueKind::Text],
+        ValueKind::Bool,
+    ))
+}
+
+fn org_model() -> Arc<RwLock<OrganisationalModel>> {
+    let mut m = OrganisationalModel::new();
+    m.add_person(Person::new(dn("cn=Tom"), "Tom"));
+    m.add_role(Role::new(dn("cn=staff"), "staff"));
+    m.relate(&dn("cn=Tom"), RelationKind::Occupies, &dn("cn=staff"))
+        .unwrap();
+    m.add_rule(OrgRule::new(
+        dn("cn=staff"),
+        RuleKind::Permit,
+        "import",
+        "service:printer",
+    ));
+    // Staff may import from GMD but never from UPC.
+    m.add_rule(OrgRule::new(
+        dn("cn=staff"),
+        RuleKind::Permit,
+        "import-from",
+        "org:GMD",
+    ));
+    m.add_rule(OrgRule::new(
+        dn("cn=staff"),
+        RuleKind::Forbid,
+        "import-from",
+        "org:UPC",
+    ));
+    Arc::new(RwLock::new(m))
+}
+
+fn trader_with(n: usize, policy: bool) -> Trader {
+    let mut t = Trader::new("t");
+    t.register_service_type(service_type());
+    for i in 0..n {
+        let org = if i % 2 == 0 { "GMD" } else { "UPC" };
+        t.export(
+            "printer",
+            &service_type(),
+            InterfaceRef {
+                object: format!("lp{i}").as_str().into(),
+                node: NodeId::from_raw(i as u32),
+                interface: "printer".into(),
+            },
+            [
+                ("org", Value::from(org)),
+                ("dpi", Value::Int((i % 4) as i64 * 300)),
+            ],
+        )
+        .unwrap();
+    }
+    if policy {
+        t.attach_policy(OrgTradingPolicy::new(org_model()));
+    }
+    t
+}
+
+fn print_shape() {
+    println!("── R6: trader imports with/without organisational policy ──");
+    println!("  offers   matches w/o policy   matches with policy (staff importer)");
+    for n in [10usize, 100, 1_000] {
+        let plain = trader_with(n, false);
+        let governed = trader_with(n, true);
+        let without = plain
+            .import(&ImportRequest::any("printer"))
+            .map(|v| v.len())
+            .unwrap_or(0);
+        let with = governed
+            .import(&ImportRequest::any("printer").with_importer("cn=Tom"))
+            .map(|v| v.len())
+            .unwrap_or(0);
+        println!("  {n:<8} {without:<20} {with}  (UPC offers hidden)");
+        assert_eq!(
+            with,
+            without / 2,
+            "the forbid rule hides exactly the UPC half"
+        );
+    }
+    println!("  anonymous importers see nothing once the policy is attached:");
+    let governed = trader_with(10, true);
+    let anon = governed.import(&ImportRequest::any("printer"));
+    println!(
+        "  import without identity: {:?}",
+        anon.map(|v| v.len()).err().map(|e| e.to_string())
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_shape();
+    let mut group = c.benchmark_group("req6_trader_policy");
+    group.sample_size(10);
+    for n in [10usize, 100, 1_000] {
+        let plain = trader_with(n, false);
+        let governed = trader_with(n, true);
+        group.bench_with_input(BenchmarkId::new("import_without_policy", n), &n, |b, _| {
+            let req = ImportRequest::any("printer");
+            b.iter(|| plain.import(&req).map(|v| v.len()).unwrap_or(0));
+        });
+        group.bench_with_input(BenchmarkId::new("import_with_org_policy", n), &n, |b, _| {
+            let req = ImportRequest::any("printer").with_importer("cn=Tom");
+            b.iter(|| governed.import(&req).map(|v| v.len()).unwrap_or(0));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("import_constrained_with_policy", n),
+            &n,
+            |b, _| {
+                let req = ImportRequest::any("printer")
+                    .with_importer("cn=Tom")
+                    .with_constraint(odp::Constraint::Ge("dpi".into(), 600))
+                    .with_preference(odp::Preference::Max("dpi".into()))
+                    .with_max_matches(5);
+                b.iter(|| governed.import(&req).map(|v| v.len()).unwrap_or(0));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

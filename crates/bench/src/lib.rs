@@ -1,0 +1,87 @@
+//! Shared world-builders for the experiment benches.
+//!
+//! Each function assembles a deterministic simulated world used by one
+//! or more bench targets; the benches measure wall time with Criterion
+//! and print *simulated-time / count* shapes (the paper-facing result)
+//! to stdout.
+
+#![forbid(unsafe_code)]
+
+use cscw_directory::{Attribute, Dit, Entry};
+use cscw_messaging::{MtaNode, OrAddress, UserAgent};
+use groupware::{descriptor_for, mapping_for};
+use mocca::CscwEnvironment;
+use simnet::{LinkSpec, Sim, TopologyBuilder};
+
+/// A two-MTA mail world: `(sim, sender agent, receiver agent)`.
+pub fn mail_world(seed: u64) -> (Sim, UserAgent, UserAgent) {
+    let mut b = TopologyBuilder::new();
+    let a_ws = b.add_node("a-ws");
+    let b_ws = b.add_node("b-ws");
+    let mta_a = b.add_node("mta-a");
+    let mta_b = b.add_node("mta-b");
+    b.full_mesh(LinkSpec::wan());
+    let mut sim = Sim::new(b.build(), seed);
+
+    let a_addr: OrAddress = "C=UK;O=Lancaster;PN=A".parse().expect("static");
+    let b_addr: OrAddress = "C=DE;O=GMD;PN=B".parse().expect("static");
+    let mut a = MtaNode::new("mta-a");
+    a.register_mailbox(a_addr.clone());
+    a.routing_mut().add_country_route("DE", mta_b);
+    let mut m_b = MtaNode::new("mta-b");
+    m_b.register_mailbox(b_addr.clone());
+    m_b.routing_mut().add_country_route("UK", mta_a);
+    sim.register(mta_a, a);
+    sim.register(mta_b, m_b);
+
+    (
+        sim,
+        UserAgent::new(a_addr, a_ws, mta_a),
+        UserAgent::new(b_addr, b_ws, mta_b),
+    )
+}
+
+/// A DIT populated with `n` person entries under `orgs` organisations.
+pub fn populated_dit(n: usize, orgs: usize) -> Dit {
+    let mut dit = Dit::new();
+    dit.add(
+        Entry::new("c=UK".parse().expect("static"))
+            .with_class("country")
+            .with_attr(Attribute::single("c", "UK")),
+    )
+    .expect("fresh tree");
+    for o in 0..orgs {
+        dit.add(
+            Entry::new(format!("c=UK,o=org{o}").parse().expect("generated"))
+                .with_class("organization")
+                .with_attr(Attribute::single("o", format!("org{o}"))),
+        )
+        .expect("fresh tree");
+    }
+    for i in 0..n {
+        let o = i % orgs;
+        let mut e = Entry::new(
+            format!("c=UK,o=org{o},cn=person{i}")
+                .parse()
+                .expect("generated"),
+        )
+        .with_class("person")
+        .with_attr(Attribute::single("cn", format!("person{i}")))
+        .with_attr(Attribute::single("sn", format!("Surname{}", i % 50)))
+        .with_attr(Attribute::single("capabilitylevel", (i % 5) as i64 + 1));
+        if i % 3 == 0 {
+            e.put_attr(Attribute::single("occupiesrole", "cn=coordinator"));
+        }
+        dit.add(e).expect("fresh tree");
+    }
+    dit
+}
+
+/// An environment with the full five-app population registered.
+pub fn population_env() -> CscwEnvironment {
+    let mut env = CscwEnvironment::new();
+    for app in groupware::APP_POPULATION {
+        env.register_app(descriptor_for(app), mapping_for(app));
+    }
+    env
+}

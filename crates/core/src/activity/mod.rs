@@ -1,0 +1,28 @@
+//! The Inter-activity Model (§5) and activity services (§4).
+//!
+//! "These services might include: managing the membership of
+//! activities; sharing resources between activities; scheduling
+//! activities and monitoring the progress of activities; mechanisms for
+//! negotiating the responsibility for activities; mechanisms for
+//! negotiating the division of competence within activities;
+//! coordination of activities."
+//!
+//! * [`activity`] — the [`Activity`] lifecycle and membership.
+//! * [`deps`] — inter-activity dependencies (temporal, shared resource,
+//!   shared information) and the schedule they induce.
+//! * [`negotiation`] — propose/counter/accept/reject for responsibility
+//!   and division of competence.
+//! * [`schedule`] — progress monitoring over the whole model.
+
+#[allow(clippy::module_inception)]
+pub mod activity;
+pub mod deps;
+pub mod negotiation;
+pub mod schedule;
+
+pub use activity::{Activity, ActivityId, ActivityRole, ActivityState};
+pub use deps::{Dependency, DependencyKind, InterActivityModel};
+pub use negotiation::{
+    Negotiation, NegotiationAction, NegotiationState, NegotiationStep, NegotiationSubject,
+};
+pub use schedule::{ActivityStatus, Monitor, MonitorReport};

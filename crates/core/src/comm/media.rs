@@ -1,0 +1,216 @@
+//! Media interchange.
+//!
+//! §4 requires "support for interchange across communication media":
+//! when the sender drafts text but the recipient only takes telefax or
+//! paper, the environment converts at the boundary rather than failing
+//! the communication. [`send_with_interchange`] picks the recipient's
+//! most preferred reachable medium, converts, and submits through the
+//! X.400 substrate, reporting what it chose and what the conversion
+//! cost.
+
+use cscw_directory::Dn;
+use cscw_messaging::{BodyPart, ConversionCost, Heading, Ipm, SubmitOptions, UserAgent};
+use simnet::Sim;
+
+use crate::comm::model::CommunicationModel;
+use crate::error::MoccaError;
+
+/// The outcome of a media-interchanged send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterchangeReceipt {
+    /// The MTS message id.
+    pub message_id: u64,
+    /// The medium actually used on the wire.
+    pub medium: &'static str,
+    /// What the conversion cost (0 when the recipient takes text).
+    pub cost: ConversionCost,
+}
+
+/// Sends `text` from `sender`'s agent to `recipient`, converting to the
+/// recipient's best accepted medium.
+///
+/// Media preference order is the *recipient's* (they are the one who
+/// must read it); the sender's capabilities do not constrain the wire
+/// format because conversion happens in the environment.
+///
+/// # Errors
+///
+/// * [`MoccaError::UnknownOrgObject`] — recipient not registered in the
+///   communication model, or without a mailbox.
+/// * [`MoccaError::Messaging`] — no accepted medium is reachable from
+///   text (e.g. the recipient only accepts opaque binary).
+pub fn send_with_interchange(
+    sim: &mut Sim,
+    agent: &mut UserAgent,
+    model: &CommunicationModel,
+    recipient: &Dn,
+    subject: &str,
+    text: &str,
+) -> Result<InterchangeReceipt, MoccaError> {
+    let communicator = model
+        .communicator(recipient)
+        .ok_or_else(|| MoccaError::UnknownOrgObject(recipient.to_string()))?;
+    let mailbox = communicator
+        .mailbox
+        .clone()
+        .ok_or_else(|| MoccaError::UnknownOrgObject(format!("{recipient} has no mailbox")))?;
+
+    let draft = BodyPart::Text(text.to_owned());
+    let mut chosen: Option<(&'static str, BodyPart, ConversionCost)> = None;
+    for medium in &communicator.accepted_media {
+        let target: &'static str = match medium.as_str() {
+            "text" => "text",
+            "fax" => "fax",
+            "paper" => "paper",
+            _ => continue,
+        };
+        if let Ok((converted, cost)) = draft.convert_to(target) {
+            chosen = Some((target, converted, cost));
+            break;
+        }
+    }
+    let (medium, body, cost) = chosen.ok_or(MoccaError::Messaging(
+        cscw_messaging::MtsError::ConversionImpossible {
+            from: "text",
+            to: "recipient's media",
+        },
+    ))?;
+
+    let ipm = Ipm {
+        heading: Heading::new(agent.address().clone(), mailbox, subject),
+        body: vec![body],
+    };
+    let message_id = agent.submit(sim, ipm, SubmitOptions::default());
+    Ok(InterchangeReceipt {
+        message_id,
+        medium,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::model::Communicator;
+    use cscw_messaging::{MtaNode, OrAddress};
+    use simnet::{LinkSpec, TopologyBuilder};
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    struct World {
+        sim: Sim,
+        agent: UserAgent,
+        model: CommunicationModel,
+        recipient_addr: OrAddress,
+        mta: simnet::NodeId,
+    }
+
+    fn world(recipient_media: &[&str]) -> World {
+        let mut b = TopologyBuilder::new();
+        let mta = b.add_node("mta");
+        let sender_ws = b.add_node("sender");
+        b.full_mesh(LinkSpec::lan());
+        let mut sim = Sim::new(b.build(), 13);
+        let sender_addr: OrAddress = "C=UK;O=L;PN=Sender".parse().unwrap();
+        let recipient_addr: OrAddress = "C=UK;O=L;PN=Recipient".parse().unwrap();
+        let mut mta_node = MtaNode::new("mta");
+        mta_node.register_mailbox(sender_addr.clone());
+        mta_node.register_mailbox(recipient_addr.clone());
+        sim.register(mta, mta_node);
+
+        let mut model = CommunicationModel::new();
+        model.register(
+            Communicator::new(dn("cn=R"))
+                .with_mailbox(recipient_addr.clone())
+                .with_media(recipient_media.iter().copied()),
+        );
+        World {
+            sim,
+            agent: UserAgent::new(sender_addr, sender_ws, mta),
+            model,
+            recipient_addr,
+            mta,
+        }
+    }
+
+    fn delivered_kind(w: &World) -> &'static str {
+        let mta = w.sim.node::<MtaNode>(w.mta).unwrap();
+        mta.mailbox(&w.recipient_addr).unwrap().inbox()[0].ipm.body[0].kind_name()
+    }
+
+    #[test]
+    fn text_recipient_gets_text_for_free() {
+        let mut w = world(&["text", "fax"]);
+        let receipt = send_with_interchange(
+            &mut w.sim,
+            &mut w.agent,
+            &w.model,
+            &dn("cn=R"),
+            "s",
+            "hello",
+        )
+        .unwrap();
+        w.sim.run_until_idle();
+        assert_eq!(receipt.medium, "text");
+        assert_eq!(receipt.cost, ConversionCost(0));
+        assert_eq!(delivered_kind(&w), "text");
+    }
+
+    #[test]
+    fn fax_only_recipient_gets_a_raster() {
+        let mut w = world(&["fax"]);
+        let receipt = send_with_interchange(
+            &mut w.sim,
+            &mut w.agent,
+            &w.model,
+            &dn("cn=R"),
+            "s",
+            "please fax this",
+        )
+        .unwrap();
+        w.sim.run_until_idle();
+        assert_eq!(receipt.medium, "fax");
+        assert!(receipt.cost > ConversionCost(0));
+        assert_eq!(delivered_kind(&w), "fax");
+    }
+
+    #[test]
+    fn paper_preference_wins_when_first() {
+        let mut w = world(&["paper", "text"]);
+        let receipt = send_with_interchange(
+            &mut w.sim,
+            &mut w.agent,
+            &w.model,
+            &dn("cn=R"),
+            "s",
+            "letter",
+        )
+        .unwrap();
+        w.sim.run_until_idle();
+        assert_eq!(receipt.medium, "paper", "recipient preference order rules");
+        assert_eq!(delivered_kind(&w), "paper");
+    }
+
+    #[test]
+    fn unknown_recipients_and_impossible_media_error() {
+        let mut w = world(&["text"]);
+        assert!(matches!(
+            send_with_interchange(
+                &mut w.sim,
+                &mut w.agent,
+                &w.model,
+                &dn("cn=Ghost"),
+                "s",
+                "x"
+            ),
+            Err(MoccaError::UnknownOrgObject(_))
+        ));
+        let mut w = world(&["smoke-signals"]);
+        assert!(matches!(
+            send_with_interchange(&mut w.sim, &mut w.agent, &w.model, &dn("cn=R"), "s", "x"),
+            Err(MoccaError::Messaging(_))
+        ));
+    }
+}

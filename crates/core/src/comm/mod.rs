@@ -1,0 +1,19 @@
+//! The Communication Model (§5).
+//!
+//! "The communication model aims to represent communication in terms of
+//! the communicators, the information objects they exchange, and the
+//! context within which communication takes place."
+//!
+//! * [`model`] — communicators, contexts, and the exchange ledger.
+//! * [`channel`] — the unified channel over synchronous sessions and the
+//!   asynchronous X.400 substrate (the basis of *time transparency*).
+//! * [`media`] — cross-media interchange at the environment boundary
+//!   (text → telefax/paper per recipient capability, §4).
+
+pub mod channel;
+pub mod media;
+pub mod model;
+
+pub use channel::{CommChannel, DeliveryMode, SessionHub, SessionMember};
+pub use media::{send_with_interchange, InterchangeReceipt};
+pub use model::{CommContext, CommEvent, CommunicationModel, Communicator};

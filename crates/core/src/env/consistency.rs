@@ -1,0 +1,372 @@
+//! Cross-model consistency.
+//!
+//! The paper closes with its future work: "the details and interrelation
+//! of the models outlined in this paper" (§7). This module is that
+//! interrelation made checkable — the CSCW-level analogue of the ODP
+//! cross-viewpoint consistency check ([`odp::SystemSpec`]): the five
+//! MOCCA models describe *one* environment only if they agree on who
+//! exists, who participates, and who owns what.
+
+use std::fmt;
+
+use crate::env::environment::CscwEnvironment;
+
+/// One detected disagreement between models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelInconsistency {
+    /// An activity member is not a person in the organisational model.
+    UnknownActivityMember {
+        /// The activity.
+        activity: String,
+        /// The unknown member DN.
+        member: String,
+    },
+    /// An activity's responsible is not one of its members.
+    ResponsibleNotMember {
+        /// The activity.
+        activity: String,
+        /// The responsible DN.
+        responsible: String,
+    },
+    /// An information object's owner is unknown to the organisational
+    /// model.
+    UnknownObjectOwner {
+        /// The object id.
+        object: String,
+        /// The unknown owner DN.
+        owner: String,
+    },
+    /// A communication context participant is unknown.
+    UnknownCommunicator {
+        /// The context id.
+        context: String,
+        /// The unknown participant DN.
+        participant: String,
+    },
+    /// A communication context is scoped to a nonexistent activity.
+    DanglingCommActivity {
+        /// The context id.
+        context: String,
+        /// The missing activity id.
+        activity: String,
+    },
+    /// A responsibility in the expertise model names a nonexistent
+    /// activity.
+    DanglingResponsibility {
+        /// The person carrying it.
+        person: String,
+        /// The missing activity id.
+        activity: String,
+    },
+}
+
+impl fmt::Display for ModelInconsistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelInconsistency::UnknownActivityMember { activity, member } => {
+                write!(
+                    f,
+                    "activity {activity}: member {member} is not in the organisational model"
+                )
+            }
+            ModelInconsistency::ResponsibleNotMember {
+                activity,
+                responsible,
+            } => {
+                write!(
+                    f,
+                    "activity {activity}: responsible {responsible} is not a member"
+                )
+            }
+            ModelInconsistency::UnknownObjectOwner { object, owner } => {
+                write!(
+                    f,
+                    "object {object}: owner {owner} is not in the organisational model"
+                )
+            }
+            ModelInconsistency::UnknownCommunicator {
+                context,
+                participant,
+            } => {
+                write!(f, "context {context}: participant {participant} is unknown")
+            }
+            ModelInconsistency::DanglingCommActivity { context, activity } => {
+                write!(f, "context {context}: activity {activity} does not exist")
+            }
+            ModelInconsistency::DanglingResponsibility { person, activity } => {
+                write!(
+                    f,
+                    "{person} carries a responsibility for missing activity {activity}"
+                )
+            }
+        }
+    }
+}
+
+/// Checks the interrelation of the five models; returns every
+/// disagreement found (empty = the models describe one environment).
+pub fn check_models(env: &CscwEnvironment) -> Vec<ModelInconsistency> {
+    let mut findings = Vec::new();
+    let org = env.org();
+    let org = org.read();
+
+    // Inter-activity model ↔ organisational model.
+    for activity in env.activities().activities() {
+        for (member, _) in activity.members() {
+            if org.person(member).is_none() {
+                findings.push(ModelInconsistency::UnknownActivityMember {
+                    activity: activity.id.to_string(),
+                    member: member.to_string(),
+                });
+            }
+        }
+        if let Some(resp) = &activity.responsible {
+            if !activity.has_member(resp) {
+                findings.push(ModelInconsistency::ResponsibleNotMember {
+                    activity: activity.id.to_string(),
+                    responsible: resp.to_string(),
+                });
+            }
+        }
+    }
+
+    // Information model ↔ organisational model.
+    for kind in ["document", "message", "minutes", "exchanged-artifact"] {
+        for id in env.repository().ids_of_kind(kind) {
+            if let Some(object) = env.repository().peek(&id) {
+                if org.person(&object.owner).is_none() {
+                    findings.push(ModelInconsistency::UnknownObjectOwner {
+                        object: id.to_string(),
+                        owner: object.owner.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Communication model ↔ organisational + inter-activity models.
+    for event in env.comm().ledger() {
+        if let Some(ctx) = env.comm().context(&event.context) {
+            for participant in &ctx.participants {
+                if org.person(participant).is_none() {
+                    let finding = ModelInconsistency::UnknownCommunicator {
+                        context: ctx.id.clone(),
+                        participant: participant.to_string(),
+                    };
+                    if !findings.contains(&finding) {
+                        findings.push(finding);
+                    }
+                }
+            }
+            if let Some(act) = &ctx.activity {
+                if env.activities().activity(act).is_none() {
+                    let finding = ModelInconsistency::DanglingCommActivity {
+                        context: ctx.id.clone(),
+                        activity: act.to_string(),
+                    };
+                    if !findings.contains(&finding) {
+                        findings.push(finding);
+                    }
+                }
+            }
+        }
+    }
+
+    // Expertise model ↔ inter-activity model.
+    for person in org.people() {
+        if let Some(expertise) = env.expertise().expertise(&person.dn) {
+            for resp in &expertise.responsibilities {
+                if env.activities().activity(&resp.activity).is_none() {
+                    findings.push(ModelInconsistency::DanglingResponsibility {
+                        person: person.dn.to_string(),
+                        activity: resp.activity.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{Activity, ActivityRole};
+    use crate::comm::{CommContext, CommEvent};
+    use crate::expertise::Responsibility;
+    use crate::info::{InfoContent, InfoObject};
+    use crate::org::{OrgRule, Person, RelationKind, Role, RuleKind};
+    use cscw_directory::Dn;
+    use simnet::SimTime;
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    fn consistent_env() -> CscwEnvironment {
+        let mut env = CscwEnvironment::new();
+        {
+            let org = env.org();
+            let mut org = org.write();
+            org.add_person(Person::new(dn("cn=Tom"), "Tom"));
+            org.add_person(Person::new(dn("cn=Wolfgang"), "Wolfgang"));
+            org.add_role(Role::new(dn("cn=coordinator"), "c"));
+            org.relate(&dn("cn=Tom"), RelationKind::Occupies, &dn("cn=coordinator"))
+                .unwrap();
+            org.add_rule(OrgRule::new(
+                dn("cn=coordinator"),
+                RuleKind::Permit,
+                "schedule",
+                "activity",
+            ));
+        }
+        env.create_activity(
+            &dn("cn=Tom"),
+            Activity::new("report".into(), "r"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        env.join_activity(
+            &dn("cn=Tom"),
+            &"report".into(),
+            ActivityRole("editor".into()),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        env.store_object(
+            InfoObject::new(
+                "doc".into(),
+                "document",
+                dn("cn=Tom"),
+                InfoContent::Text("x".into()),
+            ),
+            Some("report".into()),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        env.comm_mut().open_context(
+            CommContext::new("c1", vec![dn("cn=Tom"), dn("cn=Wolfgang")])
+                .in_activity("report".into()),
+        );
+        env.comm_mut().record(CommEvent {
+            at: SimTime::ZERO,
+            from: dn("cn=Tom"),
+            to: vec![dn("cn=Wolfgang")],
+            context: "c1".into(),
+            object: Some("doc".into()),
+            synchronous: false,
+        });
+        env
+    }
+
+    #[test]
+    fn consistent_environment_has_no_findings() {
+        let env = consistent_env();
+        assert!(check_models(&env).is_empty());
+    }
+
+    #[test]
+    fn ghost_activity_member_is_flagged() {
+        let mut env = consistent_env();
+        env.activities_mut()
+            .activity_mut(&"report".into())
+            .unwrap()
+            .join(dn("cn=Ghost"), ActivityRole("lurker".into()));
+        let findings = check_models(&env);
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(
+            findings[0],
+            ModelInconsistency::UnknownActivityMember { .. }
+        ));
+        assert!(findings[0].to_string().contains("cn=Ghost"));
+    }
+
+    #[test]
+    fn responsible_outside_membership_is_flagged() {
+        let mut env = consistent_env();
+        env.activities_mut()
+            .activity_mut(&"report".into())
+            .unwrap()
+            .responsible = Some(dn("cn=Wolfgang"));
+        let findings = check_models(&env);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, ModelInconsistency::ResponsibleNotMember { .. })));
+    }
+
+    #[test]
+    fn unknown_object_owner_is_flagged() {
+        let mut env = consistent_env();
+        env.store_object(
+            InfoObject::new(
+                "orphan".into(),
+                "document",
+                dn("cn=Nobody"),
+                InfoContent::Text("x".into()),
+            ),
+            None,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let findings = check_models(&env);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, ModelInconsistency::UnknownObjectOwner { .. })));
+    }
+
+    #[test]
+    fn dangling_comm_activity_is_flagged() {
+        let mut env = consistent_env();
+        env.comm_mut().open_context(
+            CommContext::new("c2", vec![dn("cn=Tom")]).in_activity("vapourware".into()),
+        );
+        env.comm_mut().record(CommEvent {
+            at: SimTime::ZERO,
+            from: dn("cn=Tom"),
+            to: vec![],
+            context: "c2".into(),
+            object: None,
+            synchronous: true,
+        });
+        let findings = check_models(&env);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, ModelInconsistency::DanglingCommActivity { .. })));
+    }
+
+    #[test]
+    fn dangling_responsibility_is_flagged() {
+        let mut env = consistent_env();
+        env.expertise_mut().impose(
+            &dn("cn=Tom"),
+            Responsibility {
+                activity: "cancelled-project".into(),
+                duty: "chair".into(),
+                imposed_by: dn("cn=coordinator"),
+            },
+        );
+        let findings = check_models(&env);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, ModelInconsistency::DanglingResponsibility { .. })));
+    }
+
+    #[test]
+    fn multiple_findings_accumulate() {
+        let mut env = consistent_env();
+        env.activities_mut()
+            .activity_mut(&"report".into())
+            .unwrap()
+            .join(dn("cn=Ghost"), ActivityRole("l".into()));
+        env.expertise_mut().impose(
+            &dn("cn=Tom"),
+            Responsibility {
+                activity: "missing".into(),
+                duty: "d".into(),
+                imposed_by: dn("cn=coordinator"),
+            },
+        );
+        assert_eq!(check_models(&env).len(), 2);
+    }
+}

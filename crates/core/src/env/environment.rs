@@ -1,0 +1,737 @@
+//! The CSCW environment facade.
+//!
+//! "A central aim of such environment is to provide interoperability
+//! between a variety of applications ensuring that CSCW applications
+//! can work in harmony rather than in isolation of each other" (§3,
+//! Figure 3). [`CscwEnvironment`] wires the five MOCCA models, the four
+//! CSCW transparencies, tailoring, the application registry and the
+//! interop hub into one object, and attaches the organisational
+//! knowledge base to the ODP trader as §6.1 proposes.
+//!
+//! Every service the environment performs is counted in an operations
+//! ledger; the F4 bench uses it to show the CSCW layer's cost over raw
+//! ODP.
+
+use std::sync::Arc;
+
+use cscw_directory::Dn;
+use parking_lot::RwLock;
+use simnet::SimTime;
+
+use crate::activity::{Activity, ActivityId, ActivityRole, InterActivityModel};
+use crate::comm::CommunicationModel;
+use crate::env::events::{EnvEvent, EventBus};
+use crate::env::interop::{ClosedWorld, FormatMapping, InteropHub, NativeArtifact};
+use crate::env::registry::{AppDescriptor, AppId, AppRegistry};
+use crate::error::MoccaError;
+use crate::expertise::UserExpertiseModel;
+use crate::info::{InfoContent, InfoObject, InfoObjectId, InformationRepository};
+use crate::org::{KnowledgeBase, OrgTradingPolicy, OrganisationalModel};
+use crate::tailor::TailorStore;
+use crate::transparency::activity::ActivityIsolation;
+use crate::transparency::{CscwTransparencySelection, OrganisationTransparency, ViewRegistry};
+
+/// The assembled open CSCW environment.
+pub struct CscwEnvironment {
+    org: Arc<RwLock<OrganisationalModel>>,
+    knowledge: KnowledgeBase,
+    activities: InterActivityModel,
+    repository: InformationRepository,
+    comm: CommunicationModel,
+    expertise: UserExpertiseModel,
+    tailoring: TailorStore,
+    transparencies: CscwTransparencySelection,
+    org_transparency: OrganisationTransparency,
+    views: ViewRegistry,
+    registry: AppRegistry,
+    hub: InteropHub,
+    bus: EventBus,
+    trader: odp::Trader,
+    operations: u64,
+}
+
+impl std::fmt::Debug for CscwEnvironment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CscwEnvironment")
+            .field("activities", &self.activities.len())
+            .field("objects", &self.repository.len())
+            .field("apps", &self.registry.apps().len())
+            .field("operations", &self.operations)
+            .finish()
+    }
+}
+
+impl Default for CscwEnvironment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CscwEnvironment {
+    /// Creates an environment with all transparencies engaged and the
+    /// organisational trading policy attached to its trader.
+    pub fn new() -> Self {
+        let org = Arc::new(RwLock::new(OrganisationalModel::new()));
+        let mut trader = odp::Trader::new("mocca-trader");
+        trader.attach_policy(OrgTradingPolicy::new(org.clone()));
+        CscwEnvironment {
+            org,
+            knowledge: KnowledgeBase::new(),
+            activities: InterActivityModel::new(),
+            repository: InformationRepository::new(),
+            comm: CommunicationModel::new(),
+            expertise: UserExpertiseModel::new(),
+            tailoring: TailorStore::new(),
+            transparencies: CscwTransparencySelection::full(),
+            org_transparency: OrganisationTransparency::new(),
+            views: ViewRegistry::new(),
+            registry: AppRegistry::new(),
+            hub: InteropHub::new(),
+            bus: EventBus::new(),
+            trader,
+            operations: 0,
+        }
+    }
+
+    fn count_op(&mut self) {
+        self.operations += 1;
+    }
+
+    /// Environment operations performed (each lowers to ODP/substrate
+    /// work; the F4 layering bench reads this).
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    // ---- model access ----------------------------------------------------
+
+    /// The shared organisational model.
+    pub fn org(&self) -> Arc<RwLock<OrganisationalModel>> {
+        self.org.clone()
+    }
+
+    /// The inter-activity model.
+    pub fn activities(&self) -> &InterActivityModel {
+        &self.activities
+    }
+
+    /// Mutable inter-activity model access.
+    pub fn activities_mut(&mut self) -> &mut InterActivityModel {
+        &mut self.activities
+    }
+
+    /// The information repository.
+    pub fn repository(&self) -> &InformationRepository {
+        &self.repository
+    }
+
+    /// Mutable repository access.
+    pub fn repository_mut(&mut self) -> &mut InformationRepository {
+        &mut self.repository
+    }
+
+    /// The communication model.
+    pub fn comm(&self) -> &CommunicationModel {
+        &self.comm
+    }
+
+    /// Mutable communication model access.
+    pub fn comm_mut(&mut self) -> &mut CommunicationModel {
+        &mut self.comm
+    }
+
+    /// The user-expertise model.
+    pub fn expertise(&self) -> &UserExpertiseModel {
+        &self.expertise
+    }
+
+    /// Mutable expertise access.
+    pub fn expertise_mut(&mut self) -> &mut UserExpertiseModel {
+        &mut self.expertise
+    }
+
+    /// The tailoring store.
+    pub fn tailoring(&self) -> &TailorStore {
+        &self.tailoring
+    }
+
+    /// Mutable tailoring access.
+    pub fn tailoring_mut(&mut self) -> &mut TailorStore {
+        &mut self.tailoring
+    }
+
+    /// The organisational knowledge base (directory-backed).
+    pub fn knowledge(&self) -> &KnowledgeBase {
+        &self.knowledge
+    }
+
+    /// Publishes the organisational model into the knowledge base.
+    ///
+    /// # Errors
+    ///
+    /// Any directory error from entry creation.
+    pub fn publish_knowledge(&mut self) -> Result<usize, MoccaError> {
+        self.count_op();
+        let org = self.org.read().clone();
+        self.knowledge.publish(&org)
+    }
+
+    /// The environment's trader (with the organisational policy
+    /// attached).
+    pub fn trader(&self) -> &odp::Trader {
+        &self.trader
+    }
+
+    /// Mutable trader access (to register service types and offers).
+    pub fn trader_mut(&mut self) -> &mut odp::Trader {
+        &mut self.trader
+    }
+
+    /// The view registry.
+    pub fn views(&self) -> &ViewRegistry {
+        &self.views
+    }
+
+    /// Mutable view registry access.
+    pub fn views_mut(&mut self) -> &mut ViewRegistry {
+        &mut self.views
+    }
+
+    /// The organisation-transparency layer.
+    pub fn org_transparency(&self) -> &OrganisationTransparency {
+        &self.org_transparency
+    }
+
+    /// Mutable organisation-transparency access.
+    pub fn org_transparency_mut(&mut self) -> &mut OrganisationTransparency {
+        &mut self.org_transparency
+    }
+
+    /// The event bus.
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Mutable bus access.
+    pub fn bus_mut(&mut self) -> &mut EventBus {
+        &mut self.bus
+    }
+
+    // ---- transparencies ---------------------------------------------------
+
+    /// Current CSCW transparency selection.
+    pub fn transparencies(&self) -> CscwTransparencySelection {
+        self.transparencies
+    }
+
+    /// Re-selects transparencies (user-tailorable, §6.1); updates the
+    /// bus isolation policy to match.
+    pub fn select_transparencies(&mut self, selection: CscwTransparencySelection) {
+        self.transparencies = selection;
+        self.bus.set_isolation(if selection.activity {
+            ActivityIsolation::on()
+        } else {
+            ActivityIsolation::off()
+        });
+    }
+
+    // ---- application registry & interop (Figures 2/3) ---------------------
+
+    /// Registers an application with its mapping into the common
+    /// information model. One registration makes it interoperable with
+    /// every other registered application.
+    pub fn register_app(&mut self, descriptor: AppDescriptor, mapping: FormatMapping) {
+        self.count_op();
+        self.hub.register_mapping(descriptor.id.clone(), mapping);
+        self.registry.register(descriptor);
+    }
+
+    /// The application registry.
+    pub fn apps(&self) -> &AppRegistry {
+        &self.registry
+    }
+
+    /// The interop hub.
+    pub fn hub(&self) -> &InteropHub {
+        &self.hub
+    }
+
+    /// Exchanges an artifact between two registered applications via
+    /// the common model, recording it in the information repository as
+    /// a shared object owned by `sharer`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MoccaError::UnknownApplication`] — unmapped application.
+    /// * Repository errors for the shared record.
+    pub fn exchange(
+        &mut self,
+        sharer: &Dn,
+        artifact: &NativeArtifact,
+        to: &AppId,
+        at: SimTime,
+    ) -> Result<NativeArtifact, MoccaError> {
+        self.count_op();
+        let common = self.hub.to_common(artifact)?;
+        let result = self.hub.exchange(artifact, to)?;
+        // Record the exchanged object in the shared repository (ids are
+        // deterministic per exchange count).
+        let id = InfoObjectId::new(format!("xchg:{}:{}", self.hub.conversions_performed(), to));
+        self.repository.store(InfoObject::new(
+            id.clone(),
+            "exchanged-artifact",
+            sharer.clone(),
+            InfoContent::Fields(common),
+        ))?;
+        self.bus.publish(EnvEvent {
+            kind: "artifact-exchanged".into(),
+            activity: None,
+            at,
+            payload: InfoContent::fields([
+                ("from", artifact.app.to_string()),
+                ("to", to.to_string()),
+                ("object", id.to_string()),
+            ]),
+        });
+        Ok(result)
+    }
+
+    // ---- activities --------------------------------------------------------
+
+    /// Creates an activity, checking the creator's organisational
+    /// authority for `schedule` on `activity`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MoccaError::AccessDenied`] — creator lacks the right.
+    /// * Duplicate registration errors.
+    pub fn create_activity(
+        &mut self,
+        creator: &Dn,
+        activity: Activity,
+        at: SimTime,
+    ) -> Result<(), MoccaError> {
+        self.count_op();
+        self.org.read().require(creator, "schedule", "activity")?;
+        let id = activity.id.clone();
+        self.activities.register(activity)?;
+        self.bus.publish(EnvEvent {
+            kind: "activity-created".into(),
+            activity: Some(id.clone()),
+            at,
+            payload: InfoContent::fields([("id", id.to_string()), ("by", creator.to_string())]),
+        });
+        Ok(())
+    }
+
+    /// Joins a person to an activity in a role and refreshes their bus
+    /// memberships.
+    ///
+    /// # Errors
+    ///
+    /// [`MoccaError::UnknownActivity`] when the activity is missing.
+    pub fn join_activity(
+        &mut self,
+        person: &Dn,
+        id: &ActivityId,
+        role: ActivityRole,
+        at: SimTime,
+    ) -> Result<(), MoccaError> {
+        self.count_op();
+        let activity = self
+            .activities
+            .activity_mut(id)
+            .ok_or_else(|| MoccaError::UnknownActivity(id.to_string()))?;
+        activity.join(person.clone(), role);
+        let memberships: Vec<ActivityId> = self
+            .activities
+            .activities()
+            .filter(|a| a.has_member(person))
+            .map(|a| a.id.clone())
+            .collect();
+        self.bus.subscribe(person.clone(), memberships);
+        self.bus.publish(EnvEvent {
+            kind: "member-joined".into(),
+            activity: Some(id.clone()),
+            at,
+            payload: InfoContent::fields([("who", person.to_string())]),
+        });
+        Ok(())
+    }
+
+    // ---- information -------------------------------------------------------
+
+    /// Stores an information object, publishing a scoped event.
+    ///
+    /// # Errors
+    ///
+    /// Repository errors (duplicate id).
+    pub fn store_object(
+        &mut self,
+        object: InfoObject,
+        activity: Option<ActivityId>,
+        at: SimTime,
+    ) -> Result<(), MoccaError> {
+        self.count_op();
+        let id = object.id.clone();
+        self.repository.store(object)?;
+        self.bus.publish(EnvEvent {
+            kind: "object-stored".into(),
+            activity,
+            at,
+            payload: InfoContent::fields([("id", id.to_string())]),
+        });
+        Ok(())
+    }
+
+    /// Reads an object *as the reader sees it*: access-checked, then
+    /// rendered through their view when view transparency is engaged.
+    ///
+    /// # Errors
+    ///
+    /// Repository access errors.
+    pub fn read_object(
+        &mut self,
+        reader: &Dn,
+        id: &InfoObjectId,
+    ) -> Result<InfoContent, MoccaError> {
+        self.count_op();
+        let org = self.org.read();
+        let object = self.repository.fetch(&org, reader, id)?;
+        Ok(if self.transparencies.view {
+            self.views.render_for(reader, object)
+        } else {
+            object.content.clone()
+        })
+    }
+
+    // ---- inter-organisational cooperation ----------------------------------
+
+    /// May these two people cooperate over a service? With organisation
+    /// transparency engaged this consults the domain registry; with it
+    /// disengaged the check is skipped and the *caller* owns the
+    /// consequences (the ablation the R5 bench measures).
+    ///
+    /// # Errors
+    ///
+    /// [`MoccaError::IncompatiblePolicies`] /
+    /// [`MoccaError::UnknownOrgObject`] from the transparency layer.
+    pub fn check_cooperation(
+        &mut self,
+        importer: &Dn,
+        exporter: &Dn,
+        service_type: &str,
+    ) -> Result<(), MoccaError> {
+        self.count_op();
+        if !self.transparencies.organisation {
+            return Ok(());
+        }
+        self.org_transparency
+            .check_interaction(importer, exporter, service_type)
+    }
+
+    // ---- expertise-driven assignment ----------------------------------------
+
+    /// Suggests who should take responsibility for work needing `skill`
+    /// at `min_level`: the best-ranked capable person who is a member of
+    /// the activity (or the best overall when `activity` is `None`).
+    /// The negotiation protocol then formalises the assignment — this is
+    /// the opening proposal, not a decree.
+    pub fn suggest_responsible(
+        &mut self,
+        skill: &str,
+        min_level: u8,
+        activity: Option<&ActivityId>,
+    ) -> Option<Dn> {
+        self.count_op();
+        let ranked = self.expertise.find_capable(skill, min_level);
+        match activity.and_then(|id| self.activities.activity(id)) {
+            Some(act) => ranked
+                .into_iter()
+                .map(|(dn, _)| dn.clone())
+                .find(|dn| act.has_member(dn)),
+            None => ranked.first().map(|(dn, _)| (*dn).clone()),
+        }
+    }
+
+    // ---- model interrelation (§7) -------------------------------------------
+
+    /// Checks that the five models agree with each other — the paper's
+    /// closing future work ("the details and interrelation of the
+    /// models") made executable. Empty result = consistent.
+    pub fn check_consistency(&self) -> Vec<crate::env::consistency::ModelInconsistency> {
+        crate::env::consistency::check_models(self)
+    }
+
+    // ---- figure 2 baseline -------------------------------------------------
+
+    /// Builds the closed-world baseline for the currently registered
+    /// applications with only `adapters` pairs wired — used by the
+    /// F2/F3 experiment.
+    pub fn closed_world_baseline(
+        &self,
+        adapters: impl IntoIterator<Item = (AppId, AppId, FormatMapping)>,
+    ) -> ClosedWorld {
+        let mut world = ClosedWorld::new();
+        for (from, to, mapping) in adapters {
+            world.install_adapter(from, to, mapping);
+        }
+        world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::registry::Quadrant;
+    use crate::org::{OrgRule, Person, RelationKind, Role, RuleKind};
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    /// An environment with Tom (coordinator) and Wolfgang (member).
+    fn env() -> CscwEnvironment {
+        let e = CscwEnvironment::new();
+        {
+            let mut org = e.org.write();
+            org.add_person(Person::new(dn("cn=Tom"), "Tom"));
+            org.add_person(Person::new(dn("cn=Wolfgang"), "Wolfgang"));
+            org.add_role(Role::new(dn("cn=coordinator"), "coordinator"));
+            org.relate(&dn("cn=Tom"), RelationKind::Occupies, &dn("cn=coordinator"))
+                .unwrap();
+            org.add_rule(OrgRule::new(
+                dn("cn=coordinator"),
+                RuleKind::Permit,
+                "schedule",
+                "activity",
+            ));
+        }
+        e
+    }
+
+    #[test]
+    fn activity_creation_is_authorised() {
+        let mut e = env();
+        let a = Activity::new("report".into(), "Joint report");
+        assert!(e
+            .create_activity(&dn("cn=Wolfgang"), a.clone(), SimTime::ZERO)
+            .is_err_and(|err| matches!(err, MoccaError::AccessDenied { .. })));
+        e.create_activity(&dn("cn=Tom"), a, SimTime::ZERO).unwrap();
+        assert_eq!(e.activities().len(), 1);
+    }
+
+    #[test]
+    fn joining_updates_bus_memberships() {
+        let mut e = env();
+        e.create_activity(
+            &dn("cn=Tom"),
+            Activity::new("report".into(), "r"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        e.join_activity(
+            &dn("cn=Wolfgang"),
+            &"report".into(),
+            ActivityRole("writer".into()),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // A scoped event reaches the member.
+        e.bus_mut().publish(EnvEvent {
+            kind: "object-updated".into(),
+            activity: Some("report".into()),
+            at: SimTime::ZERO,
+            payload: InfoContent::Text("x".into()),
+        });
+        let got = e.bus().delivered_to(&dn("cn=Wolfgang"));
+        assert!(got.iter().any(|ev| ev.kind == "object-updated"));
+        assert!(e
+            .join_activity(
+                &dn("cn=Tom"),
+                &"ghost".into(),
+                ActivityRole("x".into()),
+                SimTime::ZERO
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn read_object_applies_views_only_when_engaged() {
+        let mut e = env();
+        let obj = InfoObject::new(
+            "doc1".into(),
+            "document",
+            dn("cn=Tom"),
+            InfoContent::fields([("title", "Report"), ("secret", "x")]),
+        );
+        e.store_object(obj, None, SimTime::ZERO).unwrap();
+        e.views_mut().set_view(
+            dn("cn=Tom"),
+            "document",
+            crate::transparency::View::selecting([("title", "Title")]),
+        );
+        let seen = e.read_object(&dn("cn=Tom"), &"doc1".into()).unwrap();
+        assert_eq!(seen.field("Title"), Some("Report"));
+        assert_eq!(seen.field("secret"), None);
+
+        let mut selection = e.transparencies();
+        selection.view = false;
+        e.select_transparencies(selection);
+        let raw = e.read_object(&dn("cn=Tom"), &"doc1".into()).unwrap();
+        assert_eq!(raw.field("secret"), Some("x"));
+    }
+
+    #[test]
+    fn exchange_goes_through_hub_and_repository() {
+        let mut e = env();
+        for (id, native, common) in [
+            ("sharedx", "window_title", "title"),
+            ("com", "subject", "title"),
+        ] {
+            e.register_app(
+                AppDescriptor {
+                    id: id.into(),
+                    name: id.into(),
+                    quadrant: Quadrant::DESKTOP_CONFERENCE,
+                    native_format: format!("{id}-native"),
+                    kinds: vec!["document".into()],
+                },
+                FormatMapping::new([(native, common)]),
+            );
+        }
+        let artifact = NativeArtifact::new(
+            "sharedx".into(),
+            "sharedx-native",
+            [("window_title", "Minutes".to_owned())],
+        );
+        let got = e
+            .exchange(&dn("cn=Tom"), &artifact, &"com".into(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            got.fields.get("subject").map(String::as_str),
+            Some("Minutes")
+        );
+        assert_eq!(
+            e.repository().len(),
+            1,
+            "exchange recorded as shared object"
+        );
+        assert_eq!(e.hub().mappings_needed(), 2);
+    }
+
+    #[test]
+    fn cooperation_check_respects_transparency_toggle() {
+        let mut e = env();
+        // Nothing configured: with transparency on, unknown people fail…
+        let err = e
+            .check_cooperation(&dn("cn=Tom"), &dn("cn=Wolfgang"), "document-store")
+            .unwrap_err();
+        assert!(matches!(err, MoccaError::UnknownOrgObject(_)));
+        // …with it off, the check is the caller's problem.
+        let mut sel = e.transparencies();
+        sel.organisation = false;
+        e.select_transparencies(sel);
+        assert!(e
+            .check_cooperation(&dn("cn=Tom"), &dn("cn=Wolfgang"), "document-store")
+            .is_ok());
+    }
+
+    #[test]
+    fn trader_carries_org_policy() {
+        let mut e = env();
+        {
+            let mut org = e.org.write();
+            org.add_rule(OrgRule::new(
+                dn("cn=coordinator"),
+                RuleKind::Permit,
+                "import",
+                "service:scheduler",
+            ));
+        }
+        let iface = odp::InterfaceType::new("scheduler").with_operation(odp::OperationSig::new(
+            "book",
+            [odp::ValueKind::Text],
+            odp::ValueKind::Bool,
+        ));
+        e.trader_mut().register_service_type(iface.clone());
+        e.trader_mut()
+            .export(
+                "scheduler",
+                &iface,
+                odp::InterfaceRef {
+                    object: "sched1".into(),
+                    node: simnet::NodeId::from_raw(0),
+                    interface: "scheduler".into(),
+                },
+                [],
+            )
+            .unwrap();
+        // Tom (coordinator) may import; Wolfgang may not.
+        let ok = e
+            .trader()
+            .import(&odp::ImportRequest::any("scheduler").with_importer("cn=Tom"));
+        assert!(ok.is_ok());
+        let denied = e
+            .trader()
+            .import(&odp::ImportRequest::any("scheduler").with_importer("cn=Wolfgang"));
+        assert!(denied.is_err());
+    }
+
+    #[test]
+    fn suggest_responsible_prefers_capable_members() {
+        use crate::expertise::Capability;
+        let mut e = env();
+        e.create_activity(
+            &dn("cn=Tom"),
+            Activity::new("report".into(), "r"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        e.join_activity(
+            &dn("cn=Tom"),
+            &"report".into(),
+            ActivityRole("editor".into()),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        e.expertise_mut()
+            .declare_capability(&dn("cn=Tom"), Capability::new("writing", 3));
+        e.expertise_mut()
+            .declare_capability(&dn("cn=Wolfgang"), Capability::new("writing", 5));
+        // Overall best is Wolfgang…
+        assert_eq!(
+            e.suggest_responsible("writing", 3, None),
+            Some(dn("cn=Wolfgang"))
+        );
+        // …but within the activity only Tom qualifies.
+        let within = e.suggest_responsible("writing", 3, Some(&"report".into()));
+        assert_eq!(within, Some(dn("cn=Tom")));
+        // Nobody has the skill at level 5 inside the activity.
+        assert_eq!(
+            e.suggest_responsible("writing", 5, Some(&"report".into())),
+            None
+        );
+        assert_eq!(e.suggest_responsible("juggling", 1, None), None);
+    }
+
+    #[test]
+    fn operations_ledger_counts_environment_work() {
+        let mut e = env();
+        let before = e.operations();
+        e.create_activity(&dn("cn=Tom"), Activity::new("a".into(), "a"), SimTime::ZERO)
+            .unwrap();
+        e.store_object(
+            InfoObject::new(
+                "o".into(),
+                "document",
+                dn("cn=Tom"),
+                InfoContent::Text("x".into()),
+            ),
+            None,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(e.operations(), before + 2);
+    }
+}

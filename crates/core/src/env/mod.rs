@@ -1,0 +1,21 @@
+//! The CSCW environment (§3, Figures 2–4).
+//!
+//! * [`registry`] — applications and the groupware time–space matrix.
+//! * [`interop`] — the common-model hub (Figure 3) and the closed
+//!   pairwise baseline (Figure 2).
+//! * [`events`] — the activity-scoped event bus.
+//! * [`environment`] — the facade wiring the five models together.
+//! * [`consistency`] — the §7 "interrelation of the models" made
+//!   checkable.
+
+pub mod consistency;
+pub mod environment;
+pub mod events;
+pub mod interop;
+pub mod registry;
+
+pub use consistency::{check_models, ModelInconsistency};
+pub use environment::CscwEnvironment;
+pub use events::{EnvEvent, EventBus};
+pub use interop::{ClosedWorld, FormatMapping, InteropHub, NativeArtifact};
+pub use registry::{AppDescriptor, AppId, AppRegistry, PlaceMode, Quadrant, TimeMode};

@@ -1,0 +1,145 @@
+//! MOCCA environment error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the MOCCA CSCW environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MoccaError {
+    /// The named organisational object is unknown.
+    UnknownOrgObject(String),
+    /// The named activity is unknown.
+    UnknownActivity(String),
+    /// An activity state transition is not legal.
+    IllegalTransition {
+        /// The activity.
+        activity: String,
+        /// Current state name.
+        from: &'static str,
+        /// Requested state name.
+        to: &'static str,
+    },
+    /// An inter-activity dependency would create a temporal cycle.
+    DependencyCycle(String),
+    /// The person lacks the right for the action.
+    AccessDenied {
+        /// Who was refused.
+        who: String,
+        /// What they tried.
+        action: String,
+        /// On what.
+        target: String,
+    },
+    /// Inter-organisational policies are incompatible for this
+    /// interaction (the paper's "interaction is not possible due to
+    /// incompatible policies").
+    IncompatiblePolicies(String),
+    /// The named information object is unknown.
+    UnknownInfoObject(String),
+    /// No conversion path exists between two application formats.
+    NoConversionPath {
+        /// Producing application.
+        from: String,
+        /// Consuming application.
+        to: String,
+    },
+    /// The named application is not registered with the environment.
+    UnknownApplication(String),
+    /// A negotiation operation is invalid in the current state.
+    BadNegotiationState(String),
+    /// A tailoring value violates the parameter's constraint.
+    TailoringViolation(String),
+    /// The underlying directory refused an operation.
+    Directory(cscw_directory::DirectoryError),
+    /// The underlying message transfer system refused an operation.
+    Messaging(cscw_messaging::MtsError),
+    /// The underlying ODP layer refused an operation.
+    Odp(odp::OdpError),
+}
+
+impl fmt::Display for MoccaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoccaError::UnknownOrgObject(s) => write!(f, "unknown organisational object: {s}"),
+            MoccaError::UnknownActivity(s) => write!(f, "unknown activity: {s}"),
+            MoccaError::IllegalTransition { activity, from, to } => {
+                write!(f, "activity {activity}: illegal transition {from} -> {to}")
+            }
+            MoccaError::DependencyCycle(s) => write!(f, "dependency cycle involving {s}"),
+            MoccaError::AccessDenied {
+                who,
+                action,
+                target,
+            } => {
+                write!(f, "access denied: {who} may not {action} {target}")
+            }
+            MoccaError::IncompatiblePolicies(s) => write!(f, "incompatible policies: {s}"),
+            MoccaError::UnknownInfoObject(s) => write!(f, "unknown information object: {s}"),
+            MoccaError::NoConversionPath { from, to } => {
+                write!(f, "no conversion path from {from} to {to}")
+            }
+            MoccaError::UnknownApplication(s) => write!(f, "unknown application: {s}"),
+            MoccaError::BadNegotiationState(s) => write!(f, "bad negotiation state: {s}"),
+            MoccaError::TailoringViolation(s) => write!(f, "tailoring violation: {s}"),
+            MoccaError::Directory(e) => write!(f, "directory: {e}"),
+            MoccaError::Messaging(e) => write!(f, "messaging: {e}"),
+            MoccaError::Odp(e) => write!(f, "odp: {e}"),
+        }
+    }
+}
+
+impl Error for MoccaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MoccaError::Directory(e) => Some(e),
+            MoccaError::Messaging(e) => Some(e),
+            MoccaError::Odp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cscw_directory::DirectoryError> for MoccaError {
+    fn from(e: cscw_directory::DirectoryError) -> Self {
+        MoccaError::Directory(e)
+    }
+}
+
+impl From<cscw_messaging::MtsError> for MoccaError {
+    fn from(e: cscw_messaging::MtsError) -> Self {
+        MoccaError::Messaging(e)
+    }
+}
+
+impl From<odp::OdpError> for MoccaError {
+    fn from(e: odp::OdpError) -> Self {
+        MoccaError::Odp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = MoccaError::Directory(cscw_directory::DirectoryError::InvalidFilter("(".into()));
+        assert!(e.to_string().contains("directory"));
+        assert!(e.source().is_some());
+        let e = MoccaError::AccessDenied {
+            who: "cn=X".into(),
+            action: "read".into(),
+            target: "doc1".into(),
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("may not read"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let _: MoccaError = cscw_messaging::MtsError::HopLimitExceeded.into();
+        let _: MoccaError = odp::OdpError::FederationLoop.into();
+        let _: MoccaError =
+            cscw_directory::DirectoryError::NoSuchEntry("c=UK".parse().unwrap()).into();
+    }
+}

@@ -1,0 +1,20 @@
+//! The Information Model (§5).
+//!
+//! "The Mocca information model aims to allow information used within
+//! different CSCW systems to be represented externally and to be shared
+//! between systems."
+//!
+//! * [`object`] — information objects and the common content model.
+//! * [`relations`] — composition/dependency/derivation graph.
+//! * [`access`] — role-based access control (§4's requirement).
+//! * [`repository`] — the access-checked shared store.
+
+pub mod access;
+pub mod object;
+pub mod relations;
+pub mod repository;
+
+pub use access::{AccessControl, AccessRight, Grant};
+pub use object::{InfoContent, InfoObject, InfoObjectId};
+pub use relations::{InfoRelation, InfoRelationKind, InfoRelations};
+pub use repository::InformationRepository;

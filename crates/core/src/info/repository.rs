@@ -1,0 +1,308 @@
+//! The shared information repository.
+//!
+//! Stores information objects in the common model, enforces access
+//! control, tracks relations and versions. This is the concrete "set of
+//! services which encourage the cooperative sharing of information"
+//! (§4); the environment's interop hub exchanges objects *through* it.
+
+use std::collections::BTreeMap;
+
+use cscw_directory::Dn;
+
+use crate::error::MoccaError;
+use crate::info::access::{AccessControl, AccessRight};
+use crate::info::object::{InfoContent, InfoObject, InfoObjectId};
+use crate::info::relations::{InfoRelationKind, InfoRelations};
+use crate::org::OrganisationalModel;
+
+/// The repository: objects + relations + ACLs.
+#[derive(Debug, Default)]
+pub struct InformationRepository {
+    objects: BTreeMap<InfoObjectId, InfoObject>,
+    relations: InfoRelations,
+    access: AccessControl,
+}
+
+impl InformationRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a new object; the creator becomes its owner.
+    ///
+    /// # Errors
+    ///
+    /// [`MoccaError::UnknownInfoObject`] (with a "duplicate" message)
+    /// when the id is taken.
+    pub fn store(&mut self, object: InfoObject) -> Result<(), MoccaError> {
+        if self.objects.contains_key(&object.id) {
+            return Err(MoccaError::UnknownInfoObject(format!(
+                "duplicate id {}",
+                object.id
+            )));
+        }
+        self.access
+            .set_owner(object.id.clone(), object.owner.clone());
+        self.objects.insert(object.id.clone(), object);
+        Ok(())
+    }
+
+    /// Reads an object, access-checked.
+    ///
+    /// # Errors
+    ///
+    /// * [`MoccaError::UnknownInfoObject`] — no such object.
+    /// * [`MoccaError::AccessDenied`] — reader lacks `Read`.
+    pub fn fetch(
+        &self,
+        org: &OrganisationalModel,
+        reader: &Dn,
+        id: &InfoObjectId,
+    ) -> Result<&InfoObject, MoccaError> {
+        self.access.require(org, reader, AccessRight::Read, id)?;
+        self.objects
+            .get(id)
+            .ok_or_else(|| MoccaError::UnknownInfoObject(id.to_string()))
+    }
+
+    /// Updates an object's content, bumping its version.
+    ///
+    /// # Errors
+    ///
+    /// * [`MoccaError::UnknownInfoObject`] — no such object.
+    /// * [`MoccaError::AccessDenied`] — writer lacks `Write`.
+    pub fn update(
+        &mut self,
+        org: &OrganisationalModel,
+        writer: &Dn,
+        id: &InfoObjectId,
+        content: InfoContent,
+    ) -> Result<u32, MoccaError> {
+        self.access.require(org, writer, AccessRight::Write, id)?;
+        let obj = self
+            .objects
+            .get_mut(id)
+            .ok_or_else(|| MoccaError::UnknownInfoObject(id.to_string()))?;
+        obj.content = content;
+        obj.version += 1;
+        Ok(obj.version)
+    }
+
+    /// Grants access, which requires the granter to hold `Share`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MoccaError::AccessDenied`] — granter lacks `Share`.
+    /// * [`MoccaError::UnknownInfoObject`] — no such object.
+    pub fn share(
+        &mut self,
+        org: &OrganisationalModel,
+        granter: &Dn,
+        id: &InfoObjectId,
+        with: Dn,
+        right: AccessRight,
+    ) -> Result<(), MoccaError> {
+        if !self.objects.contains_key(id) {
+            return Err(MoccaError::UnknownInfoObject(id.to_string()));
+        }
+        self.access.require(org, granter, AccessRight::Share, id)?;
+        self.access.grant(id, with, right);
+        Ok(())
+    }
+
+    /// Relates two stored objects.
+    ///
+    /// # Errors
+    ///
+    /// * [`MoccaError::UnknownInfoObject`] — either object missing.
+    /// * [`MoccaError::DependencyCycle`] — illegal composition cycle.
+    pub fn relate(
+        &mut self,
+        from: &InfoObjectId,
+        kind: InfoRelationKind,
+        to: &InfoObjectId,
+    ) -> Result<(), MoccaError> {
+        for end in [from, to] {
+            if !self.objects.contains_key(end) {
+                return Err(MoccaError::UnknownInfoObject(end.to_string()));
+            }
+        }
+        self.relations.add(from.clone(), kind, to.clone())
+    }
+
+    /// The relation graph.
+    pub fn relations(&self) -> &InfoRelations {
+        &self.relations
+    }
+
+    /// The access-control state (for direct grant management).
+    pub fn access_mut(&mut self) -> &mut AccessControl {
+        &mut self.access
+    }
+
+    /// Read access to ACLs.
+    pub fn access(&self) -> &AccessControl {
+        &self.access
+    }
+
+    /// Unchecked read (environment internals, monitoring).
+    pub fn peek(&self, id: &InfoObjectId) -> Option<&InfoObject> {
+        self.objects.get(id)
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Ids of all objects of a kind.
+    pub fn ids_of_kind(&self, kind: &str) -> Vec<InfoObjectId> {
+        self.objects
+            .values()
+            .filter(|o| o.kind == kind)
+            .map(|o| o.id.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::org::Person;
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    fn org() -> OrganisationalModel {
+        let mut m = OrganisationalModel::new();
+        m.add_person(Person::new(dn("cn=Tom"), "Tom"));
+        m.add_person(Person::new(dn("cn=Wolfgang"), "Wolfgang"));
+        m
+    }
+
+    fn repo_with_doc() -> InformationRepository {
+        let mut r = InformationRepository::new();
+        r.store(InfoObject::new(
+            "doc1".into(),
+            "document",
+            dn("cn=Tom"),
+            InfoContent::Text("draft".into()),
+        ))
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn owner_reads_and_writes_others_do_not() {
+        let mut r = repo_with_doc();
+        let org = org();
+        assert!(r.fetch(&org, &dn("cn=Tom"), &"doc1".into()).is_ok());
+        assert!(matches!(
+            r.fetch(&org, &dn("cn=Wolfgang"), &"doc1".into())
+                .unwrap_err(),
+            MoccaError::AccessDenied { .. }
+        ));
+        let v = r
+            .update(
+                &org,
+                &dn("cn=Tom"),
+                &"doc1".into(),
+                InfoContent::Text("v2".into()),
+            )
+            .unwrap();
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn sharing_requires_share_right() {
+        let mut r = repo_with_doc();
+        let org = org();
+        // Wolfgang cannot share what he cannot touch.
+        assert!(r
+            .share(
+                &org,
+                &dn("cn=Wolfgang"),
+                &"doc1".into(),
+                dn("cn=Wolfgang"),
+                AccessRight::Read
+            )
+            .is_err());
+        // Owner shares read with Wolfgang.
+        r.share(
+            &org,
+            &dn("cn=Tom"),
+            &"doc1".into(),
+            dn("cn=Wolfgang"),
+            AccessRight::Read,
+        )
+        .unwrap();
+        assert!(r.fetch(&org, &dn("cn=Wolfgang"), &"doc1".into()).is_ok());
+        // Read does not imply write.
+        assert!(r
+            .update(
+                &org,
+                &dn("cn=Wolfgang"),
+                &"doc1".into(),
+                InfoContent::Text("x".into())
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_store_fails() {
+        let mut r = repo_with_doc();
+        let dup = InfoObject::new(
+            "doc1".into(),
+            "document",
+            dn("cn=Tom"),
+            InfoContent::Text("again".into()),
+        );
+        assert!(r.store(dup).is_err());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn relations_require_stored_objects() {
+        let mut r = repo_with_doc();
+        let err = r
+            .relate(&"ghost".into(), InfoRelationKind::DependsOn, &"doc1".into())
+            .unwrap_err();
+        assert!(matches!(err, MoccaError::UnknownInfoObject(_)));
+        r.store(InfoObject::new(
+            "summary".into(),
+            "document",
+            dn("cn=Tom"),
+            InfoContent::Text("sum".into()),
+        ))
+        .unwrap();
+        r.relate(
+            &"summary".into(),
+            InfoRelationKind::DependsOn,
+            &"doc1".into(),
+        )
+        .unwrap();
+        assert_eq!(r.relations().dependents_of(&"doc1".into()).len(), 1);
+    }
+
+    #[test]
+    fn kind_index() {
+        let mut r = repo_with_doc();
+        r.store(InfoObject::new(
+            "m1".into(),
+            "message",
+            dn("cn=Tom"),
+            InfoContent::Text("hi".into()),
+        ))
+        .unwrap();
+        assert_eq!(r.ids_of_kind("document").len(), 1);
+        assert_eq!(r.ids_of_kind("message").len(), 1);
+        assert!(r.ids_of_kind("minutes").is_empty());
+    }
+}

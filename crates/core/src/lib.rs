@@ -1,0 +1,52 @@
+//! # mocca — the open CSCW environment
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Navarro, Prinz, Rodden — *"Open CSCW Systems: Will ODP help?"*,
+//! ICDCS 1992): the **MOCCA environment**, a middleware layer between
+//! CSCW applications and an ODP platform (the paper's Figure 4) that
+//! lets heterogeneous groupware "work in harmony rather than in
+//! isolation of each other" (Figure 3).
+//!
+//! ## The five models (§5)
+//!
+//! | Model | Module | In one line |
+//! |---|---|---|
+//! | Organisational | [`org`] | people/roles/resources/projects, relations, deontic rules, directory-backed knowledge base, trading policy |
+//! | Inter-activity | [`activity`] | activities, membership, temporal/resource/information dependencies, negotiation, monitoring |
+//! | Information | [`info`] | information objects, composition/dependency relations, role-based access, shared repository |
+//! | Communication | [`comm`] | communicators, contexts, and one channel API over live sessions and X.400 |
+//! | User expertise | [`expertise`] | capabilities (individual) and responsibilities (organisation-imposed) |
+//!
+//! ## The four CSCW transparencies (§4)
+//!
+//! [`transparency`] implements organisation, time, view and activity
+//! transparency — all **user-selectable** ([`tailor`]), which is the
+//! paper's main demand on ODP (§6.1).
+//!
+//! ## The environment (§3)
+//!
+//! [`env::CscwEnvironment`] assembles everything, registers
+//! applications with one format mapping each ([`env::InteropHub`],
+//! Figure 3) and offers the closed pairwise world as an explicit
+//! baseline ([`env::ClosedWorld`], Figure 2).
+//!
+//! Substrates: `simnet` (network), `cscw-directory` (X.500),
+//! `cscw-messaging` (X.400), `odp` (trader, transparencies,
+//! viewpoints). Every distribution-touching operation lowers to those
+//! layers — the subset claim of Figure 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod comm;
+pub mod env;
+mod error;
+pub mod expertise;
+pub mod info;
+pub mod org;
+pub mod tailor;
+pub mod transparency;
+
+pub use env::CscwEnvironment;
+pub use error::MoccaError;

@@ -1,0 +1,16 @@
+//! Support for Tailorability (§4).
+//!
+//! "Cooperative working is essentially a dynamic activity and
+//! consequentially CSCW systems need be malleable and tailorable…
+//! tailorable both by developers and users."
+//!
+//! * [`params`] — declared, constrained parameters overridable per
+//!   organisation/group/user (developer declares, user tailors).
+//! * [`rules`] — user-programmable event rules (the Object-Lens-style
+//!   "users with developer powers" end of the spectrum).
+
+pub mod params;
+pub mod rules;
+
+pub use params::{Constraint, Scope, TailorContext, TailorStore};
+pub use rules::{EventPattern, RuleAction, RuleEngine, TailorRule};

@@ -1,0 +1,111 @@
+//! Activity transparency (isolation).
+//!
+//! "Transparency of activity means that a set of objects cooperating in
+//! one activity needs neither be aware of the mechanisms for starting
+//! and coordinating activities, nor be aware of other unrelated objects
+//! or activities… This helps activities not to be disturbed by other
+//! unrelated activities" (§4).
+//!
+//! [`ActivityIsolation`] is the policy object the environment's event
+//! bus consults: with isolation on, a subscriber only sees events of
+//! activities they participate in; with it off they see everything —
+//! and the bus counts those deliveries as *disturbances*, the measurable
+//! effect the R5 bench reports.
+
+use std::collections::BTreeSet;
+
+use crate::activity::ActivityId;
+
+/// Whether an event should reach a subscriber, and how it counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// Delivered: the subscriber participates in the event's activity
+    /// (or the event is activity-less broadcast).
+    Relevant,
+    /// Delivered only because isolation is off; counts as disturbance.
+    Disturbance,
+    /// Not delivered (isolation on, unrelated activity).
+    Hidden,
+}
+
+/// The isolation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivityIsolation {
+    /// True when the transparency is engaged.
+    pub enabled: bool,
+}
+
+impl ActivityIsolation {
+    /// Engaged isolation.
+    pub fn on() -> Self {
+        ActivityIsolation { enabled: true }
+    }
+
+    /// Disengaged isolation.
+    pub fn off() -> Self {
+        ActivityIsolation { enabled: false }
+    }
+
+    /// Classifies one delivery: `event_activity` is the event's scope
+    /// (`None` = broadcast), `memberships` the subscriber's activities.
+    pub fn classify(
+        &self,
+        event_activity: Option<&ActivityId>,
+        memberships: &BTreeSet<ActivityId>,
+    ) -> Visibility {
+        match event_activity {
+            None => Visibility::Relevant,
+            Some(act) if memberships.contains(act) => Visibility::Relevant,
+            Some(_) if self.enabled => Visibility::Hidden,
+            Some(_) => Visibility::Disturbance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memberships(ids: &[&str]) -> BTreeSet<ActivityId> {
+        ids.iter().map(|&s| ActivityId::from(s)).collect()
+    }
+
+    #[test]
+    fn broadcasts_always_reach() {
+        for policy in [ActivityIsolation::on(), ActivityIsolation::off()] {
+            assert_eq!(
+                policy.classify(None, &memberships(&[])),
+                Visibility::Relevant
+            );
+        }
+    }
+
+    #[test]
+    fn members_always_see_their_activities() {
+        let act = ActivityId::from("report");
+        for policy in [ActivityIsolation::on(), ActivityIsolation::off()] {
+            assert_eq!(
+                policy.classify(Some(&act), &memberships(&["report", "meeting"])),
+                Visibility::Relevant
+            );
+        }
+    }
+
+    #[test]
+    fn isolation_hides_unrelated_activities() {
+        let act = ActivityId::from("tunnel-boring");
+        assert_eq!(
+            ActivityIsolation::on().classify(Some(&act), &memberships(&["report"])),
+            Visibility::Hidden
+        );
+    }
+
+    #[test]
+    fn without_isolation_unrelated_events_disturb() {
+        let act = ActivityId::from("tunnel-boring");
+        assert_eq!(
+            ActivityIsolation::off().classify(Some(&act), &memberships(&["report"])),
+            Visibility::Disturbance
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Organisation transparency.
+//!
+//! "Transparency of organisation means that activities need not deal
+//! with the complexity of the possibly different organisations
+//! involved… Sometimes, interaction is not possible due to incompatible
+//! policies" (§4). This module maps people to their management domains
+//! and answers a single question — may these two cooperate over this
+//! service? — hiding the contract/export/forbid machinery of
+//! [`odp::DomainRegistry`] behind it.
+
+use std::collections::BTreeMap;
+
+use cscw_directory::Dn;
+use odp::{DomainRegistry, InteractionVerdict};
+
+use crate::error::MoccaError;
+
+/// The organisation-transparency layer.
+#[derive(Debug, Default)]
+pub struct OrganisationTransparency {
+    registry: DomainRegistry,
+    domain_of_person: BTreeMap<Dn, String>,
+}
+
+impl OrganisationTransparency {
+    /// Creates an empty layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying domain registry (to define domains and contracts).
+    pub fn registry_mut(&mut self) -> &mut DomainRegistry {
+        &mut self.registry
+    }
+
+    /// Read access to the registry.
+    pub fn registry(&self) -> &DomainRegistry {
+        &self.registry
+    }
+
+    /// Assigns a person to a management domain.
+    pub fn assign(&mut self, person: Dn, domain: impl Into<String>) {
+        self.domain_of_person.insert(person, domain.into());
+    }
+
+    /// The domain a person belongs to.
+    pub fn domain_of(&self, person: &Dn) -> Option<&str> {
+        self.domain_of_person.get(person).map(String::as_str)
+    }
+
+    /// May `importer` use `service_type` provided by `exporter`?
+    ///
+    /// With the transparency engaged this is the *only* call an
+    /// application makes: all domain structure stays hidden and the
+    /// answer is yes, or a single "incompatible policies" error.
+    ///
+    /// # Errors
+    ///
+    /// * [`MoccaError::UnknownOrgObject`] — a person has no domain
+    ///   assignment.
+    /// * [`MoccaError::IncompatiblePolicies`] — the registries refuse
+    ///   the interaction, with the verdict folded into the message.
+    pub fn check_interaction(
+        &self,
+        importer: &Dn,
+        exporter: &Dn,
+        service_type: &str,
+    ) -> Result<(), MoccaError> {
+        let from = self
+            .domain_of(importer)
+            .ok_or_else(|| MoccaError::UnknownOrgObject(importer.to_string()))?;
+        let to = self
+            .domain_of(exporter)
+            .ok_or_else(|| MoccaError::UnknownOrgObject(exporter.to_string()))?;
+        match self.registry.interaction_allowed(from, to, service_type) {
+            v if v.is_allowed() => Ok(()),
+            InteractionVerdict::NoContract => Err(MoccaError::IncompatiblePolicies(format!(
+                "no federation contract between {from} and {to} for {service_type}"
+            ))),
+            InteractionVerdict::NotExported => Err(MoccaError::IncompatiblePolicies(format!(
+                "{to} does not export {service_type}"
+            ))),
+            InteractionVerdict::ImportForbidden => Err(MoccaError::IncompatiblePolicies(format!(
+                "{from} forbids importing {service_type}"
+            ))),
+            InteractionVerdict::UnknownDomain(d) => {
+                Err(MoccaError::UnknownOrgObject(format!("domain {d}")))
+            }
+            _ => unreachable!("allowed verdicts handled above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odp::{Domain, FederationContract};
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    fn layer() -> OrganisationTransparency {
+        let mut t = OrganisationTransparency::new();
+        let mut lancaster = Domain::new("lancaster");
+        lancaster.export_service("document-store");
+        let mut gmd = Domain::new("gmd");
+        gmd.export_service("coordination");
+        let upc = Domain::new("upc");
+        t.registry_mut().add_domain(lancaster);
+        t.registry_mut().add_domain(gmd);
+        t.registry_mut().add_domain(upc);
+        t.registry_mut().add_contract(FederationContract {
+            a: "lancaster".into(),
+            b: "gmd".into(),
+            service_types: vec!["document-store".into(), "coordination".into()],
+        });
+        t.assign(dn("cn=Tom"), "lancaster");
+        t.assign(dn("cn=Wolfgang"), "gmd");
+        t.assign(dn("cn=Leandro"), "upc");
+        t
+    }
+
+    #[test]
+    fn contracted_interaction_is_invisible_to_apps() {
+        let t = layer();
+        assert!(t
+            .check_interaction(&dn("cn=Wolfgang"), &dn("cn=Tom"), "document-store")
+            .is_ok());
+    }
+
+    #[test]
+    fn same_domain_is_always_fine() {
+        let mut t = layer();
+        t.assign(dn("cn=Gordon"), "lancaster");
+        assert!(t
+            .check_interaction(&dn("cn=Tom"), &dn("cn=Gordon"), "anything")
+            .is_ok());
+    }
+
+    #[test]
+    fn incompatible_policies_surface_one_error() {
+        let t = layer();
+        // UPC has no contract with anyone.
+        let err = t
+            .check_interaction(&dn("cn=Leandro"), &dn("cn=Tom"), "document-store")
+            .unwrap_err();
+        assert!(matches!(err, MoccaError::IncompatiblePolicies(_)));
+        // Lancaster does not export "coordination".
+        let err = t
+            .check_interaction(&dn("cn=Wolfgang"), &dn("cn=Tom"), "coordination")
+            .unwrap_err();
+        assert!(err.to_string().contains("does not export"));
+    }
+
+    #[test]
+    fn unassigned_people_are_reported() {
+        let t = layer();
+        let err = t
+            .check_interaction(&dn("cn=Ghost"), &dn("cn=Tom"), "document-store")
+            .unwrap_err();
+        assert!(matches!(err, MoccaError::UnknownOrgObject(_)));
+        assert_eq!(t.domain_of(&dn("cn=Tom")), Some("lancaster"));
+        assert_eq!(t.domain_of(&dn("cn=Ghost")), None);
+    }
+}

@@ -1,0 +1,231 @@
+//! Time transparency.
+//!
+//! "Transparency of time deals with the mode of work, synchronous or
+//! asynchronous. The result of applying this transparency is that
+//! interaction will be independent of the mode we are using" (§4).
+//!
+//! The [`TimeBridge`] connects a live [`SessionHub`] to the X.400
+//! substrate in both directions:
+//!
+//! * **catch-up** — an absent member receives the part of the session
+//!   log they missed as ordinary mail;
+//! * **post-in** — a mailed contribution is injected into the live
+//!   session as an utterance.
+//!
+//! Together these make the same-time and different-time quadrants of
+//! the paper's Figure 1 reachable from one another.
+
+use cscw_directory::Dn;
+use cscw_messaging::{Ipm, OrAddress, SubmitOptions, UserAgent};
+use simnet::{NodeId, Payload, Sim};
+
+use crate::comm::channel::{SessionHub, SessionPdu};
+use crate::error::MoccaError;
+
+/// Bridges one session hub and the messaging substrate.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeBridge {
+    /// The hub being bridged.
+    pub hub: NodeId,
+    /// The node the bridge speaks from (any node with links to the hub
+    /// and the MTA).
+    pub bridge_node: NodeId,
+}
+
+impl TimeBridge {
+    /// Creates a bridge.
+    pub fn new(hub: NodeId, bridge_node: NodeId) -> Self {
+        TimeBridge { hub, bridge_node }
+    }
+
+    /// Mails every utterance with `seq >= since_seq` to an absent
+    /// member, one message per utterance (preserving order via the MTS
+    /// FIFO), sent by `bridge_agent`. Returns how many were sent.
+    ///
+    /// # Errors
+    ///
+    /// [`MoccaError::UnknownApplication`] when the hub node does not
+    /// host a [`SessionHub`].
+    pub fn catch_up(
+        &self,
+        sim: &mut Sim,
+        bridge_agent: &mut UserAgent,
+        absent_member: &OrAddress,
+        since_seq: u64,
+    ) -> Result<usize, MoccaError> {
+        let log: Vec<(u64, Dn, String)> = sim
+            .node::<SessionHub>(self.hub)
+            .ok_or_else(|| {
+                MoccaError::UnknownApplication(format!("no session hub at {}", self.hub))
+            })?
+            .log()
+            .iter()
+            .filter(|u| u.seq >= since_seq)
+            .map(|u| (u.seq, u.from.clone(), u.content.clone()))
+            .collect();
+        let count = log.len();
+        for (seq, from, content) in log {
+            let ipm = Ipm::text(
+                bridge_agent.address().clone(),
+                absent_member.clone(),
+                &format!("[session catch-up #{seq}] {from}"),
+                &content,
+            );
+            bridge_agent.submit(sim, ipm, SubmitOptions::default());
+        }
+        sim.run_until_idle();
+        Ok(count)
+    }
+
+    /// Injects a mailed contribution into the live session as an
+    /// utterance from `author`.
+    pub fn post_in(&self, sim: &mut Sim, author: Dn, content: &str) {
+        sim.send_from(
+            self.bridge_node,
+            self.hub,
+            Payload::new(SessionPdu::Utter {
+                from: author,
+                content: content.to_owned(),
+            }),
+            32 + content.len() as u64,
+        );
+        sim.run_until_idle();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::channel::{SessionHandle, SessionMember};
+    use cscw_messaging::MtaNode;
+    use simnet::{LinkSpec, TopologyBuilder};
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    /// A live session (hub + one member) plus an MTA world with one
+    /// absent user reachable only by mail.
+    struct World {
+        sim: Sim,
+        hub: NodeId,
+        live: SessionHandle,
+        bridge: TimeBridge,
+        bridge_agent: UserAgent,
+        absent: UserAgent,
+    }
+
+    fn world() -> World {
+        let mut b = TopologyBuilder::new();
+        let hub = b.add_node("hub");
+        let live_ws = b.add_node("live-ws");
+        let bridge_node = b.add_node("bridge");
+        let mta = b.add_node("mta");
+        let absent_ws = b.add_node("absent-ws");
+        b.full_mesh(LinkSpec::lan());
+        let mut sim = Sim::new(b.build(), 21);
+
+        sim.register(hub, SessionHub::new());
+        sim.register(live_ws, SessionMember::new());
+
+        let absent_addr: OrAddress = "C=UK;O=Lancaster;PN=Absent".parse().unwrap();
+        let bridge_addr: OrAddress = "C=UK;O=Lancaster;PN=Session Bridge".parse().unwrap();
+        let mut mta_node = MtaNode::new("mta");
+        mta_node.register_mailbox(absent_addr.clone());
+        mta_node.register_mailbox(bridge_addr.clone());
+        sim.register(mta, mta_node);
+
+        World {
+            sim,
+            hub,
+            live: SessionHandle {
+                hub,
+                member_node: live_ws,
+                who: dn("cn=Live"),
+            },
+            bridge: TimeBridge::new(hub, bridge_node),
+            bridge_agent: UserAgent::new(bridge_addr, bridge_node, mta),
+            absent: UserAgent::new(absent_addr, absent_ws, mta),
+        }
+    }
+
+    #[test]
+    fn absent_member_catches_up_by_mail() {
+        let mut w = world();
+        w.live.join(&mut w.sim);
+        w.live.utter(&mut w.sim, "point one");
+        w.live.utter(&mut w.sim, "point two");
+        w.sim.run_until_idle();
+
+        let sent = w
+            .bridge
+            .catch_up(
+                &mut w.sim,
+                &mut w.bridge_agent,
+                &w.absent.address().clone(),
+                0,
+            )
+            .unwrap();
+        assert_eq!(sent, 2);
+        let inbox = w.absent.inbox(&w.sim).unwrap();
+        assert_eq!(inbox.len(), 2);
+        assert!(inbox[0].ipm.heading.subject.contains("catch-up #0"));
+        assert!(inbox[1].ipm.heading.subject.contains("catch-up #1"));
+    }
+
+    #[test]
+    fn catch_up_since_skips_seen_part() {
+        let mut w = world();
+        w.live.join(&mut w.sim);
+        w.live.utter(&mut w.sim, "old");
+        w.live.utter(&mut w.sim, "new");
+        w.sim.run_until_idle();
+        let sent = w
+            .bridge
+            .catch_up(
+                &mut w.sim,
+                &mut w.bridge_agent,
+                &w.absent.address().clone(),
+                1,
+            )
+            .unwrap();
+        assert_eq!(sent, 1);
+        let inbox = w.absent.inbox(&w.sim).unwrap();
+        assert_eq!(inbox.len(), 1);
+    }
+
+    #[test]
+    fn mailed_contribution_reaches_the_live_session() {
+        let mut w = world();
+        w.live.join(&mut w.sim);
+        // The absent member "replies by mail"; the bridge posts it in.
+        w.bridge
+            .post_in(&mut w.sim, dn("cn=Absent"), "my async comment");
+        let log = w.sim.node::<SessionHub>(w.hub).unwrap().log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].from, dn("cn=Absent"));
+        // And the live member heard it in real time.
+        let got = w
+            .sim
+            .node::<SessionMember>(w.live.member_node)
+            .unwrap()
+            .received();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].content, "my async comment");
+    }
+
+    #[test]
+    fn missing_hub_is_an_error() {
+        let mut w = world();
+        let bogus = TimeBridge::new(w.live.member_node, w.bridge.bridge_node);
+        let err = bogus
+            .catch_up(
+                &mut w.sim,
+                &mut w.bridge_agent,
+                &w.absent.address().clone(),
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MoccaError::UnknownApplication(_)));
+    }
+}

@@ -1,0 +1,226 @@
+//! Property tests for the MOCCA core invariants: access-control
+//! monotonicity, activity-schedule validity, dependency acyclicity,
+//! negotiation safety, and tailoring resolution.
+
+use cscw_directory::Dn;
+use mocca::activity::{Activity, ActivityId, DependencyKind, InterActivityModel};
+use mocca::info::{AccessControl, AccessRight, InfoObjectId};
+use mocca::org::{OrgRule, OrganisationalModel, Person, RelationKind, Role, RuleKind};
+use mocca::tailor::{Constraint, Scope, TailorContext, TailorStore};
+use proptest::prelude::*;
+
+fn dn(s: &str) -> Dn {
+    s.parse().expect("test DNs are valid")
+}
+
+/// People p0..p3, roles r0..r3, with arbitrary occupancy.
+fn org_with(occupancy: &[(usize, usize)]) -> OrganisationalModel {
+    let mut m = OrganisationalModel::new();
+    for i in 0..4 {
+        m.add_person(Person::new(dn(&format!("cn=p{i}")), format!("p{i}")));
+        m.add_role(Role::new(dn(&format!("cn=r{i}")), format!("r{i}")));
+    }
+    for &(p, r) in occupancy {
+        m.relate(
+            &dn(&format!("cn=p{}", p % 4)),
+            RelationKind::Occupies,
+            &dn(&format!("cn=r{}", r % 4)),
+        )
+        .unwrap();
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Access monotonicity: removing a role occupancy never grants an
+    /// access that was previously denied.
+    #[test]
+    fn access_is_monotone_in_roles(
+        occupancy in prop::collection::vec((0usize..4, 0usize..4), 0..8),
+        grants in prop::collection::vec((0usize..4, 0usize..3), 0..8),
+        drop_index in 0usize..8,
+    ) {
+        let rights = [AccessRight::Read, AccessRight::Write, AccessRight::Share];
+        let object: InfoObjectId = "doc".into();
+        let mut ac = AccessControl::new();
+        for &(r, right) in &grants {
+            ac.grant(&object, dn(&format!("cn=r{r}")), rights[right]);
+        }
+        let full = org_with(&occupancy);
+        let reduced_occupancy: Vec<(usize, usize)> = occupancy
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop_index % 8)
+            .map(|(_, &x)| x)
+            .collect();
+        let reduced = org_with(&reduced_occupancy);
+        for p in 0..4 {
+            let person = dn(&format!("cn=p{p}"));
+            for right in rights {
+                let before = ac.check(&full, &person, right, &object);
+                let after = ac.check(&reduced, &person, right, &object);
+                prop_assert!(
+                    !after || before,
+                    "dropping a role occupancy granted {right:?} to p{p}"
+                );
+            }
+        }
+    }
+
+    /// Whatever forbid/permit rules exist, a Forbid matching the
+    /// action always wins over any Permit.
+    #[test]
+    fn forbid_always_wins(
+        permits in prop::collection::vec(0usize..4, 1..5),
+        forbid_role in 0usize..4,
+        occupancy in prop::collection::vec((0usize..4, 0usize..4), 1..8),
+    ) {
+        let mut m = org_with(&occupancy);
+        for &r in &permits {
+            m.add_rule(OrgRule::new(dn(&format!("cn=r{r}")), RuleKind::Permit, "act", "*"));
+        }
+        m.add_rule(OrgRule::new(dn(&format!("cn=r{forbid_role}")), RuleKind::Forbid, "act", "*"));
+        for p in 0..4 {
+            let person = dn(&format!("cn=p{p}"));
+            let roles = m.roles_of(&person);
+            if roles.contains(&dn(&format!("cn=r{forbid_role}"))) {
+                prop_assert!(!m.authorise(&person, "act", "x").is_permitted());
+            }
+        }
+    }
+}
+
+/// A random batch of Before-dependency attempts over N activities.
+#[derive(Debug, Clone)]
+struct DepAttempt {
+    from: usize,
+    to: usize,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// However many Before edges we try to add, accepted edges never
+    /// form a cycle, and the schedule order is always a valid topological
+    /// order containing every activity exactly once.
+    #[test]
+    fn schedule_is_always_a_valid_topological_order(
+        n in 2usize..8,
+        attempts in prop::collection::vec((0usize..8, 0usize..8), 0..40),
+    ) {
+        let mut model = InterActivityModel::new();
+        let ids: Vec<ActivityId> =
+            (0..n).map(|i| ActivityId::from(format!("a{i}").as_str())).collect();
+        for id in &ids {
+            model.register(Activity::new(id.clone(), id.as_str())).unwrap();
+        }
+        let mut accepted: Vec<DepAttempt> = Vec::new();
+        for (f, t) in attempts {
+            let (from, to) = (f % n, t % n);
+            if model
+                .add_dependency(&ids[from], DependencyKind::Before, &ids[to])
+                .is_ok()
+            {
+                accepted.push(DepAttempt { from, to });
+            }
+        }
+        let order = model.schedule_order();
+        prop_assert_eq!(order.len(), n, "every activity scheduled exactly once");
+        let pos = |id: &ActivityId| order.iter().position(|x| x == id).unwrap();
+        for dep in &accepted {
+            prop_assert!(
+                pos(&ids[dep.from]) < pos(&ids[dep.to]),
+                "edge a{} -> a{} violated by schedule",
+                dep.from,
+                dep.to
+            );
+        }
+    }
+
+    /// Negotiations never accept out of turn, never mutate after close,
+    /// and the accepted assignee is always the last proposal made.
+    #[test]
+    fn negotiation_safety(moves in prop::collection::vec(0u8..4, 0..12)) {
+        use mocca::activity::{Negotiation, NegotiationState, NegotiationSubject};
+        let tom = dn("cn=Tom");
+        let wolfgang = dn("cn=Wolfgang");
+        let mut n = Negotiation::propose(
+            NegotiationSubject::Responsibility("a".into()),
+            tom.clone(),
+            wolfgang.clone(),
+            dn("cn=Candidate0"),
+        );
+        let mut last_proposal = dn("cn=Candidate0");
+        let mut counter_count = 0u32;
+        for (i, m) in moves.iter().enumerate() {
+            let closed = matches!(n.state(), NegotiationState::Accepted | NegotiationState::Rejected);
+            let actor = match n.awaiting() {
+                Some(who) => who.clone(),
+                None => tom.clone(), // any move must fail now
+            };
+            match m {
+                0 => {
+                    let candidate = dn(&format!("cn=Candidate{i}"));
+                    if n.counter(&actor, candidate.clone()).is_ok() {
+                        prop_assert!(!closed, "counter succeeded on closed negotiation");
+                        last_proposal = candidate;
+                        counter_count += 1;
+                    }
+                }
+                1 => {
+                    if let Ok(assignee) = n.accept(&actor) {
+                        prop_assert!(!closed);
+                        prop_assert_eq!(assignee, &last_proposal);
+                    }
+                }
+                2 => {
+                    if n.reject(&actor).is_ok() {
+                        prop_assert!(!closed);
+                    }
+                }
+                _ => {
+                    // A third party can never move.
+                    let outsider = dn("cn=Outsider");
+                    prop_assert!(n.counter(&outsider, dn("cn=X")).is_err());
+                }
+            }
+        }
+        // History is bounded by moves made plus the opening proposal.
+        prop_assert!(n.history().len() as u32 <= 2 + counter_count + moves.len() as u32);
+    }
+
+    /// Tailoring always resolves to a value satisfying the constraint,
+    /// whatever the override pattern.
+    #[test]
+    fn tailoring_resolution_respects_constraints(
+        overrides in prop::collection::vec((0u8..4, -20i64..40), 0..12),
+        user_groups in prop::collection::vec("[a-c]", 0..3),
+    ) {
+        let mut store = TailorStore::new();
+        store.declare("limit", Constraint::IntRange(0, 20), odp::Value::Int(5)).unwrap();
+        for (scope_kind, value) in overrides {
+            let scope = match scope_kind {
+                0 => Scope::System,
+                1 => Scope::Organisation("org".into()),
+                2 => Scope::Group("a".into()),
+                _ => Scope::User("tom".into()),
+            };
+            // Out-of-range sets must fail; in-range must succeed.
+            let result = store.set("limit", scope, odp::Value::Int(value));
+            prop_assert_eq!(result.is_ok(), (0..=20).contains(&value));
+        }
+        let ctx = TailorContext {
+            user: "tom".into(),
+            groups: user_groups,
+            organisation: Some("org".into()),
+        };
+        let effective = store.effective("limit", &ctx).unwrap();
+        let v = match effective {
+            odp::Value::Int(i) => i,
+            other => return Err(TestCaseError::fail(format!("non-int {other}"))),
+        };
+        prop_assert!((0..=20).contains(&v), "effective value {v} violates constraint");
+    }
+}

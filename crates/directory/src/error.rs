@@ -1,0 +1,102 @@
+//! Directory error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::name::Dn;
+
+/// Errors returned by directory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// A DN or RDN failed to parse or was structurally invalid.
+    InvalidName(String),
+    /// The target entry does not exist.
+    NoSuchEntry(Dn),
+    /// An entry already exists at the target name.
+    EntryExists(Dn),
+    /// The immediate parent of the target name does not exist.
+    NoParent(Dn),
+    /// The entry has children and cannot be removed or renamed.
+    NotLeaf(Dn),
+    /// The entry violates its object-class schema.
+    SchemaViolation {
+        /// The offending entry.
+        dn: Dn,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A search filter string failed to parse.
+    InvalidFilter(String),
+    /// A search hit its size limit before completing.
+    SizeLimitExceeded {
+        /// How many entries were returned before the limit.
+        returned: usize,
+    },
+    /// No DSA holds a naming context for the target name.
+    NoSuchContext(Dn),
+    /// A distributed operation received no response (node down or
+    /// partitioned).
+    Unavailable(String),
+    /// The operation must be performed at the master DSA for the context.
+    NotMaster(Dn),
+}
+
+impl fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectoryError::InvalidName(s) => write!(f, "invalid name: {s}"),
+            DirectoryError::NoSuchEntry(dn) => write!(f, "no such entry: {dn}"),
+            DirectoryError::EntryExists(dn) => write!(f, "entry already exists: {dn}"),
+            DirectoryError::NoParent(dn) => write!(f, "parent entry missing for: {dn}"),
+            DirectoryError::NotLeaf(dn) => write!(f, "entry has children: {dn}"),
+            DirectoryError::SchemaViolation { dn, reason } => {
+                write!(f, "schema violation at {dn}: {reason}")
+            }
+            DirectoryError::InvalidFilter(s) => write!(f, "invalid filter: {s}"),
+            DirectoryError::SizeLimitExceeded { returned } => {
+                write!(f, "size limit exceeded after {returned} entries")
+            }
+            DirectoryError::NoSuchContext(dn) => write!(f, "no naming context covers: {dn}"),
+            DirectoryError::Unavailable(s) => write!(f, "directory unavailable: {s}"),
+            DirectoryError::NotMaster(dn) => write!(f, "not master for context: {dn}"),
+        }
+    }
+}
+
+impl Error for DirectoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let dn: Dn = "c=UK".parse().unwrap();
+        for e in [
+            DirectoryError::InvalidName("x".into()),
+            DirectoryError::NoSuchEntry(dn.clone()),
+            DirectoryError::EntryExists(dn.clone()),
+            DirectoryError::NoParent(dn.clone()),
+            DirectoryError::NotLeaf(dn.clone()),
+            DirectoryError::SchemaViolation {
+                dn: dn.clone(),
+                reason: "missing cn".into(),
+            },
+            DirectoryError::InvalidFilter("(".into()),
+            DirectoryError::SizeLimitExceeded { returned: 3 },
+            DirectoryError::NoSuchContext(dn.clone()),
+            DirectoryError::Unavailable("partitioned".into()),
+            DirectoryError::NotMaster(dn),
+        ] {
+            let s = e.to_string();
+            assert!(!s.ends_with('.'), "{s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DirectoryError>();
+    }
+}

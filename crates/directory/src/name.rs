@@ -1,0 +1,265 @@
+//! Distinguished names.
+//!
+//! An X.500 distinguished name (DN) is a path from the root of the
+//! Directory Information Tree to an entry, written here in the familiar
+//! left-to-right *leaf-last* string form used throughout the paper's era:
+//! `c=UK, o=Lancaster University, ou=Computing, cn=Tom Rodden`.
+//!
+//! Internally a [`Dn`] stores its RDNs **root-first**, so prefix
+//! relationships (`is_ancestor_of`) are simple slice prefixes.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::AttributeType;
+use crate::error::DirectoryError;
+
+/// A relative distinguished name: one `attribute=value` naming step.
+///
+/// Attribute types compare case-insensitively (they are normalised to
+/// lowercase on construction); values compare exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rdn {
+    attr: AttributeType,
+    value: String,
+}
+
+impl Rdn {
+    /// Creates an RDN from an attribute type and value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirectoryError::InvalidName`] if the value is empty or
+    /// contains the reserved characters `,` or `=`.
+    pub fn new(
+        attr: impl Into<AttributeType>,
+        value: impl Into<String>,
+    ) -> Result<Self, DirectoryError> {
+        let value = value.into();
+        if value.is_empty() || value.contains(',') || value.contains('=') {
+            return Err(DirectoryError::InvalidName(format!(
+                "bad RDN value {value:?}"
+            )));
+        }
+        Ok(Rdn {
+            attr: attr.into(),
+            value,
+        })
+    }
+
+    /// The attribute type (e.g. `cn`).
+    pub fn attr(&self) -> &AttributeType {
+        &self.attr
+    }
+
+    /// The attribute value (e.g. `Tom Rodden`).
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+}
+
+impl fmt::Display for Rdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.attr, self.value)
+    }
+}
+
+impl FromStr for Rdn {
+    type Err = DirectoryError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (attr, value) = s
+            .split_once('=')
+            .ok_or_else(|| DirectoryError::InvalidName(format!("missing '=' in RDN {s:?}")))?;
+        let attr = attr.trim();
+        let value = value.trim();
+        if attr.is_empty() {
+            return Err(DirectoryError::InvalidName(format!(
+                "empty attribute in RDN {s:?}"
+            )));
+        }
+        Rdn::new(attr, value)
+    }
+}
+
+/// A distinguished name: the full path of an entry, root-first.
+///
+/// # Examples
+///
+/// ```
+/// use cscw_directory::Dn;
+///
+/// let dn: Dn = "c=UK, o=Lancaster, ou=Computing, cn=Tom Rodden".parse()?;
+/// assert_eq!(dn.depth(), 4);
+/// assert_eq!(dn.rdn().unwrap().value(), "Tom Rodden");
+/// let parent = dn.parent().unwrap();
+/// assert!(parent.is_ancestor_of(&dn));
+/// assert_eq!(parent.to_string(), "c=UK,o=Lancaster,ou=Computing");
+/// # Ok::<(), cscw_directory::DirectoryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Dn {
+    rdns: Vec<Rdn>,
+}
+
+impl Dn {
+    /// The root of the DIT (the empty name).
+    pub fn root() -> Self {
+        Dn { rdns: Vec::new() }
+    }
+
+    /// Builds a DN from root-first RDNs.
+    pub fn from_rdns(rdns: Vec<Rdn>) -> Self {
+        Dn { rdns }
+    }
+
+    /// True for the DIT root.
+    pub fn is_root(&self) -> bool {
+        self.rdns.is_empty()
+    }
+
+    /// Number of RDNs.
+    pub fn depth(&self) -> usize {
+        self.rdns.len()
+    }
+
+    /// The final (leaf) RDN, or `None` for the root.
+    pub fn rdn(&self) -> Option<&Rdn> {
+        self.rdns.last()
+    }
+
+    /// The RDNs, root-first.
+    pub fn rdns(&self) -> &[Rdn] {
+        &self.rdns
+    }
+
+    /// The name one level up, or `None` for the root.
+    pub fn parent(&self) -> Option<Dn> {
+        if self.rdns.is_empty() {
+            None
+        } else {
+            Some(Dn {
+                rdns: self.rdns[..self.rdns.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Returns `self` extended by one RDN.
+    pub fn child(&self, rdn: Rdn) -> Dn {
+        let mut rdns = self.rdns.clone();
+        rdns.push(rdn);
+        Dn { rdns }
+    }
+
+    /// True when `self` is a strict ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &Dn) -> bool {
+        self.rdns.len() < other.rdns.len() && other.rdns[..self.rdns.len()] == self.rdns[..]
+    }
+
+    /// True when `self` is `other` or an ancestor of it.
+    pub fn is_prefix_of(&self, other: &Dn) -> bool {
+        self.rdns.len() <= other.rdns.len() && other.rdns[..self.rdns.len()] == self.rdns[..]
+    }
+}
+
+impl fmt::Display for Dn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rdns.is_empty() {
+            return f.write_str("<root>");
+        }
+        for (i, rdn) in self.rdns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{rdn}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Dn {
+    type Err = DirectoryError;
+
+    /// Parses `attr=value, attr=value, …` (root-first). The empty string
+    /// and `"<root>"` parse to the root.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "<root>" {
+            return Ok(Dn::root());
+        }
+        let rdns = s
+            .split(',')
+            .map(|part| part.parse::<Rdn>())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Dn { rdns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s = "c=UK,o=Lancaster,ou=Computing,cn=Tom Rodden";
+        let dn: Dn = s.parse().unwrap();
+        assert_eq!(dn.to_string(), s);
+        assert_eq!(dn.depth(), 4);
+    }
+
+    #[test]
+    fn parse_tolerates_spaces_and_normalises_attr_case() {
+        let dn: Dn = " C=UK , O=Lancaster ".parse().unwrap();
+        assert_eq!(dn.to_string(), "c=UK,o=Lancaster");
+    }
+
+    #[test]
+    fn root_parses_and_displays() {
+        assert!(Dn::from_str("").unwrap().is_root());
+        assert!(Dn::from_str("<root>").unwrap().is_root());
+        assert_eq!(Dn::root().to_string(), "<root>");
+        assert_eq!(Dn::root().parent(), None);
+        assert_eq!(Dn::root().rdn(), None);
+    }
+
+    #[test]
+    fn ancestor_relationships() {
+        let uk: Dn = "c=UK".parse().unwrap();
+        let lanc: Dn = "c=UK,o=Lancaster".parse().unwrap();
+        let other: Dn = "c=DE,o=GMD".parse().unwrap();
+        assert!(uk.is_ancestor_of(&lanc));
+        assert!(!lanc.is_ancestor_of(&uk));
+        assert!(!uk.is_ancestor_of(&uk));
+        assert!(uk.is_prefix_of(&uk));
+        assert!(Dn::root().is_ancestor_of(&uk));
+        assert!(!uk.is_ancestor_of(&other));
+    }
+
+    #[test]
+    fn child_extends_parent() {
+        let base: Dn = "c=ES".parse().unwrap();
+        let child = base.child(Rdn::new("o", "UPC").unwrap());
+        assert_eq!(child.to_string(), "c=ES,o=UPC");
+        assert_eq!(child.parent(), Some(base));
+    }
+
+    #[test]
+    fn invalid_rdns_are_rejected() {
+        assert!("noequals".parse::<Dn>().is_err());
+        assert!("=value".parse::<Dn>().is_err());
+        assert!("cn=".parse::<Dn>().is_err());
+        assert!(Rdn::new("cn", "a,b").is_err());
+        assert!(Rdn::new("cn", "a=b").is_err());
+    }
+
+    #[test]
+    fn rdn_attr_compare_is_case_insensitive() {
+        let a: Rdn = "CN=Tom".parse().unwrap();
+        let b: Rdn = "cn=Tom".parse().unwrap();
+        assert_eq!(a, b);
+        let c: Rdn = "cn=tom".parse().unwrap();
+        assert_ne!(a, c, "values are case-sensitive");
+    }
+}

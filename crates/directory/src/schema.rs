@@ -1,0 +1,297 @@
+//! Object-class schema.
+//!
+//! A small structural schema in the X.501 spirit: each object class names
+//! its mandatory and optional attributes; an entry must carry at least
+//! one known class and every mandatory attribute of each of its classes.
+//!
+//! The built-in schema ([`Schema::standard`]) covers the classic X.521
+//! classes the paper's knowledge base needs (country, organization,
+//! organizationalUnit, person, organizationalRole, groupOfNames,
+//! applicationEntity) plus the CSCW extensions MOCCA introduces
+//! (cscwActivity, cscwResource, informationObject).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::AttributeType;
+use crate::entry::{Entry, OBJECT_CLASS};
+use crate::error::DirectoryError;
+
+/// One object-class definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectClass {
+    name: String,
+    mandatory: Vec<AttributeType>,
+    optional: Vec<AttributeType>,
+}
+
+impl ObjectClass {
+    /// Defines a class. Names are normalised to lowercase.
+    pub fn new(
+        name: &str,
+        mandatory: impl IntoIterator<Item = &'static str>,
+        optional: impl IntoIterator<Item = &'static str>,
+    ) -> Self {
+        ObjectClass {
+            name: name.to_ascii_lowercase(),
+            mandatory: mandatory.into_iter().map(AttributeType::new).collect(),
+            optional: optional.into_iter().map(AttributeType::new).collect(),
+        }
+    }
+
+    /// The (lowercase) class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mandatory attribute types.
+    pub fn mandatory(&self) -> &[AttributeType] {
+        &self.mandatory
+    }
+
+    /// Optional attribute types.
+    pub fn optional(&self) -> &[AttributeType] {
+        &self.optional
+    }
+
+    /// True when the attribute is allowed (mandatory or optional).
+    pub fn allows(&self, ty: &AttributeType) -> bool {
+        self.mandatory.contains(ty) || self.optional.contains(ty)
+    }
+}
+
+/// A set of object classes against which entries validate.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    classes: BTreeMap<String, ObjectClass>,
+    /// When false, attributes outside the union of the entry's classes
+    /// are tolerated (open-schema mode, the default: CSCW applications
+    /// attach app-specific attributes freely, per the paper's
+    /// tailorability requirement).
+    strict_attributes: bool,
+}
+
+impl Schema {
+    /// An empty schema that accepts any entry with at least one class.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard schema: X.521 core classes plus CSCW extensions.
+    pub fn standard() -> Self {
+        let mut schema = Schema::new();
+        for class in [
+            ObjectClass::new("country", ["c"], ["description"]),
+            ObjectClass::new(
+                "organization",
+                ["o"],
+                ["description", "telephonenumber", "postaladdress"],
+            ),
+            ObjectClass::new(
+                "organizationalunit",
+                ["ou"],
+                ["description", "telephonenumber"],
+            ),
+            ObjectClass::new(
+                "person",
+                ["cn", "sn"],
+                [
+                    "telephonenumber",
+                    "mail",
+                    "title",
+                    "description",
+                    "userpassword",
+                ],
+            ),
+            ObjectClass::new(
+                "organizationalrole",
+                ["cn"],
+                ["roleoccupant", "description", "telephonenumber"],
+            ),
+            ObjectClass::new("groupofnames", ["cn", "member"], ["description", "owner"]),
+            ObjectClass::new(
+                "applicationentity",
+                ["cn", "presentationaddress"],
+                ["description", "supportedapplicationcontext"],
+            ),
+            // CSCW extensions (MOCCA knowledge base).
+            ObjectClass::new(
+                "cscwactivity",
+                ["cn", "activitystate"],
+                ["description", "member", "deadline", "dependson", "owner"],
+            ),
+            ObjectClass::new(
+                "cscwresource",
+                ["cn", "resourcetype"],
+                ["description", "owner", "location"],
+            ),
+            ObjectClass::new(
+                "informationobject",
+                ["cn", "contenttype"],
+                ["description", "owner", "partof", "version"],
+            ),
+        ] {
+            schema.define(class);
+        }
+        schema
+    }
+
+    /// Adds or replaces a class definition.
+    pub fn define(&mut self, class: ObjectClass) {
+        self.classes.insert(class.name.clone(), class);
+    }
+
+    /// Looks up a class by (case-insensitive) name.
+    pub fn class(&self, name: &str) -> Option<&ObjectClass> {
+        self.classes.get(&name.to_ascii_lowercase())
+    }
+
+    /// Number of defined classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Enables rejection of attributes not allowed by any of the entry's
+    /// classes.
+    pub fn set_strict_attributes(&mut self, strict: bool) {
+        self.strict_attributes = strict;
+    }
+
+    /// Validates an entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirectoryError::SchemaViolation`] when the entry has no
+    /// object class, names an unknown class, misses a mandatory attribute,
+    /// or (in strict mode) carries a disallowed attribute.
+    pub fn validate(&self, entry: &Entry) -> Result<(), DirectoryError> {
+        let violation = |reason: String| DirectoryError::SchemaViolation {
+            dn: entry.dn().clone(),
+            reason,
+        };
+        let classes = entry.classes();
+        if classes.is_empty() {
+            return Err(violation("entry has no object class".into()));
+        }
+        let mut defs = Vec::with_capacity(classes.len());
+        for name in &classes {
+            match self.class(name) {
+                Some(def) => defs.push(def),
+                None => return Err(violation(format!("unknown object class {name:?}"))),
+            }
+        }
+        for def in &defs {
+            for ty in def.mandatory() {
+                if entry.attr(ty.clone()).is_none() {
+                    return Err(violation(format!(
+                        "missing mandatory attribute {ty} for class {}",
+                        def.name()
+                    )));
+                }
+            }
+        }
+        if self.strict_attributes {
+            let object_class_ty = AttributeType::new(OBJECT_CLASS);
+            for attr in entry.attrs() {
+                let ty = attr.ty();
+                if *ty == object_class_ty {
+                    continue;
+                }
+                if !defs.iter().any(|def| def.allows(ty)) {
+                    return Err(violation(format!(
+                        "attribute {ty} not allowed by any class"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+
+    fn person_entry() -> Entry {
+        Entry::new("c=UK,cn=Tom".parse().unwrap())
+            .with_class("person")
+            .with_attr(Attribute::single("cn", "Tom"))
+            .with_attr(Attribute::single("sn", "Rodden"))
+    }
+
+    #[test]
+    fn standard_schema_validates_well_formed_person() {
+        let schema = Schema::standard();
+        assert!(schema.validate(&person_entry()).is_ok());
+    }
+
+    #[test]
+    fn missing_mandatory_attribute_is_rejected() {
+        let schema = Schema::standard();
+        let e = Entry::new("cn=Tom".parse().unwrap())
+            .with_class("person")
+            .with_attr(Attribute::single("cn", "Tom"));
+        let err = schema.validate(&e).unwrap_err();
+        assert!(matches!(err, DirectoryError::SchemaViolation { .. }));
+        assert!(err.to_string().contains("sn"));
+    }
+
+    #[test]
+    fn entry_without_class_is_rejected() {
+        let schema = Schema::standard();
+        let e = Entry::new("cn=Tom".parse().unwrap()).with_attr(Attribute::single("cn", "Tom"));
+        assert!(schema.validate(&e).is_err());
+    }
+
+    #[test]
+    fn unknown_class_is_rejected() {
+        let schema = Schema::standard();
+        let e = person_entry().with_class("martian");
+        let err = schema.validate(&e).unwrap_err();
+        assert!(err.to_string().contains("martian"));
+    }
+
+    #[test]
+    fn open_schema_tolerates_extra_attributes() {
+        let schema = Schema::standard();
+        let e = person_entry().with_attr(Attribute::single("favouriteeditor", "vi"));
+        assert!(schema.validate(&e).is_ok());
+    }
+
+    #[test]
+    fn strict_schema_rejects_extra_attributes() {
+        let mut schema = Schema::standard();
+        schema.set_strict_attributes(true);
+        assert!(schema.validate(&person_entry()).is_ok());
+        let e = person_entry().with_attr(Attribute::single("favouriteeditor", "vi"));
+        let err = schema.validate(&e).unwrap_err();
+        assert!(err.to_string().contains("favouriteeditor"));
+    }
+
+    #[test]
+    fn multiple_classes_union_their_requirements() {
+        let schema = Schema::standard();
+        // person + organizationalrole requires cn, sn (person) and cn (role).
+        let e = person_entry().with_class("organizationalrole");
+        assert!(schema.validate(&e).is_ok());
+        let e2 = Entry::new("cn=Chair".parse().unwrap())
+            .with_class("organizationalrole")
+            .with_class("person")
+            .with_attr(Attribute::single("cn", "Chair"));
+        assert!(schema.validate(&e2).is_err(), "missing sn from person");
+    }
+
+    #[test]
+    fn cscw_extension_classes_exist() {
+        let schema = Schema::standard();
+        for name in ["cscwactivity", "cscwresource", "informationobject"] {
+            assert!(schema.class(name).is_some(), "{name} missing");
+        }
+        assert!(
+            schema.class("CSCWActivity").is_some(),
+            "lookup is case-insensitive"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! The heterogeneous application population and the Figure 2 / Figure 3
+//! machinery.
+//!
+//! Each cited system gets a *native vocabulary* for the same underlying
+//! document concept. [`mapping_for`] gives the app's single mapping to
+//! the common model (what Figure 3's environment needs);
+//! [`direct_adapter`] composes two such mappings into the hand-written
+//! pairwise adapter Figure 2's closed world would require. The
+//! F2/F3 experiment builds both worlds from the same population and
+//! measures adapters needed, exchange success, and conversion cost.
+
+use mocca::env::{AppDescriptor, AppId, FormatMapping, NativeArtifact, Quadrant};
+
+/// The five application vocabularies of the reproduction's population,
+/// mirroring the systems the paper cites in §2.
+pub const APP_POPULATION: [&str; 5] = ["sharedx", "colab", "com", "domino", "lens"];
+
+/// The descriptor for one of the population apps.
+///
+/// # Panics
+///
+/// Panics on names outside [`APP_POPULATION`] — the population is a
+/// fixed experimental fixture.
+pub fn descriptor_for(app: &str) -> AppDescriptor {
+    let (name, quadrant) = match app {
+        "sharedx" => (
+            "Shared X desktop conferencing",
+            Quadrant::DESKTOP_CONFERENCE,
+        ),
+        "colab" => ("COLAB meeting room", Quadrant::MEETING_ROOM),
+        "com" => ("COM computer conferencing", Quadrant::CORRESPONDENCE),
+        "domino" => ("DOMINO procedure system", Quadrant::SHARED_FACILITY),
+        "lens" => ("Object Lens mail", Quadrant::CORRESPONDENCE),
+        other => panic!("unknown population app {other:?}"),
+    };
+    AppDescriptor {
+        id: app.into(),
+        name: name.to_owned(),
+        quadrant,
+        native_format: format!("{app}-native"),
+        kinds: vec!["document".into()],
+    }
+}
+
+/// Each app's mapping between its native vocabulary and the common
+/// information model (`title`, `body`, `author`).
+///
+/// # Panics
+///
+/// Panics on names outside [`APP_POPULATION`].
+pub fn mapping_for(app: &str) -> FormatMapping {
+    match app {
+        "sharedx" => FormatMapping::new([
+            ("window_title", "title"),
+            ("window_body", "body"),
+            ("presenter", "author"),
+        ]),
+        "colab" => FormatMapping::new([
+            ("meeting_title", "title"),
+            ("board_dump", "body"),
+            ("facilitator", "author"),
+        ]),
+        "com" => FormatMapping::new([
+            ("subject", "title"),
+            ("entry_text", "body"),
+            ("poster", "author"),
+        ]),
+        "domino" => FormatMapping::new([
+            ("procedure_name", "title"),
+            ("step_log", "body"),
+            ("initiator", "author"),
+        ]),
+        "lens" => FormatMapping::new([("Subject", "title"), ("Text", "body"), ("From", "author")]),
+        other => panic!("unknown population app {other:?}"),
+    }
+}
+
+/// Composes two per-app mappings into the direct `from → to` adapter a
+/// closed-world integrator would write by hand: native-from names to
+/// native-to names, for the fields both vocabularies can express.
+pub fn direct_adapter(from: &str, to: &str) -> FormatMapping {
+    let from_map = mapping_for(from);
+    let to_map = mapping_for(to);
+    let mut pairs = Vec::new();
+    for (from_native, common) in &from_map.pairs {
+        if let Some((to_native, _)) = to_map.pairs.iter().find(|(_, c)| c == common) {
+            pairs.push((from_native.clone(), to_native.clone()));
+        }
+    }
+    FormatMapping { pairs }
+}
+
+/// A sample document artifact in an app's native vocabulary.
+///
+/// # Panics
+///
+/// Panics on names outside [`APP_POPULATION`].
+pub fn sample_artifact(app: &str) -> NativeArtifact {
+    let fields: Vec<(&'static str, String)> = match app {
+        "sharedx" => vec![
+            ("window_title", "Design sketch".to_owned()),
+            ("window_body", "boxes and arrows".to_owned()),
+            ("presenter", "cn=Tom".to_owned()),
+        ],
+        "colab" => vec![
+            ("meeting_title", "Design review".to_owned()),
+            ("board_dump", "ranked ideas".to_owned()),
+            ("facilitator", "cn=Tom".to_owned()),
+        ],
+        "com" => vec![
+            ("subject", "Will ODP help?".to_owned()),
+            ("entry_text", "We think yes.".to_owned()),
+            ("poster", "cn=Leandro".to_owned()),
+        ],
+        "domino" => vec![
+            ("procedure_name", "travel-claim".to_owned()),
+            ("step_log", "filed; approved; paid".to_owned()),
+            ("initiator", "cn=Clerk".to_owned()),
+        ],
+        "lens" => vec![
+            ("Subject", "Bug Report".to_owned()),
+            ("Text", "trader crash".to_owned()),
+            ("From", "cn=Wolfgang".to_owned()),
+        ],
+        other => panic!("unknown population app {other:?}"),
+    };
+    NativeArtifact::new(AppId::new(app), &format!("{app}-native"), fields)
+}
+
+/// Number of direct adapters a closed world needs for full pairwise
+/// interoperation of `n` apps (both directions).
+pub fn closed_world_adapter_count(n: usize) -> usize {
+    n * n.saturating_sub(1)
+}
+
+/// Number of mappings the hub needs for the same population.
+pub fn open_world_mapping_count(n: usize) -> usize {
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocca::env::{ClosedWorld, InteropHub};
+
+    #[test]
+    fn every_population_app_has_descriptor_and_mapping() {
+        for app in APP_POPULATION {
+            let d = descriptor_for(app);
+            assert_eq!(d.id.as_str(), app);
+            let m = mapping_for(app);
+            assert_eq!(m.pairs.len(), 3, "{app} maps title/body/author");
+            let artifact = sample_artifact(app);
+            assert_eq!(artifact.fields.len(), 3);
+        }
+    }
+
+    #[test]
+    fn population_covers_all_four_quadrants() {
+        let mut reg = mocca::env::AppRegistry::new();
+        for app in APP_POPULATION {
+            reg.register(descriptor_for(app));
+        }
+        assert_eq!(reg.covered_quadrants().len(), 4, "Figure 1 fully covered");
+    }
+
+    #[test]
+    fn hub_exchanges_any_pair_with_n_mappings() {
+        let mut hub = InteropHub::new();
+        for app in APP_POPULATION {
+            hub.register_mapping(app.into(), mapping_for(app));
+        }
+        assert_eq!(hub.mappings_needed(), open_world_mapping_count(5));
+        let mut successes = 0;
+        for from in APP_POPULATION {
+            for to in APP_POPULATION {
+                if from != to {
+                    let artifact = sample_artifact(from);
+                    let out = hub.exchange(&artifact, &to.into()).unwrap();
+                    assert_eq!(out.fields.len(), 3, "{from}->{to} lost fields");
+                    successes += 1;
+                }
+            }
+        }
+        assert_eq!(successes, 20);
+    }
+
+    #[test]
+    fn direct_adapter_equals_hub_composition() {
+        let mut hub = InteropHub::new();
+        hub.register_mapping("sharedx".into(), mapping_for("sharedx"));
+        hub.register_mapping("com".into(), mapping_for("com"));
+        let via_hub = hub
+            .exchange(&sample_artifact("sharedx"), &"com".into())
+            .unwrap();
+
+        let mut closed = ClosedWorld::new();
+        closed.install_adapter(
+            "sharedx".into(),
+            "com".into(),
+            direct_adapter("sharedx", "com"),
+        );
+        let direct = closed
+            .exchange(&sample_artifact("sharedx"), &"com".into())
+            .unwrap();
+
+        assert_eq!(
+            via_hub.fields, direct.fields,
+            "both routes translate identically"
+        );
+    }
+
+    #[test]
+    fn closed_world_fails_on_unwired_pairs() {
+        let mut closed = ClosedWorld::new();
+        closed.install_adapter(
+            "sharedx".into(),
+            "com".into(),
+            direct_adapter("sharedx", "com"),
+        );
+        assert!(closed
+            .exchange(&sample_artifact("com"), &"sharedx".into())
+            .is_err());
+        assert!(closed
+            .exchange(&sample_artifact("lens"), &"com".into())
+            .is_err());
+        assert_eq!(closed.failed_exchanges(), 2);
+    }
+
+    #[test]
+    fn adapter_counts_scale_as_claimed() {
+        assert_eq!(closed_world_adapter_count(5), 20);
+        assert_eq!(open_world_mapping_count(5), 5);
+        assert_eq!(closed_world_adapter_count(10), 90);
+        assert_eq!(open_world_mapping_count(10), 10);
+        assert_eq!(closed_world_adapter_count(0), 0);
+    }
+}

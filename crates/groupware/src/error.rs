@@ -1,0 +1,112 @@
+//! Groupware application error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the example groupware applications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupwareError {
+    /// The person is not a participant of the meeting/session.
+    NotAParticipant(String),
+    /// The operation is not legal in the current phase.
+    WrongPhase {
+        /// The phase the operation needs.
+        expected: &'static str,
+    },
+    /// Only the facilitator may do this.
+    NotFacilitator(String),
+    /// No item with that index exists.
+    NoSuchItem(usize),
+    /// The participant already voted for the item.
+    AlreadyVoted(String, usize),
+    /// The named conference/topic does not exist.
+    NoSuchConference(String),
+    /// No entry with that id exists.
+    NoSuchEntry(u64),
+    /// The person does not hold the role a procedure step requires.
+    WrongRole {
+        /// Who tried.
+        who: String,
+        /// The role required.
+        required: String,
+    },
+    /// Procedure steps must complete in order.
+    StepOutOfOrder {
+        /// The step attempted.
+        attempted: usize,
+        /// The next step actually due.
+        due: usize,
+    },
+    /// The procedure has already finished.
+    ProcedureComplete,
+    /// An underlying environment error.
+    Mocca(mocca::MoccaError),
+    /// An underlying messaging error.
+    Mts(cscw_messaging::MtsError),
+}
+
+impl fmt::Display for GroupwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupwareError::NotAParticipant(who) => write!(f, "not a participant: {who}"),
+            GroupwareError::WrongPhase { expected } => {
+                write!(f, "operation requires the {expected} phase")
+            }
+            GroupwareError::NotFacilitator(who) => write!(f, "not the facilitator: {who}"),
+            GroupwareError::NoSuchItem(i) => write!(f, "no such item: {i}"),
+            GroupwareError::AlreadyVoted(who, i) => {
+                write!(f, "{who} already voted for item {i}")
+            }
+            GroupwareError::NoSuchConference(c) => write!(f, "no such conference: {c}"),
+            GroupwareError::NoSuchEntry(id) => write!(f, "no such entry: {id}"),
+            GroupwareError::WrongRole { who, required } => {
+                write!(f, "{who} does not hold required role {required}")
+            }
+            GroupwareError::StepOutOfOrder { attempted, due } => {
+                write!(f, "step {attempted} attempted but step {due} is due")
+            }
+            GroupwareError::ProcedureComplete => write!(f, "procedure already complete"),
+            GroupwareError::Mocca(e) => write!(f, "environment: {e}"),
+            GroupwareError::Mts(e) => write!(f, "messaging: {e}"),
+        }
+    }
+}
+
+impl Error for GroupwareError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GroupwareError::Mocca(e) => Some(e),
+            GroupwareError::Mts(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mocca::MoccaError> for GroupwareError {
+    fn from(e: mocca::MoccaError) -> Self {
+        GroupwareError::Mocca(e)
+    }
+}
+
+impl From<cscw_messaging::MtsError> for GroupwareError {
+    fn from(e: cscw_messaging::MtsError) -> Self {
+        GroupwareError::Mts(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        assert!(GroupwareError::NotAParticipant("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(GroupwareError::WrongPhase { expected: "voting" }
+            .source()
+            .is_none());
+        let wrapped: GroupwareError = cscw_messaging::MtsError::HopLimitExceeded.into();
+        assert!(wrapped.source().is_some());
+    }
+}

@@ -1,0 +1,40 @@
+//! # groupware — example CSCW applications over the MOCCA environment
+//!
+//! One application per quadrant of the paper's groupware time–space
+//! matrix (Figure 1), each faithful in *interaction style* to the
+//! system the paper cites in §2:
+//!
+//! | Quadrant | Module | In the spirit of |
+//! |---|---|---|
+//! | same time / different places | [`conference`] | Shared X \[6\] |
+//! | same time / same place | [`meeting_room`] | COLAB \[10\] |
+//! | different times / different places | [`bbs`] | COM \[9\] |
+//! | different times / same place | [`procedure`] | DOMINO \[13\] |
+//!
+//! plus [`lens_mail`] (Object Lens \[7\]) as a second asynchronous system
+//! built directly on the environment's tailoring rules, and [`closed`],
+//! the Figure 2 / Figure 3 experimental population: five native
+//! vocabularies, per-app common-model mappings, and composed pairwise
+//! adapters for the closed-world baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbs;
+pub mod closed;
+pub mod conference;
+mod error;
+pub mod lens_mail;
+pub mod meeting_room;
+pub mod procedure;
+
+pub use bbs::{BbsClient, BbsEntry, BbsServer};
+pub use closed::{
+    closed_world_adapter_count, descriptor_for, direct_adapter, mapping_for,
+    open_world_mapping_count, sample_artifact, APP_POPULATION,
+};
+pub use conference::{ConferenceClient, ConferenceServer, Participant};
+pub use error::GroupwareError;
+pub use lens_mail::{FiledMessage, LensMailbox, MessageTemplate};
+pub use meeting_room::{BoardItem, MeetingPhase, MeetingRoom};
+pub use procedure::{Procedure, ProcedureStep, StepOutcome};

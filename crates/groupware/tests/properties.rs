@@ -1,0 +1,227 @@
+//! Property tests for the groupware applications: meeting-room voting
+//! invariants, procedure sequencing safety, BBS threading integrity,
+//! and conference WYSIWIS under random command interleavings.
+
+use cscw_directory::Dn;
+use groupware::meeting_room::MeetingPhase;
+use groupware::{
+    BbsClient, BbsServer, ConferenceClient, ConferenceServer, MeetingRoom, Participant, Procedure,
+    ProcedureStep,
+};
+use proptest::prelude::*;
+use simnet::{LinkSpec, Sim, TopologyBuilder};
+
+fn dn(s: &str) -> Dn {
+    s.parse().unwrap()
+}
+
+/// Random meeting scripts: propose/vote/start/close by random actors.
+#[derive(Debug, Clone)]
+enum MeetingOp {
+    Propose(usize, String),
+    StartVoting(usize),
+    Vote(usize, usize),
+    Close(usize),
+}
+
+fn arb_meeting_ops() -> impl Strategy<Value = Vec<MeetingOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..4, "[a-z]{1,8}").prop_map(|(p, t)| MeetingOp::Propose(p, t)),
+            (0usize..4).prop_map(MeetingOp::StartVoting),
+            (0usize..4, 0usize..8).prop_map(|(p, i)| MeetingOp::Vote(p, i)),
+            (0usize..4).prop_map(MeetingOp::Close),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the script: votes never exceed participants × items,
+    /// the phase machine never goes backwards, and the final ranking is
+    /// sorted by votes.
+    #[test]
+    fn meeting_invariants(ops in arb_meeting_ops()) {
+        let people: Vec<Dn> =
+            (0..4).map(|i| dn(&format!("cn=p{i}"))).collect();
+        let mut m = MeetingRoom::convene("m", people[0].clone(), people[1..].to_vec());
+        let mut phase_rank = 0; // brainstorm=0, voting=1, closed=2
+        for op in ops {
+            match op {
+                MeetingOp::Propose(p, text) => {
+                    let _ = m.propose(&people[p], &text);
+                }
+                MeetingOp::StartVoting(p) => {
+                    let _ = m.start_voting(&people[p]);
+                }
+                MeetingOp::Vote(p, item) => {
+                    let _ = m.vote(&people[p], item);
+                }
+                MeetingOp::Close(p) => {
+                    let _ = m.close(&people[p]);
+                }
+            }
+            let rank = match m.phase() {
+                MeetingPhase::Brainstorm => 0,
+                MeetingPhase::Voting => 1,
+                MeetingPhase::Closed => 2,
+            };
+            prop_assert!(rank >= phase_rank, "phase went backwards");
+            phase_rank = rank;
+            let total_votes: u32 = m.board().iter().map(|i| i.votes).sum();
+            prop_assert!(total_votes as usize <= 4 * m.board().len().max(1));
+        }
+        let ranking = m.ranking();
+        for w in ranking.windows(2) {
+            prop_assert!(w[0].votes >= w[1].votes, "ranking not sorted");
+        }
+    }
+
+    /// Procedures never complete out of order and never exceed their
+    /// step count, whatever the interleaving of perform/skip attempts.
+    #[test]
+    fn procedure_safety(
+        attempts in prop::collection::vec((0usize..6, any::<bool>()), 1..30),
+        n_steps in 1usize..6,
+    ) {
+        let mut org = mocca::org::OrganisationalModel::new();
+        org.add_person(mocca::org::Person::new(dn("cn=A"), "A"));
+        org.add_role(mocca::org::Role::new(dn("cn=r"), "r"));
+        org.relate(&dn("cn=A"), mocca::org::RelationKind::Occupies, &dn("cn=r")).unwrap();
+        let mut p = Procedure::new(
+            "p",
+            (0..n_steps)
+                .map(|i| ProcedureStep { name: format!("s{i}"), required_role: dn("cn=r") })
+                .collect(),
+        );
+        for (step, skip) in attempts {
+            let before = p.outcomes().len();
+            let result = if skip {
+                p.skip(step, &dn("cn=A"), "exception", simnet::SimTime::ZERO)
+            } else {
+                p.perform(&org, step, &dn("cn=A"), simnet::SimTime::ZERO)
+            };
+            match result {
+                Ok(()) => {
+                    prop_assert_eq!(step, before, "only the due step may complete");
+                    prop_assert_eq!(p.outcomes().len(), before + 1);
+                }
+                Err(_) => prop_assert_eq!(p.outcomes().len(), before),
+            }
+            prop_assert!(p.outcomes().len() <= n_steps);
+        }
+    }
+}
+
+/// Conference world for WYSIWIS fuzzing.
+fn conference_world(seed: u64) -> (Sim, Vec<Participant>) {
+    let mut b = TopologyBuilder::new();
+    let server = b.add_node("server");
+    let nodes: Vec<_> = (0..3).map(|i| b.add_node(format!("ws{i}"))).collect();
+    b.full_mesh(LinkSpec::lan());
+    let mut sim = Sim::new(b.build(), seed);
+    sim.register(server, ConferenceServer::new());
+    for &n in &nodes {
+        sim.register(n, ConferenceClient::new());
+    }
+    let participants = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| Participant {
+            who: dn(&format!("cn=p{i}")),
+            node,
+            server,
+        })
+        .collect();
+    (sim, participants)
+}
+
+#[derive(Debug, Clone)]
+enum ConfOp {
+    RequestFloor(usize),
+    ReleaseFloor(usize),
+    Draw(usize, String),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Strict WYSIWIS: whatever the interleaving of floor requests,
+    /// releases and draws, every joined member's window equals the
+    /// server's canonical window at quiescence.
+    #[test]
+    fn conference_wysiwis_under_fuzz(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0usize..3).prop_map(ConfOp::RequestFloor),
+                (0usize..3).prop_map(ConfOp::ReleaseFloor),
+                (0usize..3, "[a-z]{1,6}").prop_map(|(p, s)| ConfOp::Draw(p, s)),
+            ],
+            1..25,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let (mut sim, participants) = conference_world(seed);
+        for p in &participants {
+            p.join(&mut sim);
+        }
+        for op in ops {
+            match op {
+                ConfOp::RequestFloor(p) => participants[p].request_floor(&mut sim),
+                ConfOp::ReleaseFloor(p) => participants[p].release_floor(&mut sim),
+                ConfOp::Draw(p, line) => participants[p].draw(&mut sim, &line),
+            }
+        }
+        sim.run_until_idle();
+        for p in &participants {
+            prop_assert!(p.window_matches_server(&sim), "{} diverged", p.who);
+        }
+    }
+
+    /// BBS threading: every reply's parent exists in the same
+    /// conference, and thread() returns each entry at most once.
+    #[test]
+    fn bbs_threading_integrity(
+        posts in prop::collection::vec((any::<bool>(), 0usize..10), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut b = TopologyBuilder::new();
+        let server = b.add_node("bbs");
+        let mta = b.add_node("mta");
+        let ws = b.add_node("ws");
+        b.full_mesh(LinkSpec::lan());
+        let mut sim = Sim::new(b.build(), seed);
+        let addr: cscw_messaging::OrAddress = "C=UK;O=L;PN=BBS".parse().unwrap();
+        let mut mta_node = cscw_messaging::MtaNode::new("mta");
+        mta_node.register_mailbox(addr.clone());
+        sim.register(mta, mta_node);
+        sim.register(server, BbsServer::new(addr, mta));
+        let client = BbsClient { who: dn("cn=P"), node: ws, server };
+        client.create_conference(&mut sim, "c");
+        for (i, (reply, parent)) in posts.iter().enumerate() {
+            let in_reply_to = reply.then_some(*parent as u64);
+            client.post(&mut sim, "c", &format!("s{i}"), "t", in_reply_to);
+            sim.run_until_idle();
+        }
+        let bbs = sim.node::<BbsServer>(server).unwrap();
+        let entries = bbs.conference("c");
+        for e in &entries {
+            if let Some(parent) = e.in_reply_to {
+                prop_assert!(
+                    entries.iter().any(|p| p.id == parent),
+                    "entry {} has dangling parent {parent}", e.id
+                );
+            }
+        }
+        // Roots' threads partition the entries (no duplicates).
+        let mut seen = std::collections::BTreeSet::new();
+        for root in entries.iter().filter(|e| e.in_reply_to.is_none()) {
+            for e in bbs.thread(root.id) {
+                prop_assert!(seen.insert(e.id), "entry {} in two threads", e.id);
+            }
+        }
+        prop_assert_eq!(seen.len(), entries.len(), "threads cover all entries");
+    }
+}

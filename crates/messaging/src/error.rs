@@ -1,0 +1,81 @@
+//! Message transfer system error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the message transfer system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MtsError {
+    /// An O/R address failed to parse or was structurally invalid.
+    InvalidAddress(String),
+    /// No route exists for the recipient's domain.
+    NoRoute(String),
+    /// The recipient is not known at the delivering MTA.
+    UnknownRecipient(String),
+    /// A message exceeded the maximum hop count (routing loop).
+    HopLimitExceeded,
+    /// A distribution list expansion looped.
+    DlLoop(String),
+    /// The named distribution list does not exist.
+    UnknownDl(String),
+    /// A media conversion between body-part kinds is not possible.
+    ConversionImpossible {
+        /// Source media kind.
+        from: &'static str,
+        /// Target media kind.
+        to: &'static str,
+    },
+    /// The MTS is unreachable (node down or partitioned).
+    Unavailable(String),
+}
+
+impl fmt::Display for MtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtsError::InvalidAddress(s) => write!(f, "invalid O/R address: {s}"),
+            MtsError::NoRoute(s) => write!(f, "no route to domain: {s}"),
+            MtsError::UnknownRecipient(s) => write!(f, "unknown recipient: {s}"),
+            MtsError::HopLimitExceeded => write!(f, "hop limit exceeded"),
+            MtsError::DlLoop(s) => write!(f, "distribution list loop via {s}"),
+            MtsError::UnknownDl(s) => write!(f, "unknown distribution list: {s}"),
+            MtsError::ConversionImpossible { from, to } => {
+                write!(f, "cannot convert {from} body part to {to}")
+            }
+            MtsError::Unavailable(s) => write!(f, "message transfer system unavailable: {s}"),
+        }
+    }
+}
+
+impl Error for MtsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_concise_lowercase() {
+        for e in [
+            MtsError::InvalidAddress("x".into()),
+            MtsError::NoRoute("C=XX".into()),
+            MtsError::UnknownRecipient("nobody".into()),
+            MtsError::HopLimitExceeded,
+            MtsError::DlLoop("all-staff".into()),
+            MtsError::UnknownDl("ghosts".into()),
+            MtsError::ConversionImpossible {
+                from: "fax",
+                to: "text",
+            },
+            MtsError::Unavailable("partition".into()),
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<MtsError>();
+    }
+}

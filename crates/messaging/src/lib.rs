@@ -1,0 +1,52 @@
+//! # cscw-messaging — an X.400-style message transfer system
+//!
+//! The paper observes that "traditionally, communication support for
+//! CSCW systems has been provided by asynchronous OSI communication
+//! standards such as X.400" and requires support for "a wide range of
+//! media, including telefax and where applicable paper communication"
+//! with "interchange across communication media" (§4). This crate is
+//! that substrate: a store-and-forward message transfer system running
+//! over the simulated network.
+//!
+//! ## Pieces
+//!
+//! * [`OrAddress`] — originator/recipient addresses
+//!   (`C=UK;O=Lancaster;OU=Computing;PN=Tom Rodden`).
+//! * [`Ipm`] — interpersonal messages: a [`Heading`] plus typed
+//!   [`BodyPart`]s (text, telefax raster, paper, binary) with explicit
+//!   media conversion ([`BodyPart::convert_to`]).
+//! * [`Envelope`] — the transfer envelope: priority, deferred delivery,
+//!   trace, DL-expansion history.
+//! * [`MtaNode`] — a message transfer agent on a `simnet` node:
+//!   priority-scaled processing delay, domain routing with envelope
+//!   splitting, loop protection, distribution lists, delivery and
+//!   non-delivery reports, local [`MessageStore`]s.
+//! * [`UserAgent`] — the client facade: submit, read inbox/reports/
+//!   receipts, mark read (triggering receipt notifications).
+//!
+//! ## Example
+//!
+//! See the `mta` module tests or the workspace `examples/` for complete
+//! two-MTA scenarios; the asynchronous quadrants of the paper's
+//! time–space matrix (Figure 1) are driven through this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod content;
+mod envelope;
+mod error;
+pub mod mta;
+mod report;
+mod routing;
+mod store;
+
+pub use address::OrAddress;
+pub use content::{BodyPart, ConversionCost, FaxImage, Heading, Importance, Ipm, PaperDocument};
+pub use envelope::{Envelope, Priority, TraceHop};
+pub use error::MtsError;
+pub use mta::{MtaNode, MtsPdu, SubmitOptions, UserAgent, MAX_HOPS};
+pub use report::{DeliveryOutcome, DeliveryReport, NonDeliveryReason, ReceiptNotification};
+pub use routing::RoutingTable;
+pub use store::{MessageStore, StoredMessage, INBOX};

@@ -1,0 +1,119 @@
+//! MTA routing tables.
+//!
+//! Routing is by O/R address domain. A route matches on country alone or
+//! on `(country, organization)`; the most specific match wins. This
+//! mirrors the ADMD/PRMD structure of X.400: country-level routes reach
+//! the foreign administration domain, organization-level routes reach a
+//! private domain directly.
+
+use std::collections::BTreeMap;
+
+use simnet::NodeId;
+
+use crate::address::OrAddress;
+
+/// A routing pattern, from least to most specific.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Pattern {
+    Country(String),
+    Domain(String, String),
+}
+
+/// Routes O/R domains to next-hop MTA nodes.
+///
+/// # Examples
+///
+/// ```
+/// use cscw_messaging::{OrAddress, RoutingTable};
+/// use simnet::NodeId;
+///
+/// let mut table = RoutingTable::new();
+/// table.add_country_route("DE", NodeId::from_raw(1));
+/// table.add_domain_route("DE", "GMD", NodeId::from_raw(2));
+///
+/// let gmd: OrAddress = "C=DE;O=GMD;PN=W".parse()?;
+/// let other: OrAddress = "C=DE;O=Siemens;PN=S".parse()?;
+/// assert_eq!(table.next_hop(&gmd), Some(NodeId::from_raw(2)), "specific beats country");
+/// assert_eq!(table.next_hop(&other), Some(NodeId::from_raw(1)), "country catch-all");
+/// # Ok::<(), cscw_messaging::MtsError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    routes: BTreeMap<Pattern, NodeId>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a catch-all route for a country.
+    pub fn add_country_route(&mut self, country: &str, next_hop: NodeId) {
+        self.routes
+            .insert(Pattern::Country(country.to_owned()), next_hop);
+    }
+
+    /// Adds a route for a specific `(country, organization)` domain.
+    pub fn add_domain_route(&mut self, country: &str, organization: &str, next_hop: NodeId) {
+        self.routes.insert(
+            Pattern::Domain(country.to_owned(), organization.to_owned()),
+            next_hop,
+        );
+    }
+
+    /// The next hop for an address: domain route if present, else the
+    /// country route, else `None`.
+    pub fn next_hop(&self, addr: &OrAddress) -> Option<NodeId> {
+        let (c, o) = addr.domain();
+        self.routes
+            .get(&Pattern::Domain(c.to_owned(), o.to_owned()))
+            .or_else(|| self.routes.get(&Pattern::Country(c.to_owned())))
+            .copied()
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no routes exist.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(c: &str, o: &str) -> OrAddress {
+        OrAddress::new(c, o, Vec::<String>::new(), "P").unwrap()
+    }
+
+    #[test]
+    fn specific_route_wins() {
+        let mut t = RoutingTable::new();
+        t.add_country_route("DE", NodeId::from_raw(1));
+        t.add_domain_route("DE", "GMD", NodeId::from_raw(2));
+        assert_eq!(t.next_hop(&addr("DE", "GMD")), Some(NodeId::from_raw(2)));
+        assert_eq!(t.next_hop(&addr("DE", "Other")), Some(NodeId::from_raw(1)));
+    }
+
+    #[test]
+    fn unroutable_domain_is_none() {
+        let t = RoutingTable::new();
+        assert_eq!(t.next_hop(&addr("FR", "INRIA")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn routes_count() {
+        let mut t = RoutingTable::new();
+        t.add_country_route("DE", NodeId::from_raw(1));
+        t.add_country_route("DE", NodeId::from_raw(3)); // replaces
+        t.add_domain_route("DE", "GMD", NodeId::from_raw(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.next_hop(&addr("DE", "X")), Some(NodeId::from_raw(3)));
+    }
+}

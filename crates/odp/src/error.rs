@@ -1,0 +1,105 @@
+//! ODP error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the ODP engineering layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OdpError {
+    /// No offer satisfied an import request.
+    NoMatchingOffer {
+        /// The requested service type.
+        service_type: String,
+    },
+    /// The named service type is not known to the trader.
+    UnknownServiceType(String),
+    /// A constraint expression failed to parse.
+    InvalidConstraint(String),
+    /// The target object does not exist at the addressed host.
+    NoSuchObject(String),
+    /// The object exists but does not implement the operation.
+    NoSuchOperation {
+        /// Object.
+        object: String,
+        /// Operation name.
+        operation: String,
+    },
+    /// The operation was invoked with the wrong arguments.
+    BadArguments(String),
+    /// An interface failed a conformance check.
+    NotConformant {
+        /// Why.
+        reason: String,
+    },
+    /// The invocation produced no reply (node down, partition, or no
+    /// failure transparency to mask it).
+    Unavailable(String),
+    /// A federation/link hop limit was exceeded.
+    FederationLoop,
+    /// A viewpoint consistency check failed.
+    InconsistentViewpoints(String),
+    /// The application-level object rejected the call.
+    Application(String),
+}
+
+impl fmt::Display for OdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdpError::NoMatchingOffer { service_type } => {
+                write!(f, "no matching offer for service type {service_type:?}")
+            }
+            OdpError::UnknownServiceType(s) => write!(f, "unknown service type {s:?}"),
+            OdpError::InvalidConstraint(s) => write!(f, "invalid constraint: {s}"),
+            OdpError::NoSuchObject(s) => write!(f, "no such object: {s}"),
+            OdpError::NoSuchOperation { object, operation } => {
+                write!(f, "object {object} has no operation {operation:?}")
+            }
+            OdpError::BadArguments(s) => write!(f, "bad arguments: {s}"),
+            OdpError::NotConformant { reason } => write!(f, "interface not conformant: {reason}"),
+            OdpError::Unavailable(s) => write!(f, "invocation unavailable: {s}"),
+            OdpError::FederationLoop => write!(f, "trader federation loop"),
+            OdpError::InconsistentViewpoints(s) => write!(f, "inconsistent viewpoints: {s}"),
+            OdpError::Application(s) => write!(f, "application error: {s}"),
+        }
+    }
+}
+
+impl Error for OdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let variants: Vec<OdpError> = vec![
+            OdpError::NoMatchingOffer {
+                service_type: "printer".into(),
+            },
+            OdpError::UnknownServiceType("x".into()),
+            OdpError::InvalidConstraint("(".into()),
+            OdpError::NoSuchObject("o1".into()),
+            OdpError::NoSuchOperation {
+                object: "o1".into(),
+                operation: "frob".into(),
+            },
+            OdpError::BadArguments("want 2, got 3".into()),
+            OdpError::NotConformant {
+                reason: "missing op".into(),
+            },
+            OdpError::Unavailable("partition".into()),
+            OdpError::FederationLoop,
+            OdpError::InconsistentViewpoints("ghost object".into()),
+            OdpError::Application("refused".into()),
+        ];
+        for e in variants {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<OdpError>();
+    }
+}

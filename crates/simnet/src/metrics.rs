@@ -1,0 +1,243 @@
+//! Run metrics: counters and latency histograms.
+//!
+//! Metrics are cheap enough to stay enabled during benches; the benches
+//! in `crates/bench` read them to report the *shape* of each experiment
+//! (delivery counts, latency percentiles) alongside Criterion timings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// A monotone counter / histogram registry keyed by static names.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{Metrics, SimDuration};
+///
+/// let mut m = Metrics::new();
+/// m.incr("messages_sent");
+/// m.record("rtt", SimDuration::from_millis(3));
+/// assert_eq!(m.counter("messages_sent"), 1);
+/// assert_eq!(m.histogram("rtt").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to the named counter.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Reads a counter; unknown names read as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a duration sample into the named histogram.
+    pub fn record(&mut self, name: &'static str, sample: SimDuration) {
+        self.histograms.entry(name).or_default().record(sample);
+    }
+
+    /// Returns the named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over `(name, value)` for all counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates over `(name, histogram)` in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Clears all counters and histograms.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "{name}: {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(f, "{name}: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A latency histogram that keeps every sample (runs are bounded, so the
+/// exact-percentile simplicity is worth the memory).
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    samples: Vec<SimDuration>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples.iter().min().copied()
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples.iter().max().copied()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_micros() as u128).sum();
+        Some(SimDuration::from_micros(
+            (total / self.samples.len() as u128) as u64,
+        ))
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) by nearest-rank, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Convenience for the median.
+    pub fn p50(&mut self) -> Option<SimDuration> {
+        self.quantile(0.5)
+    }
+
+    /// Convenience for the 99th percentile.
+    pub fn p99(&mut self) -> Option<SimDuration> {
+        self.quantile(0.99)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.count(), self.min(), self.max(), self.mean()) {
+            (n, Some(min), Some(max), Some(mean)) if n > 0 => {
+                write!(f, "n={n} min={min} mean={mean} max={max}")
+            }
+            _ => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.incr("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for ms in [1u64, 2, 3, 4, 5] {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(SimDuration::from_millis(1)));
+        assert_eq!(h.max(), Some(SimDuration::from_millis(5)));
+        assert_eq!(h.mean(), Some(SimDuration::from_millis(3)));
+        assert_eq!(h.p50(), Some(SimDuration::from_millis(3)));
+        assert_eq!(h.quantile(1.0), Some(SimDuration::from_millis(5)));
+        assert_eq!(h.quantile(0.0), Some(SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.to_string(), "n=0");
+    }
+
+    #[test]
+    fn quantile_is_stable_after_interleaved_records() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_millis(10));
+        assert_eq!(h.p50(), Some(SimDuration::from_millis(10)));
+        h.record(SimDuration::from_millis(2));
+        assert_eq!(h.quantile(0.0), Some(SimDuration::from_millis(2)));
+    }
+
+    #[test]
+    fn metrics_reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.record("h", SimDuration::from_millis(1));
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.histogram("h").is_none());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut m = Metrics::new();
+        m.incr("sent");
+        m.record("lat", SimDuration::from_millis(2));
+        let s = m.to_string();
+        assert!(s.contains("sent: 1"));
+        assert!(s.contains("lat: n=1"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Dynamically-typed message payloads.
+//!
+//! The simulator carries payloads opaquely: higher layers (directory,
+//! messaging, ODP) define their own protocol types and downcast on
+//! receipt. The simulated *size in bytes* is carried separately so the
+//! bandwidth model does not depend on the in-memory representation.
+
+use std::any::Any;
+use std::fmt;
+
+/// An opaque, dynamically-typed message payload.
+///
+/// A `Payload` pairs a boxed value with a static type label used in
+/// traces and `Debug` output. Receivers recover the value with
+/// [`Payload::downcast`] or inspect it with [`Payload::downcast_ref`].
+///
+/// # Examples
+///
+/// ```
+/// use simnet::Payload;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Ping(u32);
+///
+/// let p = Payload::new(Ping(7));
+/// assert!(p.is::<Ping>());
+/// assert_eq!(p.downcast::<Ping>().unwrap(), Ping(7));
+/// ```
+pub struct Payload {
+    value: Box<dyn Any + Send>,
+    type_label: &'static str,
+}
+
+impl Payload {
+    /// Wraps a value as an opaque payload.
+    pub fn new<T: Any + Send>(value: T) -> Self {
+        Payload {
+            value: Box::new(value),
+            type_label: std::any::type_name::<T>(),
+        }
+    }
+
+    /// Returns true if the payload holds a `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.value.is::<T>()
+    }
+
+    /// Recovers the payload by value.
+    ///
+    /// # Errors
+    ///
+    /// Returns `self` unchanged when the payload is not a `T`, so callers
+    /// can try several protocol types in turn.
+    pub fn downcast<T: Any>(self) -> Result<T, Payload> {
+        let type_label = self.type_label;
+        match self.value.downcast::<T>() {
+            Ok(v) => Ok(*v),
+            Err(value) => Err(Payload { value, type_label }),
+        }
+    }
+
+    /// Borrows the payload as a `T`, if it is one.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.value.downcast_ref::<T>()
+    }
+
+    /// The `std::any::type_name` of the wrapped value, for traces.
+    pub fn type_label(&self) -> &'static str {
+        self.type_label
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Payload")
+            .field("type", &self.type_label)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+
+    #[derive(Debug, PartialEq)]
+    struct Pong(u32);
+
+    #[test]
+    fn downcast_recovers_value() {
+        let p = Payload::new(Ping(42));
+        assert!(p.is::<Ping>());
+        assert!(!p.is::<Pong>());
+        assert_eq!(p.downcast::<Ping>().unwrap(), Ping(42));
+    }
+
+    #[test]
+    fn failed_downcast_returns_payload_intact() {
+        let p = Payload::new(Ping(42));
+        let p = p.downcast::<Pong>().unwrap_err();
+        assert_eq!(p.downcast_ref::<Ping>(), Some(&Ping(42)));
+    }
+
+    #[test]
+    fn debug_shows_type_label() {
+        let p = Payload::new(Ping(1));
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("Ping"), "{dbg}");
+    }
+}

@@ -1,0 +1,1041 @@
+//! The discrete-event simulator driver.
+//!
+//! A [`Sim`] owns a [`Topology`], a set of node behaviours implementing
+//! [`Node`], and a time-ordered event queue. Execution is strictly
+//! deterministic: events fire in `(time, enqueue-sequence)` order and all
+//! randomness flows from one seed.
+//!
+//! # Delivery model
+//!
+//! For a message of `size` bytes sent at `t` over link `l`:
+//!
+//! 1. the message serialises onto the link after any earlier messages
+//!    (`start = max(t, link_busy_until)`), taking
+//!    [`crate::LinkSpec::transmission_delay`];
+//! 2. it propagates for `latency + U[0, jitter]`;
+//! 3. delivery is clamped to be no earlier than the previous delivery on
+//!    the same link — **links are FIFO**, modelling the connection-
+//!    oriented OSI transports of the paper's era;
+//! 4. it may be dropped: at send time if no link exists, and at delivery
+//!    time if the pair is partitioned, the destination is down, or the
+//!    link's loss probability fires. Messages in flight when a partition
+//!    starts are therefore lost, like a broken connection.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::id::{MessageId, NodeId, TimerId};
+use crate::metrics::Metrics;
+use crate::payload::Payload;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::trace::{DropReason, Trace, TraceKind};
+
+/// Simulated size assumed by [`NodeCtx::send`] when the caller does not
+/// care about bandwidth effects.
+pub const DEFAULT_MESSAGE_SIZE: u64 = 128;
+
+/// A message as seen by its receiver.
+#[derive(Debug)]
+pub struct Message {
+    /// Unique id of this send.
+    pub id: MessageId,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Simulated wire size in bytes.
+    pub size: u64,
+    /// When the sender handed the message to the network.
+    pub sent_at: SimTime,
+    /// The payload; downcast to the protocol type.
+    pub payload: Payload,
+}
+
+/// Behaviour attached to a node.
+///
+/// Handlers run to completion at a single instant of simulated time; any
+/// sends or timers they issue are scheduled strictly afterwards, so there
+/// is no intra-handler concurrency to reason about.
+pub trait Node: std::any::Any {
+    /// Called once when the simulation starts (before any message).
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, msg: Message);
+
+    /// Called when a timer armed with [`NodeCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerId, tag: u64) {
+        let _ = (ctx, timer, tag);
+    }
+
+    /// Called when the node comes back up after a
+    /// [`FaultAction::Restart`]. Timers that would have fired while the
+    /// node was down are *not* replayed (a crash loses the volatile
+    /// clock); behaviours with durable queues re-arm them here, the way
+    /// a store-and-forward MTA recovers its disk queue.
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+}
+
+/// A scheduled environmental fault.
+#[derive(Debug, Clone)]
+pub enum FaultAction {
+    /// Sever traffic between two groups.
+    Partition(Vec<NodeId>, Vec<NodeId>),
+    /// Restore traffic between two groups.
+    Heal(Vec<NodeId>, Vec<NodeId>),
+    /// Restore all traffic.
+    HealAll,
+    /// Crash a node (drops all its traffic until restart).
+    Crash(NodeId),
+    /// Restart a crashed node.
+    Restart(NodeId),
+}
+
+enum EventKind {
+    Deliver(Message),
+    Timer {
+        node: NodeId,
+        timer: TimerId,
+        tag: u64,
+    },
+    Fault(FaultAction),
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // BinaryHeap is a max-heap; invert so the earliest event pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Everything a node handler may touch while running.
+pub struct NodeCtx<'a> {
+    core: &'a mut Core,
+    node: NodeId,
+}
+
+impl NodeCtx<'_> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the node this handler belongs to.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The trace name of this node.
+    pub fn name(&self) -> &str {
+        self.core.topology.node_name(self.node)
+    }
+
+    /// Sends a payload with [`DEFAULT_MESSAGE_SIZE`].
+    pub fn send(&mut self, to: NodeId, payload: Payload) -> MessageId {
+        self.send_sized(to, payload, DEFAULT_MESSAGE_SIZE)
+    }
+
+    /// Sends a payload with an explicit simulated size.
+    pub fn send_sized(&mut self, to: NodeId, payload: Payload, size: u64) -> MessageId {
+        self.core.enqueue_send(self.node, to, payload, size)
+    }
+
+    /// Arms a one-shot timer `delay` from now; `tag` is echoed to
+    /// [`Node::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        self.core.set_timer(self.node, delay, tag)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.core.cancelled_timers.insert(timer);
+    }
+
+    /// This node's private deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.node_rngs[self.node.index()]
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Read-only view of the topology (e.g. to enumerate neighbours).
+    pub fn topology(&self) -> &Topology {
+        &self.core.topology
+    }
+}
+
+struct Core {
+    topology: Topology,
+    queue: BinaryHeap<Event>,
+    now: SimTime,
+    next_msg: u64,
+    next_timer: u64,
+    next_seq: u64,
+    cancelled_timers: HashSet<TimerId>,
+    link_busy_until: HashMap<(NodeId, NodeId), SimTime>,
+    link_last_delivery: HashMap<(NodeId, NodeId), SimTime>,
+    rng: SimRng,
+    node_rngs: Vec<SimRng>,
+    metrics: Metrics,
+    trace: Trace,
+}
+
+impl Core {
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> TimerId {
+        let timer = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { node, timer, tag });
+        timer
+    }
+
+    fn enqueue_send(&mut self, from: NodeId, to: NodeId, payload: Payload, size: u64) -> MessageId {
+        let id = MessageId(self.next_msg);
+        self.next_msg += 1;
+        self.metrics.incr("messages_sent");
+        self.trace.push(
+            self.now,
+            TraceKind::Sent {
+                id,
+                from,
+                to,
+                label: payload.type_label(),
+                size,
+            },
+        );
+
+        // Local delivery: no link involved, zero latency.
+        if from == to {
+            let msg = Message {
+                id,
+                from,
+                to,
+                size,
+                sent_at: self.now,
+                payload,
+            };
+            self.push(self.now, EventKind::Deliver(msg));
+            return id;
+        }
+
+        let Some(spec) = self.topology.link(from, to).copied() else {
+            self.drop_message(id, DropReason::NoRoute);
+            return id;
+        };
+
+        let start = self.now.max(
+            *self
+                .link_busy_until
+                .get(&(from, to))
+                .unwrap_or(&SimTime::ZERO),
+        );
+        let tx = spec.transmission_delay(size);
+        if tx == SimDuration::MAX {
+            // Zero-bandwidth link: the message never gets onto the wire.
+            self.drop_message(id, DropReason::NoRoute);
+            return id;
+        }
+        let wire_free = start + tx;
+        self.link_busy_until.insert((from, to), wire_free);
+
+        let jitter = if spec.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.rng.below(spec.jitter.as_micros() + 1))
+        };
+        let mut deliver_at = wire_free + spec.latency + jitter;
+
+        // FIFO clamp: never deliver before an earlier message on this link.
+        let last = self
+            .link_last_delivery
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        deliver_at = deliver_at.max(last);
+        self.link_last_delivery.insert((from, to), deliver_at);
+
+        if spec.loss_probability > 0.0 && self.rng.chance(spec.loss_probability) {
+            self.drop_message(id, DropReason::Loss);
+            return id;
+        }
+
+        let msg = Message {
+            id,
+            from,
+            to,
+            size,
+            sent_at: self.now,
+            payload,
+        };
+        self.push(deliver_at, EventKind::Deliver(msg));
+        id
+    }
+
+    fn drop_message(&mut self, id: MessageId, reason: DropReason) {
+        self.metrics.incr("messages_dropped");
+        self.metrics.incr(match reason {
+            DropReason::NoRoute => "dropped_no_route",
+            DropReason::Partitioned => "dropped_partitioned",
+            DropReason::NodeDown => "dropped_node_down",
+            DropReason::Loss => "dropped_loss",
+        });
+        self.trace.push(self.now, TraceKind::Dropped { id, reason });
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        let description = format!("{action:?}");
+        match action {
+            FaultAction::Partition(a, b) => self.topology.partition(&a, &b),
+            FaultAction::Heal(a, b) => self.topology.heal(&a, &b),
+            FaultAction::HealAll => self.topology.heal_all(),
+            FaultAction::Crash(n) => self.topology.crash_node(n),
+            FaultAction::Restart(n) => self.topology.restart_node(n),
+        }
+        self.metrics.incr("faults_applied");
+        self.trace.push(self.now, TraceKind::Fault { description });
+    }
+}
+
+/// The simulator.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::*;
+///
+/// struct Echo;
+/// impl Node for Echo {
+///     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, msg: Message) {
+///         let n = msg.payload.downcast::<u32>().expect("protocol");
+///         ctx.send(msg.from, Payload::new(n + 1));
+///     }
+/// }
+///
+/// struct Client {
+///     got: Option<u32>,
+/// }
+/// impl Node for Client {
+///     fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, msg: Message) {
+///         self.got = msg.payload.downcast::<u32>().ok();
+///     }
+/// }
+///
+/// let mut b = TopologyBuilder::new();
+/// let c = b.add_node("client");
+/// let s = b.add_node("server");
+/// b.link_both(c, s, LinkSpec::lan());
+/// let mut sim = Sim::new(b.build(), 1);
+/// sim.register(s, Echo);
+/// sim.register(c, Client { got: None });
+/// sim.send_from(c, s, Payload::new(41u32), 16);
+/// sim.run_until_idle();
+/// assert_eq!(sim.node::<Client>(c).unwrap().got, Some(42));
+/// ```
+pub struct Sim {
+    core: Core,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    started: bool,
+}
+
+impl Sim {
+    /// Creates a simulator over `topology`, seeding all randomness from
+    /// `seed`.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        let n = topology.node_count();
+        let mut rng = SimRng::seed_from(seed);
+        let node_rngs = (0..n).map(|_| rng.fork()).collect();
+        Sim {
+            core: Core {
+                topology,
+                queue: BinaryHeap::new(),
+                now: SimTime::ZERO,
+                next_msg: 0,
+                next_timer: 0,
+                next_seq: 0,
+                cancelled_timers: HashSet::new(),
+                link_busy_until: HashMap::new(),
+                link_last_delivery: HashMap::new(),
+                rng,
+                node_rngs,
+                metrics: Metrics::new(),
+                trace: Trace::new(),
+            },
+            nodes: (0..n).map(|_| None).collect(),
+            started: false,
+        }
+    }
+
+    /// Attaches behaviour to a node, replacing any previous behaviour.
+    ///
+    /// Nodes without behaviour silently drop deliveries (counted in the
+    /// `delivered_unhandled` metric), which suits pure traffic sinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this simulator's topology.
+    pub fn register<N: Node>(&mut self, id: NodeId, node: N) {
+        assert!(id.index() < self.nodes.len(), "unknown node id");
+        self.nodes[id.index()] = Some(Box::new(node));
+    }
+
+    /// Borrows a node's behaviour, if it is registered and of type `N`.
+    pub fn node<N: Node>(&self, id: NodeId) -> Option<&N> {
+        self.nodes
+            .get(id.index())
+            .and_then(|slot| slot.as_deref())
+            .and_then(|n| (n as &dyn std::any::Any).downcast_ref::<N>())
+    }
+
+    /// Mutably borrows a node's behaviour, if registered and of type `N`.
+    pub fn node_mut<N: Node>(&mut self, id: NodeId) -> Option<&mut N> {
+        self.nodes
+            .get_mut(id.index())
+            .and_then(|slot| slot.as_deref_mut())
+            .and_then(|n| (n as &mut dyn std::any::Any).downcast_mut::<N>())
+    }
+
+    /// Sends a message "from the outside", as if `from` had sent it.
+    pub fn send_from(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: Payload,
+        size: u64,
+    ) -> MessageId {
+        self.core.enqueue_send(from, to, payload, size)
+    }
+
+    /// Schedules a fault to occur at `at`.
+    pub fn schedule_fault(&mut self, at: SimTime, action: FaultAction) {
+        self.core.push(at, EventKind::Fault(action));
+    }
+
+    /// Applies a fault immediately.
+    pub fn apply_fault(&mut self, action: FaultAction) {
+        self.handle_fault(action);
+    }
+
+    /// Applies a fault, notifying a restarted node's behaviour so it can
+    /// recover durable state (see [`Node::on_restart`]).
+    fn handle_fault(&mut self, action: FaultAction) {
+        let restarted = match &action {
+            FaultAction::Restart(n) => Some(*n),
+            _ => None,
+        };
+        self.core.apply_fault(action);
+        if let Some(node) = restarted {
+            if let Some(mut behaviour) = self.nodes[node.index()].take() {
+                let mut ctx = NodeCtx {
+                    core: &mut self.core,
+                    node,
+                };
+                behaviour.on_restart(&mut ctx);
+                self.nodes[node.index()] = Some(behaviour);
+            }
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Mutable access to metrics (e.g. to reset between bench phases).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// The trace.
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    /// Mutable access to the trace (to enable/clear it).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.core.trace
+    }
+
+    /// The topology (for inspection or direct fault injection).
+    pub fn topology(&self) -> &Topology {
+        &self.core.topology
+    }
+
+    /// Mutable topology access for unscheduled manipulation between runs.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.core.topology
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for idx in 0..self.nodes.len() {
+            let id = NodeId(idx as u32);
+            if let Some(mut node) = self.nodes[idx].take() {
+                let mut ctx = NodeCtx {
+                    core: &mut self.core,
+                    node: id,
+                };
+                node.on_start(&mut ctx);
+                self.nodes[idx] = Some(node);
+            }
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(event) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.core.now, "time must not run backwards");
+        self.core.now = event.at;
+        match event.kind {
+            EventKind::Fault(action) => self.handle_fault(action),
+            EventKind::Timer { node, timer, tag } => {
+                if self.core.cancelled_timers.remove(&timer) {
+                    return true;
+                }
+                if self.core.topology.is_down(node) {
+                    return true;
+                }
+                self.core
+                    .trace
+                    .push(self.core.now, TraceKind::TimerFired { node, timer, tag });
+                if let Some(mut behaviour) = self.nodes[node.index()].take() {
+                    let mut ctx = NodeCtx {
+                        core: &mut self.core,
+                        node,
+                    };
+                    behaviour.on_timer(&mut ctx, timer, tag);
+                    self.nodes[node.index()] = Some(behaviour);
+                }
+            }
+            EventKind::Deliver(msg) => {
+                let (from, to, id) = (msg.from, msg.to, msg.id);
+                if self.core.topology.is_down(to) || self.core.topology.is_down(from) {
+                    self.core.drop_message(id, DropReason::NodeDown);
+                    return true;
+                }
+                if from != to && !self.core.topology.can_reach(from, to) {
+                    self.core.drop_message(id, DropReason::Partitioned);
+                    return true;
+                }
+                self.core.metrics.incr("messages_delivered");
+                self.core.metrics.record(
+                    "delivery_latency",
+                    self.core.now.saturating_since(msg.sent_at),
+                );
+                self.core
+                    .trace
+                    .push(self.core.now, TraceKind::Delivered { id, from, to });
+                if let Some(mut behaviour) = self.nodes[to.index()].take() {
+                    let mut ctx = NodeCtx {
+                        core: &mut self.core,
+                        node: to,
+                    };
+                    behaviour.on_message(&mut ctx, msg);
+                    self.nodes[to.index()] = Some(behaviour);
+                } else {
+                    self.core.metrics.incr("delivered_unhandled");
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 100 million events as a runaway-loop backstop; use
+    /// [`Sim::run_with_budget`] for workloads that legitimately exceed it.
+    pub fn run_until_idle(&mut self) {
+        let mut budget: u64 = 100_000_000;
+        while self.step() {
+            budget -= 1;
+            assert!(
+                budget > 0,
+                "run_until_idle exceeded event budget; livelock?"
+            );
+        }
+    }
+
+    /// Processes at most `max_events` events; returns how many ran.
+    pub fn run_with_budget(&mut self, max_events: u64) -> u64 {
+        let mut ran = 0;
+        while ran < max_events && self.step() {
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Runs until simulated time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue empties.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_if_needed();
+        while let Some(event) = self.core.queue.peek() {
+            if event.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.core.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.core.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkSpec, TopologyBuilder};
+
+    #[derive(Debug, Default)]
+    struct Collector {
+        received: Vec<(NodeId, u32, SimTime)>,
+    }
+
+    impl Node for Collector {
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_>, msg: Message) {
+            let n = msg.payload.downcast::<u32>().expect("u32 protocol");
+            self.received.push((msg.from, n, ctx.now()));
+        }
+    }
+
+    struct Echo;
+    impl Node for Echo {
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_>, msg: Message) {
+            let n = msg.payload.downcast::<u32>().expect("u32 protocol");
+            ctx.send(msg.from, Payload::new(n + 1));
+        }
+    }
+
+    fn pair(latency_ms: u64) -> (Sim, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.link_both(a, c, LinkSpec::fixed(SimDuration::from_millis(latency_ms)));
+        (Sim::new(b.build(), 7), a, c)
+    }
+
+    #[test]
+    fn request_reply_round_trip_takes_two_latencies() {
+        let (mut sim, a, c) = pair(5);
+        sim.register(c, Echo);
+        sim.register(a, Collector::default());
+        sim.send_from(a, c, Payload::new(1u32), 16);
+        sim.run_until_idle();
+        let got = &sim.node::<Collector>(a).unwrap().received;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, 2);
+        assert_eq!(got[0].2, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn local_send_delivers_instantly() {
+        let (mut sim, a, _c) = pair(5);
+        sim.register(a, Collector::default());
+        sim.send_from(a, a, Payload::new(9u32), 8);
+        sim.run_until_idle();
+        let got = &sim.node::<Collector>(a).unwrap().received;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].2, SimTime::ZERO);
+    }
+
+    #[test]
+    fn no_route_drops_at_send() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        // no link
+        let mut sim = Sim::new(b.build(), 7);
+        sim.register(c, Collector::default());
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        sim.run_until_idle();
+        assert!(sim.node::<Collector>(c).unwrap().received.is_empty());
+        assert_eq!(sim.metrics().counter("dropped_no_route"), 1);
+    }
+
+    #[test]
+    fn partition_mid_flight_drops_message() {
+        let (mut sim, a, c) = pair(10);
+        sim.register(c, Collector::default());
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        sim.schedule_fault(
+            SimTime::from_millis(5),
+            FaultAction::Partition(vec![a], vec![c]),
+        );
+        sim.run_until_idle();
+        assert!(sim.node::<Collector>(c).unwrap().received.is_empty());
+        assert_eq!(sim.metrics().counter("dropped_partitioned"), 1);
+    }
+
+    #[test]
+    fn heal_restores_delivery() {
+        let (mut sim, a, c) = pair(10);
+        sim.register(c, Collector::default());
+        sim.apply_fault(FaultAction::Partition(vec![a], vec![c]));
+        sim.schedule_fault(SimTime::from_millis(100), FaultAction::HealAll);
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        sim.run_until(SimTime::from_millis(200));
+        // First message was in flight while partitioned: lost.
+        assert_eq!(sim.metrics().counter("dropped_partitioned"), 1);
+        sim.send_from(a, c, Payload::new(2u32), 8);
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Collector>(c).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn crashed_destination_drops_then_restart_receives() {
+        let (mut sim, a, c) = pair(1);
+        sim.register(c, Collector::default());
+        sim.apply_fault(FaultAction::Crash(c));
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter("dropped_node_down"), 1);
+        sim.apply_fault(FaultAction::Restart(c));
+        sim.send_from(a, c, Payload::new(2u32), 8);
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Collector>(c).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_tags() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node for TimerNode {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(2), 2);
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+                ctx.set_timer(SimDuration::from_millis(3), 3);
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _msg: Message) {}
+            fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: TimerId, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let (mut sim, a, _c) = pair(1);
+        sim.register(a, TimerNode { fired: vec![] });
+        sim.run_until_idle();
+        assert_eq!(sim.node::<TimerNode>(a).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct CancelNode {
+            fired: Vec<u64>,
+        }
+        impl Node for CancelNode {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                let t = ctx.set_timer(SimDuration::from_millis(2), 99);
+                ctx.set_timer(SimDuration::from_millis(5), 1);
+                ctx.cancel_timer(t);
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _msg: Message) {}
+            fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: TimerId, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let (mut sim, a, _c) = pair(1);
+        sim.register(a, CancelNode { fired: vec![] });
+        sim.run_until_idle();
+        assert_eq!(sim.node::<CancelNode>(a).unwrap().fired, vec![1]);
+    }
+
+    #[test]
+    fn fifo_holds_despite_jitter() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.link_both(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::from_millis(1)).with_jitter(SimDuration::from_millis(50)),
+        );
+        let mut sim = Sim::new(b.build(), 3);
+        sim.register(c, Collector::default());
+        for i in 0..50u32 {
+            sim.send_from(a, c, Payload::new(i), 8);
+        }
+        sim.run_until_idle();
+        let got: Vec<u32> = sim
+            .node::<Collector>(c)
+            .unwrap()
+            .received
+            .iter()
+            .map(|r| r.1)
+            .collect();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bandwidth_serialises_messages() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        // 1 byte/µs, zero latency link.
+        b.link(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::ZERO).with_bandwidth(1_000_000),
+        );
+        let mut sim = Sim::new(b.build(), 3);
+        sim.register(c, Collector::default());
+        sim.send_from(a, c, Payload::new(0u32), 1_000);
+        sim.send_from(a, c, Payload::new(1u32), 1_000);
+        sim.run_until_idle();
+        let got = &sim.node::<Collector>(c).unwrap().received;
+        assert_eq!(got[0].2, SimTime::from_micros(1_000));
+        assert_eq!(
+            got[1].2,
+            SimTime::from_micros(2_000),
+            "second message queued behind first"
+        );
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.link(a, c, LinkSpec::lan().with_loss(0.5));
+        let mut sim = Sim::new(b.build(), 11);
+        sim.register(c, Collector::default());
+        for i in 0..1000u32 {
+            sim.send_from(a, c, Payload::new(i), 8);
+        }
+        sim.run_until_idle();
+        let delivered = sim.node::<Collector>(c).unwrap().received.len();
+        assert!(
+            (300..700).contains(&delivered),
+            "delivered {delivered} of 1000 at p=0.5"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_runs() {
+        let run = |seed: u64| {
+            let mut b = TopologyBuilder::new();
+            let a = b.add_node("a");
+            let c = b.add_node("c");
+            b.link_both(
+                a,
+                c,
+                LinkSpec::lan()
+                    .with_jitter(SimDuration::from_millis(20))
+                    .with_loss(0.2),
+            );
+            let mut sim = Sim::new(b.build(), seed);
+            sim.register(c, Collector::default());
+            for i in 0..100u32 {
+                sim.send_from(a, c, Payload::new(i), 8);
+            }
+            sim.run_until_idle();
+            sim.node::<Collector>(c)
+                .unwrap()
+                .received
+                .iter()
+                .map(|&(_, n, t)| (n, t))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let (mut sim, _a, _c) = pair(1);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn metrics_count_sends_and_deliveries() {
+        let (mut sim, a, c) = pair(1);
+        sim.register(c, Collector::default());
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter("messages_sent"), 1);
+        assert_eq!(sim.metrics().counter("messages_delivered"), 1);
+        let h = sim.metrics().histogram("delivery_latency").unwrap();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn unregistered_node_counts_unhandled() {
+        let (mut sim, a, c) = pair(1);
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter("delivered_unhandled"), 1);
+    }
+
+    #[test]
+    fn trace_records_send_and_delivery_in_causal_order() {
+        let (mut sim, a, c) = pair(2);
+        sim.trace_mut().enable(100);
+        sim.register(c, Collector::default());
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        sim.run_until_idle();
+        let events = sim.trace().events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0].kind, TraceKind::Sent { .. }));
+        assert!(matches!(events[1].kind, TraceKind::Delivered { .. }));
+        assert!(events[0].at <= events[1].at);
+    }
+
+    #[test]
+    fn run_with_budget_stops_exactly_at_the_budget() {
+        let (mut sim, a, c) = pair(1);
+        sim.register(c, Collector::default());
+        for i in 0..10u32 {
+            sim.send_from(a, c, Payload::new(i), 8);
+        }
+        assert_eq!(sim.pending_events(), 10);
+        let ran = sim.run_with_budget(4);
+        assert_eq!(ran, 4);
+        assert_eq!(sim.pending_events(), 6);
+        let ran = sim.run_with_budget(100);
+        assert_eq!(ran, 6, "budget larger than the queue drains it");
+        assert_eq!(sim.node::<Collector>(c).unwrap().received.len(), 10);
+    }
+
+    #[test]
+    fn default_send_size_is_applied() {
+        struct Echoless;
+        impl Node for Echoless {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, msg: Message) {
+                // Forward with the default size.
+                let n = msg.payload.downcast::<u32>().expect("protocol");
+                ctx.send(msg.from, Payload::new(n));
+            }
+        }
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        // 1 byte/µs so size is visible in timing.
+        b.link_both(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::ZERO).with_bandwidth(1_000_000),
+        );
+        let mut sim = Sim::new(b.build(), 1);
+        sim.register(c, Echoless);
+        sim.register(a, Collector::default());
+        sim.send_from(a, c, Payload::new(5u32), 0);
+        sim.run_until_idle();
+        let got = &sim.node::<Collector>(a).unwrap().received;
+        assert_eq!(got.len(), 1);
+        // The reply took DEFAULT_MESSAGE_SIZE µs of transmission.
+        assert_eq!(got[0].2, SimTime::from_micros(DEFAULT_MESSAGE_SIZE));
+    }
+
+    #[test]
+    fn timers_do_not_fire_on_crashed_nodes() {
+        struct TimerNode {
+            fired: u32,
+        }
+        impl Node for TimerNode {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _msg: Message) {}
+            fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: TimerId, _tag: u64) {
+                self.fired += 1;
+            }
+        }
+        let (mut sim, a, _c) = pair(1);
+        sim.register(a, TimerNode { fired: 0 });
+        sim.schedule_fault(SimTime::from_millis(5), FaultAction::Crash(a));
+        sim.run_until_idle();
+        assert_eq!(sim.node::<TimerNode>(a).unwrap().fired, 0);
+    }
+
+    #[test]
+    fn on_restart_fires_after_restart_fault() {
+        #[derive(Default)]
+        struct Phoenix {
+            restarts: u32,
+        }
+        impl Node for Phoenix {
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _msg: Message) {}
+            fn on_restart(&mut self, _ctx: &mut NodeCtx<'_>) {
+                self.restarts += 1;
+            }
+        }
+        let (mut sim, a, _c) = pair(1);
+        sim.register(a, Phoenix::default());
+        sim.apply_fault(FaultAction::Crash(a));
+        sim.apply_fault(FaultAction::Restart(a));
+        assert_eq!(sim.node::<Phoenix>(a).unwrap().restarts, 1);
+        // Scheduled restarts fire the hook too.
+        sim.apply_fault(FaultAction::Crash(a));
+        sim.schedule_fault(SimTime::from_millis(5), FaultAction::Restart(a));
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Phoenix>(a).unwrap().restarts, 2);
+    }
+
+    #[test]
+    fn debug_impl_reports_state() {
+        let (mut sim, a, c) = pair(1);
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        let dbg = format!("{sim:?}");
+        assert!(dbg.contains("pending_events: 1"), "{dbg}");
+        assert!(dbg.contains("nodes: 2"), "{dbg}");
+    }
+}

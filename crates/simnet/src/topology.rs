@@ -1,0 +1,404 @@
+//! Network topology: nodes, links, and partitions.
+//!
+//! A topology is built once with [`TopologyBuilder`], then owned by the
+//! simulator. Links are directed; the common bidirectional case is
+//! covered by [`TopologyBuilder::link_both`]. Every ordered node pair has
+//! at most one link.
+//!
+//! Partitions are runtime state layered over the static link set: a
+//! partitioned pair drops traffic without forgetting the underlying link,
+//! so healing restores the original characteristics.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeId;
+use crate::time::SimDuration;
+
+/// Transmission characteristics of a directed link.
+///
+/// Delivery time for a message of `size` bytes is
+/// `latency + jitter_draw + size / bandwidth`, where `jitter_draw` is
+/// uniform in `[0, jitter]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Fixed propagation delay.
+    pub latency: SimDuration,
+    /// Maximum additional uniform random delay.
+    pub jitter: SimDuration,
+    /// Throughput in bytes per simulated second; `None` models an
+    /// uncongested link where size does not affect delay.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Probability in `[0, 1]` that a given message is silently lost.
+    pub loss_probability: f64,
+}
+
+impl LinkSpec {
+    /// A symmetric LAN-like link: 1 ms latency, no jitter, lossless.
+    pub fn lan() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: None,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// A WAN-like link: 40 ms latency, 10 ms jitter, lossless.
+    pub fn wan() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_millis(40),
+            jitter: SimDuration::from_millis(10),
+            bandwidth_bytes_per_sec: None,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// A link with exactly the given fixed latency and nothing else.
+    pub fn fixed(latency: SimDuration) -> Self {
+        LinkSpec {
+            latency,
+            jitter: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: None,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Returns a copy with the given loss probability.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss_probability = p;
+        self
+    }
+
+    /// Returns a copy with the given bandwidth in bytes per second.
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bandwidth_bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
+    /// Returns a copy with the given jitter bound.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The size-dependent serialisation delay for `size` bytes.
+    pub fn transmission_delay(&self, size_bytes: u64) -> SimDuration {
+        match self.bandwidth_bytes_per_sec {
+            None => SimDuration::ZERO,
+            Some(0) => SimDuration::MAX,
+            Some(bw) => {
+                // micros = bytes * 1e6 / bw, rounded up so a non-empty
+                // message never transmits in zero time.
+                let micros = (size_bytes as u128 * 1_000_000).div_ceil(bw as u128);
+                SimDuration::from_micros(micros.min(u64::MAX as u128) as u64)
+            }
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::lan()
+    }
+}
+
+/// Incrementally builds a [`Topology`].
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{LinkSpec, TopologyBuilder};
+///
+/// let mut b = TopologyBuilder::new();
+/// let a = b.add_node("barcelona");
+/// let c = b.add_node("lancaster");
+/// b.link_both(a, c, LinkSpec::wan());
+/// let topo = b.build();
+/// assert_eq!(topo.node_count(), 2);
+/// assert!(topo.link(a, c).is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    names: Vec<String>,
+    links: HashMap<(NodeId, NodeId), LinkSpec>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node and returns its id. Names are for traces only and
+    /// need not be unique.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Adds `n` nodes named `prefix0..prefixN-1`, returning their ids.
+    pub fn add_nodes(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
+        (0..n)
+            .map(|i| self.add_node(format!("{prefix}{i}")))
+            .collect()
+    }
+
+    /// Adds (or replaces) the directed link `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id was not produced by this builder, or if
+    /// `from == to` (local delivery needs no link).
+    pub fn link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> &mut Self {
+        assert!(from.index() < self.names.len(), "unknown `from` node");
+        assert!(to.index() < self.names.len(), "unknown `to` node");
+        assert_ne!(from, to, "self-links are implicit");
+        self.links.insert((from, to), spec);
+        self
+    }
+
+    /// Adds the link in both directions with the same spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TopologyBuilder::link`].
+    pub fn link_both(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> &mut Self {
+        self.link(a, b, spec);
+        self.link(b, a, spec);
+        self
+    }
+
+    /// Fully connects every distinct ordered pair with `spec`.
+    pub fn full_mesh(&mut self, spec: LinkSpec) -> &mut Self {
+        let n = self.names.len() as u32;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    self.links.insert((NodeId(i), NodeId(j)), spec);
+                }
+            }
+        }
+        self
+    }
+
+    /// Finalises the topology.
+    pub fn build(self) -> Topology {
+        Topology {
+            names: self.names,
+            links: self.links,
+            partitioned_pairs: HashSet::new(),
+            down_nodes: HashSet::new(),
+        }
+    }
+}
+
+/// The static link structure plus runtime partition/crash state.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    names: Vec<String>,
+    links: HashMap<(NodeId, NodeId), LinkSpec>,
+    partitioned_pairs: HashSet<(NodeId, NodeId)>,
+    down_nodes: HashSet<NodeId>,
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    /// The trace name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this topology.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The directed link spec `from -> to`, if one exists.
+    pub fn link(&self, from: NodeId, to: NodeId) -> Option<&LinkSpec> {
+        self.links.get(&(from, to))
+    }
+
+    /// True when traffic can currently flow `from -> to`: a link exists,
+    /// the pair is not partitioned, and both endpoints are up.
+    ///
+    /// Local delivery (`from == to`) only requires the node to be up.
+    pub fn can_reach(&self, from: NodeId, to: NodeId) -> bool {
+        if self.down_nodes.contains(&from) || self.down_nodes.contains(&to) {
+            return false;
+        }
+        if from == to {
+            return true;
+        }
+        self.links.contains_key(&(from, to)) && !self.partitioned_pairs.contains(&(from, to))
+    }
+
+    /// Severs traffic between the two groups, in both directions.
+    ///
+    /// Links inside each group are unaffected. Idempotent.
+    pub fn partition(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.partitioned_pairs.insert((a, b));
+                self.partitioned_pairs.insert((b, a));
+            }
+        }
+    }
+
+    /// Removes every partition, restoring the built link set.
+    pub fn heal_all(&mut self) {
+        self.partitioned_pairs.clear();
+    }
+
+    /// Restores traffic between the two groups only.
+    pub fn heal(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.partitioned_pairs.remove(&(a, b));
+                self.partitioned_pairs.remove(&(b, a));
+            }
+        }
+    }
+
+    /// Marks a node as crashed: it neither sends nor receives until
+    /// [`Topology::restart_node`].
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.down_nodes.insert(node);
+    }
+
+    /// Brings a crashed node back up.
+    pub fn restart_node(&mut self, node: NodeId) {
+        self.down_nodes.remove(&node);
+    }
+
+    /// True when the node is currently crashed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down_nodes.contains(&node)
+    }
+
+    /// Iterates over the out-neighbours of `from` (ignoring partitions).
+    pub fn neighbours(&self, from: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.links
+            .keys()
+            .filter(move |(f, _)| *f == from)
+            .map(|&(_, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_node_line() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let m = b.add_node("m");
+        let c = b.add_node("c");
+        b.link_both(a, m, LinkSpec::lan());
+        b.link_both(m, c, LinkSpec::lan());
+        (b.build(), a, m, c)
+    }
+
+    #[test]
+    fn links_are_directed_and_queryable() {
+        let (t, a, m, c) = three_node_line();
+        assert!(t.link(a, m).is_some());
+        assert!(t.link(a, c).is_none());
+        assert!(t.can_reach(a, m));
+        assert!(!t.can_reach(a, c));
+        assert!(
+            t.can_reach(a, a),
+            "local delivery always possible on an up node"
+        );
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let (mut t, a, m, _c) = three_node_line();
+        t.partition(&[a], &[m]);
+        assert!(!t.can_reach(a, m));
+        assert!(!t.can_reach(m, a));
+        t.heal(&[a], &[m]);
+        assert!(t.can_reach(a, m));
+    }
+
+    #[test]
+    fn heal_all_clears_every_partition() {
+        let (mut t, a, m, c) = three_node_line();
+        t.partition(&[a], &[m, c]);
+        assert!(!t.can_reach(a, m));
+        t.heal_all();
+        assert!(t.can_reach(a, m));
+    }
+
+    #[test]
+    fn crashed_node_is_unreachable_both_ways() {
+        let (mut t, a, m, _c) = three_node_line();
+        t.crash_node(m);
+        assert!(!t.can_reach(a, m));
+        assert!(!t.can_reach(m, a));
+        assert!(!t.can_reach(m, m));
+        t.restart_node(m);
+        assert!(t.can_reach(a, m));
+    }
+
+    #[test]
+    fn full_mesh_connects_all_pairs() {
+        let mut b = TopologyBuilder::new();
+        let ids = b.add_nodes("s", 4);
+        b.full_mesh(LinkSpec::lan());
+        let t = b.build();
+        for &i in &ids {
+            for &j in &ids {
+                if i != j {
+                    assert!(t.can_reach(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transmission_delay_rounds_up() {
+        let spec = LinkSpec::lan().with_bandwidth(1_000_000); // 1 MB/s -> 1 µs/byte
+        assert_eq!(spec.transmission_delay(0), SimDuration::ZERO);
+        assert_eq!(spec.transmission_delay(1), SimDuration::from_micros(1));
+        assert_eq!(
+            spec.transmission_delay(1_000),
+            SimDuration::from_micros(1_000)
+        );
+        let none = LinkSpec::lan();
+        assert_eq!(none.transmission_delay(1 << 30), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_bandwidth_never_delivers() {
+        let spec = LinkSpec::lan().with_bandwidth(0);
+        assert_eq!(spec.transmission_delay(1), SimDuration::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        b.link(a, a, LinkSpec::lan());
+    }
+
+    #[test]
+    fn neighbours_lists_out_edges() {
+        let (t, a, m, c) = three_node_line();
+        let mut n: Vec<_> = t.neighbours(m).collect();
+        n.sort();
+        assert_eq!(n, vec![a, c]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Execution tracing.
+//!
+//! When enabled, the simulator appends a [`TraceEvent`] for every
+//! interesting state change. Tests use the trace to assert causal
+//! properties ("the reply was sent after the request was delivered");
+//! examples print it to show what a run did.
+
+use std::fmt;
+
+use crate::id::{MessageId, NodeId, TimerId};
+use crate::time::SimTime;
+
+/// One traced state change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time at which the event occurred.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The kinds of state change the simulator records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message entered the network.
+    Sent {
+        /// Message id.
+        id: MessageId,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Payload type label.
+        label: &'static str,
+        /// Simulated size in bytes.
+        size: u64,
+    },
+    /// A message reached its destination handler.
+    Delivered {
+        /// Message id.
+        id: MessageId,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// A message was dropped before delivery.
+    Dropped {
+        /// Message id.
+        id: MessageId,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// Owning node.
+        node: NodeId,
+        /// Timer id.
+        timer: TimerId,
+        /// User tag passed at arming time.
+        tag: u64,
+    },
+    /// A fault-plan action executed.
+    Fault {
+        /// Human-readable description of the action.
+        description: String,
+    },
+}
+
+/// Why a message failed to deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// No link exists between the endpoints.
+    NoRoute,
+    /// The endpoints are currently partitioned.
+    Partitioned,
+    /// The destination (or source) node is crashed.
+    NodeDown,
+    /// Random loss on the link.
+    Loss,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DropReason::NoRoute => "no route",
+            DropReason::Partitioned => "partitioned",
+            DropReason::NodeDown => "node down",
+            DropReason::Loss => "random loss",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.at)?;
+        match &self.kind {
+            TraceKind::Sent {
+                id,
+                from,
+                to,
+                label,
+                size,
+            } => {
+                write!(f, "{id} sent {from} -> {to} ({label}, {size}B)")
+            }
+            TraceKind::Delivered { id, from, to } => {
+                write!(f, "{id} delivered {from} -> {to}")
+            }
+            TraceKind::Dropped { id, reason } => write!(f, "{id} dropped: {reason}"),
+            TraceKind::TimerFired { node, timer, tag } => {
+                write!(f, "{timer} fired on {node} (tag {tag})")
+            }
+            TraceKind::Fault { description } => write!(f, "fault: {description}"),
+        }
+    }
+}
+
+/// A bounded in-memory trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    capacity: usize,
+}
+
+impl Trace {
+    /// Creates a disabled trace (recording is opt-in).
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+            capacity: 1 << 20,
+        }
+    }
+
+    /// Enables recording with the given maximum retained event count.
+    /// Once full, further events are silently discarded (the prefix of a
+    /// run is usually the interesting part for debugging).
+    pub fn enable(&mut self, capacity: usize) {
+        self.enabled = true;
+        self.capacity = capacity;
+    }
+
+    /// Disables recording; retained events stay readable.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, kind: TraceKind) {
+        if self.enabled && self.events.len() < self.capacity {
+            self.events.push(TraceEvent { at, kind });
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drops all recorded events (recording state is unchanged).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.push(
+            SimTime::ZERO,
+            TraceKind::Fault {
+                description: "x".into(),
+            },
+        );
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_up_to_capacity() {
+        let mut t = Trace::new();
+        t.enable(2);
+        for i in 0..5 {
+            t.push(
+                SimTime::from_micros(i),
+                TraceKind::Fault {
+                    description: i.to_string(),
+                },
+            );
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(1),
+            kind: TraceKind::Sent {
+                id: MessageId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+                label: "Ping",
+                size: 16,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("m1"));
+        assert!(s.contains("n0 -> n1"));
+        assert!(s.contains("16B"));
+        assert_eq!(DropReason::Partitioned.to_string(), "partitioned");
+    }
+
+    #[test]
+    fn clear_keeps_enabled_state() {
+        let mut t = Trace::new();
+        t.enable(10);
+        t.push(
+            SimTime::ZERO,
+            TraceKind::Fault {
+                description: "x".into(),
+            },
+        );
+        t.clear();
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled());
+    }
+}

@@ -1,0 +1,93 @@
+//! Figures 2 and 3 as a runnable demo: the same five-application
+//! population interoperating (a) in the closed world of hand-written
+//! pairwise adapters and (b) through the environment's common
+//! information model.
+//!
+//! Run with: `cargo run --example open_vs_closed`
+
+use open_cscw::groupware::{
+    closed_world_adapter_count, descriptor_for, direct_adapter, mapping_for,
+    open_world_mapping_count, sample_artifact, APP_POPULATION,
+};
+use open_cscw::mocca::env::{AppId, ClosedWorld, InteropHub};
+
+fn main() {
+    let n = APP_POPULATION.len();
+    println!(
+        "population: {n} heterogeneous applications\n  {:?}\n",
+        APP_POPULATION
+    );
+
+    // ---- Figure 2: the closed world ---------------------------------------
+    // The integrator only got around to wiring a few pairs (as in real
+    // 1992 offices).
+    let wired: &[(&str, &str)] = &[
+        ("sharedx", "com"),
+        ("com", "sharedx"),
+        ("lens", "com"),
+        ("colab", "sharedx"),
+    ];
+    let mut closed = ClosedWorld::new();
+    for (from, to) in wired {
+        closed.install_adapter(AppId::new(*from), AppId::new(*to), direct_adapter(from, to));
+    }
+    let mut closed_ok = 0;
+    let mut closed_fail = 0;
+    for from in APP_POPULATION {
+        for to in APP_POPULATION {
+            if from == to {
+                continue;
+            }
+            match closed.exchange(&sample_artifact(from), &AppId::new(to)) {
+                Ok(_) => closed_ok += 1,
+                Err(_) => closed_fail += 1,
+            }
+        }
+    }
+    println!(
+        "Figure 2 (closed world, {} adapters wired of {} needed):",
+        closed.adapters_needed(),
+        closed_world_adapter_count(n)
+    );
+    println!("  exchanges: {closed_ok} succeeded, {closed_fail} failed");
+    println!(
+        "  success rate: {:.0}%\n",
+        100.0 * closed_ok as f64 / (closed_ok + closed_fail) as f64
+    );
+
+    // ---- Figure 3: the environment hub -------------------------------------
+    let mut hub = InteropHub::new();
+    for app in APP_POPULATION {
+        let _ = descriptor_for(app); // registered with the env in real use
+        hub.register_mapping(AppId::new(app), mapping_for(app));
+    }
+    let mut open_ok = 0;
+    for from in APP_POPULATION {
+        for to in APP_POPULATION {
+            if from == to {
+                continue;
+            }
+            hub.exchange(&sample_artifact(from), &AppId::new(to))
+                .expect("hub serves every registered pair");
+            open_ok += 1;
+        }
+    }
+    println!(
+        "Figure 3 (environment hub, {} mappings of {} needed):",
+        hub.mappings_needed(),
+        open_world_mapping_count(n)
+    );
+    println!("  exchanges: {open_ok} succeeded, 0 failed");
+    println!("  success rate: 100%");
+    println!("  conversions per exchange: 2 (vs 1 direct) — the price of openness\n");
+
+    println!("integration effort as the population grows:");
+    println!("  N      closed adapters    hub mappings");
+    for n in [2usize, 5, 10, 20, 40] {
+        println!(
+            "  {n:<6} {:<18} {}",
+            closed_world_adapter_count(n),
+            open_world_mapping_count(n)
+        );
+    }
+}

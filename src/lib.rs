@@ -1,0 +1,27 @@
+//! # open-cscw
+//!
+//! Facade crate for the Open CSCW reproduction workspace
+//! (Navarro, Prinz, Rodden — *"Open CSCW Systems: Will ODP help?"*,
+//! ICDCS 1992).
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! - [`simnet`] — deterministic discrete-event network simulation.
+//! - [`directory`] — X.500-style directory service.
+//! - [`messaging`] — X.400-style message transfer system.
+//! - [`odp`] — ODP engineering substrate (trader, binder, transparencies,
+//!   viewpoints).
+//! - [`mocca`] — the CSCW environment itself (the paper's contribution).
+//! - [`groupware`] — example groupware applications covering the
+//!   time–space matrix.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and per-experiment index.
+
+pub use cscw_directory as directory;
+pub use cscw_messaging as messaging;
+pub use groupware;
+pub use mocca;
+pub use odp;
+pub use simnet;

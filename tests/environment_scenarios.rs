@@ -1,0 +1,291 @@
+//! Integration: full environment scenarios spanning the five models,
+//! the interop hub, the event bus, and transparency ablation — the
+//! functional (non-performance) side of experiments F2/F3 and R5.
+
+use open_cscw::directory::Dn;
+use open_cscw::groupware::{
+    descriptor_for, direct_adapter, mapping_for, sample_artifact, APP_POPULATION,
+};
+use open_cscw::mocca::activity::{Activity, ActivityRole};
+use open_cscw::mocca::env::{AppId, EnvEvent};
+use open_cscw::mocca::info::{AccessRight, InfoContent, InfoObject};
+use open_cscw::mocca::org::{OrgRule, Person, RelationKind, Role, RuleKind};
+use open_cscw::mocca::transparency::{CscwTransparencySelection, View};
+use open_cscw::mocca::{CscwEnvironment, MoccaError};
+use open_cscw::simnet::SimTime;
+
+fn dn(s: &str) -> Dn {
+    s.parse().unwrap()
+}
+
+/// Tom (coordinator, Lancaster) and Wolfgang (member, GMD).
+fn base_env() -> CscwEnvironment {
+    let env = CscwEnvironment::new();
+    {
+        let org = env.org();
+        let mut org = org.write();
+        org.add_person(Person::new(dn("cn=Tom"), "Tom"));
+        org.add_person(Person::new(dn("cn=Wolfgang"), "Wolfgang"));
+        org.add_role(Role::new(dn("cn=coordinator"), "coordinator"));
+        org.add_role(Role::new(dn("cn=member"), "member"));
+        org.relate(&dn("cn=Tom"), RelationKind::Occupies, &dn("cn=coordinator"))
+            .unwrap();
+        org.relate(&dn("cn=Wolfgang"), RelationKind::Occupies, &dn("cn=member"))
+            .unwrap();
+        org.add_rule(OrgRule::new(
+            dn("cn=coordinator"),
+            RuleKind::Permit,
+            "schedule",
+            "activity",
+        ));
+    }
+    env
+}
+
+#[test]
+fn whole_population_interoperates_with_one_registration_each() {
+    let mut env = base_env();
+    for app in APP_POPULATION {
+        env.register_app(descriptor_for(app), mapping_for(app));
+    }
+    assert_eq!(env.apps().covered_quadrants().len(), 4);
+
+    let mut exchanges = 0;
+    for from in APP_POPULATION {
+        for to in APP_POPULATION {
+            if from == to {
+                continue;
+            }
+            let artifact = sample_artifact(from);
+            let out = env.exchange(&dn("cn=Tom"), &artifact, &AppId::new(to), SimTime::ZERO);
+            assert!(out.is_ok(), "{from}->{to} failed: {:?}", out.err());
+            exchanges += 1;
+        }
+    }
+    assert_eq!(exchanges, 20);
+    assert_eq!(env.hub().mappings_needed(), 5, "O(N), not O(N²)");
+    assert_eq!(
+        env.repository().len(),
+        20,
+        "every exchange recorded as shared object"
+    );
+    // The bus carried one event per exchange.
+    assert_eq!(env.bus().published_count(), 20);
+}
+
+#[test]
+fn closed_world_partial_wiring_fails_where_hub_succeeds() {
+    let mut env = base_env();
+    for app in APP_POPULATION {
+        env.register_app(descriptor_for(app), mapping_for(app));
+    }
+    // A closed world with only one direction of one pair wired.
+    let mut closed = env.closed_world_baseline([(
+        AppId::new("sharedx"),
+        AppId::new("com"),
+        direct_adapter("sharedx", "com"),
+    )]);
+    assert!(closed
+        .exchange(&sample_artifact("sharedx"), &AppId::new("com"))
+        .is_ok());
+    assert!(closed
+        .exchange(&sample_artifact("com"), &AppId::new("sharedx"))
+        .is_err());
+    // Hub serves both directions from the same five mappings.
+    assert!(env
+        .exchange(
+            &dn("cn=Tom"),
+            &sample_artifact("com"),
+            &AppId::new("sharedx"),
+            SimTime::ZERO
+        )
+        .is_ok());
+}
+
+#[test]
+fn activity_transparency_ablation_changes_disturbance_not_relevance() {
+    let mut env = base_env();
+    env.create_activity(
+        &dn("cn=Tom"),
+        Activity::new("report".into(), "r"),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    env.create_activity(
+        &dn("cn=Tom"),
+        Activity::new("boring".into(), "b"),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    env.join_activity(
+        &dn("cn=Wolfgang"),
+        &"report".into(),
+        ActivityRole("w".into()),
+        SimTime::ZERO,
+    )
+    .unwrap();
+
+    // With isolation on: Wolfgang only sees report-scoped events.
+    let make_event = |kind: &str, act: &str| EnvEvent {
+        kind: kind.to_owned(),
+        activity: Some(act.into()),
+        at: SimTime::ZERO,
+        payload: InfoContent::Text(kind.to_owned()),
+    };
+    env.bus_mut().publish(make_event("e1", "report"));
+    env.bus_mut().publish(make_event("e2", "boring"));
+    let baseline = env.bus().delivered_to(&dn("cn=Wolfgang")).len();
+    assert_eq!(env.bus().disturbances_of(&dn("cn=Wolfgang")), 0);
+
+    // Ablate: isolation off → unrelated events arrive and disturb.
+    let mut sel = env.transparencies();
+    sel.activity = false;
+    env.select_transparencies(sel);
+    env.bus_mut().publish(make_event("e3", "boring"));
+    assert_eq!(
+        env.bus().delivered_to(&dn("cn=Wolfgang")).len(),
+        baseline + 1
+    );
+    assert_eq!(env.bus().disturbances_of(&dn("cn=Wolfgang")), 1);
+}
+
+#[test]
+fn view_transparency_ablation_controls_personal_views() {
+    let mut env = base_env();
+    env.store_object(
+        InfoObject::new(
+            "doc".into(),
+            "document",
+            dn("cn=Tom"),
+            InfoContent::fields([("title", "Report"), ("budget", "classified")]),
+        ),
+        None,
+        SimTime::ZERO,
+    )
+    .unwrap();
+    env.repository_mut()
+        .access_mut()
+        .grant(&"doc".into(), dn("cn=Wolfgang"), AccessRight::Read);
+    env.views_mut().set_view(
+        dn("cn=Wolfgang"),
+        "document",
+        View::selecting([("title", "Titel")]),
+    );
+
+    let seen = env.read_object(&dn("cn=Wolfgang"), &"doc".into()).unwrap();
+    assert_eq!(seen.field("Titel"), Some("Report"));
+    assert_eq!(seen.field("budget"), None);
+
+    let mut sel = env.transparencies();
+    sel.view = false;
+    env.select_transparencies(sel);
+    let raw = env.read_object(&dn("cn=Wolfgang"), &"doc".into()).unwrap();
+    assert_eq!(
+        raw.field("budget"),
+        Some("classified"),
+        "WYSIWIS mode shows the raw object"
+    );
+}
+
+#[test]
+fn organisation_transparency_bridges_or_blocks_interorg_work() {
+    let mut env = base_env();
+    {
+        let t = env.org_transparency_mut();
+        let mut lancaster = odp::Domain::new("lancaster");
+        lancaster.export_service("document-store");
+        let gmd = odp::Domain::new("gmd");
+        t.registry_mut().add_domain(lancaster);
+        t.registry_mut().add_domain(gmd);
+        t.registry_mut().add_contract(odp::FederationContract {
+            a: "lancaster".into(),
+            b: "gmd".into(),
+            service_types: vec!["document-store".into()],
+        });
+        t.assign(dn("cn=Tom"), "lancaster");
+        t.assign(dn("cn=Wolfgang"), "gmd");
+    }
+    // Contracted service: allowed.
+    assert!(env
+        .check_cooperation(&dn("cn=Wolfgang"), &dn("cn=Tom"), "document-store")
+        .is_ok());
+    // Unexported service: one IncompatiblePolicies error, no domain
+    // details leak to the application.
+    let err = env
+        .check_cooperation(&dn("cn=Wolfgang"), &dn("cn=Tom"), "video-wall")
+        .unwrap_err();
+    assert!(matches!(err, MoccaError::IncompatiblePolicies(_)));
+
+    // Ablated: the environment stops checking; the app owns the risk.
+    env.select_transparencies(CscwTransparencySelection {
+        organisation: false,
+        ..CscwTransparencySelection::full()
+    });
+    assert!(env
+        .check_cooperation(&dn("cn=Wolfgang"), &dn("cn=Tom"), "video-wall")
+        .is_ok());
+}
+
+#[test]
+fn expertise_model_routes_work_to_the_right_person() {
+    let mut env = base_env();
+    use open_cscw::mocca::expertise::{Capability, Responsibility};
+    env.expertise_mut()
+        .declare_capability(&dn("cn=Tom"), Capability::new("odp-modelling", 3));
+    env.expertise_mut()
+        .declare_capability(&dn("cn=Wolfgang"), Capability::new("odp-modelling", 5));
+    env.expertise_mut().impose(
+        &dn("cn=Wolfgang"),
+        Responsibility {
+            activity: "amigo".into(),
+            duty: "survey group communication".into(),
+            imposed_by: dn("cn=coordinator"),
+        },
+    );
+    let ranked = env.expertise().find_capable("odp-modelling", 3);
+    assert_eq!(
+        ranked[0].0,
+        &dn("cn=Wolfgang"),
+        "highest level wins despite load"
+    );
+    assert_eq!(
+        env.expertise()
+            .duties_in(&dn("cn=Wolfgang"), &"amigo".into())
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn non_cscw_application_uses_the_environment_too() {
+    // §6.2: "even applications which are not typically regarded as CSCW
+    // applications, like document processing systems, might use the
+    // CSCW environment when they are used in a cooperative context."
+    let mut env = base_env();
+    env.register_app(
+        open_cscw::mocca::env::AppDescriptor {
+            id: "wordproc".into(),
+            name: "Plain document processor".into(),
+            quadrant: open_cscw::mocca::env::Quadrant::SHARED_FACILITY,
+            native_format: "wordproc-native".into(),
+            kinds: vec!["document".into()],
+        },
+        open_cscw::mocca::env::FormatMapping::new([("doc_name", "title"), ("doc_text", "body")]),
+    );
+    env.register_app(descriptor_for("com"), mapping_for("com"));
+    let doc = open_cscw::mocca::env::NativeArtifact::new(
+        "wordproc".into(),
+        "wordproc-native",
+        [
+            ("doc_name", "Minutes 7 May".to_owned()),
+            ("doc_text", "Decisions…".to_owned()),
+        ],
+    );
+    let as_com = env
+        .exchange(&dn("cn=Tom"), &doc, &AppId::new("com"), SimTime::ZERO)
+        .unwrap();
+    assert_eq!(
+        as_com.fields.get("subject").map(String::as_str),
+        Some("Minutes 7 May")
+    );
+}

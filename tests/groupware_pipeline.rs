@@ -1,0 +1,143 @@
+//! Integration: a full cooperative pipeline across quadrants — a
+//! co-located meeting's minutes flow through the environment into the
+//! asynchronous conferencing system and a rule-processing mailbox,
+//! exercising Figure 3 with real applications rather than synthetic
+//! artifacts.
+
+use open_cscw::directory::Dn;
+use open_cscw::groupware::{descriptor_for, mapping_for, MeetingRoom};
+use open_cscw::messaging::{MtaNode, OrAddress, UserAgent};
+use open_cscw::mocca::env::{AppId, NativeArtifact};
+use open_cscw::mocca::tailor::{EventPattern, RuleAction, TailorRule};
+use open_cscw::mocca::CscwEnvironment;
+use open_cscw::simnet::{LinkSpec, Sim, SimTime, TopologyBuilder};
+
+fn dn(s: &str) -> Dn {
+    s.parse().unwrap()
+}
+
+#[test]
+fn meeting_minutes_reach_the_conferencing_system_via_the_hub() {
+    let mut env = CscwEnvironment::new();
+    for app in ["colab", "com"] {
+        env.register_app(descriptor_for(app), mapping_for(app));
+    }
+
+    // Same place / same time: the meeting happens.
+    let mut meeting = MeetingRoom::convene("Adopt MOCCA?", dn("cn=Tom"), vec![dn("cn=Wolfgang")]);
+    let item = meeting
+        .propose(&dn("cn=Tom"), "adopt the open environment")
+        .unwrap();
+    meeting
+        .propose(&dn("cn=Wolfgang"), "wait for the standard")
+        .unwrap();
+    meeting.start_voting(&dn("cn=Tom")).unwrap();
+    meeting.vote(&dn("cn=Tom"), item).unwrap();
+    meeting.vote(&dn("cn=Wolfgang"), item).unwrap();
+    let ranking = meeting.close(&dn("cn=Tom")).unwrap();
+
+    // The minutes leave the meeting room as a COLAB-native artifact.
+    let minutes = NativeArtifact::new(
+        "colab".into(),
+        "colab-native",
+        [
+            ("meeting_title", meeting.title.clone()),
+            (
+                "board_dump",
+                format!("winner: {} ({} votes)", ranking[0].text, ranking[0].votes),
+            ),
+            ("facilitator", "cn=Tom".to_owned()),
+        ],
+    );
+
+    // The hub hands them to the different-time/different-place world.
+    let as_com = env
+        .exchange(&dn("cn=Tom"), &minutes, &AppId::new("com"), SimTime::ZERO)
+        .unwrap();
+    assert_eq!(
+        as_com.fields.get("subject").map(String::as_str),
+        Some("Adopt MOCCA?")
+    );
+    assert!(as_com
+        .fields
+        .get("entry_text")
+        .unwrap()
+        .contains("adopt the open environment"));
+    assert_eq!(
+        env.repository().len(),
+        1,
+        "the exchange is a shared information object"
+    );
+}
+
+#[test]
+fn lens_rules_file_the_bbs_notification_stream() {
+    // An MTA world where the BBS notifies Wolfgang, whose Lens rules
+    // file conference traffic automatically — tailorability (R4) meeting
+    // asynchronous conferencing (Figure 1's bottom-right).
+    let mut b = TopologyBuilder::new();
+    let bbs_node = b.add_node("bbs");
+    let mta = b.add_node("mta");
+    let tom_ws = b.add_node("tom-ws");
+    let wolfgang_ws = b.add_node("wolfgang-ws");
+    b.full_mesh(LinkSpec::wan());
+    let mut sim = Sim::new(b.build(), 111);
+
+    let bbs_addr: OrAddress = "C=UK;O=Lancaster;PN=COM Server".parse().unwrap();
+    let wolfgang_addr: OrAddress = "C=UK;O=Lancaster;PN=Wolfgang".parse().unwrap();
+    let mut mta_node = MtaNode::new("mta");
+    mta_node.register_mailbox(bbs_addr.clone());
+    mta_node.register_mailbox(wolfgang_addr.clone());
+    sim.register(mta, mta_node);
+    sim.register(
+        bbs_node,
+        open_cscw::groupware::BbsServer::new(bbs_addr, mta),
+    );
+
+    let tom = open_cscw::groupware::BbsClient {
+        who: dn("cn=Tom"),
+        node: tom_ws,
+        server: bbs_node,
+    };
+    tom.create_conference(&mut sim, "odp-news");
+    let wolfgang_client = open_cscw::groupware::BbsClient {
+        who: dn("cn=Wolfgang"),
+        node: wolfgang_ws,
+        server: bbs_node,
+    };
+    wolfgang_client.subscribe(&mut sim, "odp-news", wolfgang_addr.clone());
+
+    // Wolfgang's Lens mailbox files everything from the COM server.
+    let mut lens =
+        open_cscw::groupware::LensMailbox::new(UserAgent::new(wolfgang_addr, wolfgang_ws, mta));
+    lens.rules_mut().add_rule(TailorRule {
+        name: "file-conference-traffic".into(),
+        pattern: EventPattern::of_kind("message").with_field_containing("subject", "[odp-news]"),
+        action: RuleAction::MoveToFolder("conferences".into()),
+    });
+
+    tom.post(
+        &mut sim,
+        "odp-news",
+        "draft standard out",
+        "WD7 documents N309-N315",
+        None,
+    );
+    tom.post(
+        &mut sim,
+        "odp-news",
+        "workshop in Berlin",
+        "October 8-11, 1991",
+        None,
+    );
+    sim.run_until_idle();
+
+    let processed = lens.process_new_mail(&mut sim).unwrap();
+    assert_eq!(processed, 2);
+    assert_eq!(
+        lens.folder("conferences").len(),
+        2,
+        "rules filed the notifications"
+    );
+    assert_eq!(lens.folder("inbox").len(), 0);
+}
