@@ -11,10 +11,18 @@
 //! Every service the environment performs is counted in an operations
 //! ledger; the F4 bench uses it to show the CSCW layer's cost over raw
 //! ODP.
+//!
+//! The environment is *platform-pluggable*: all distribution-touching
+//! work (trading, directory, message transfer) goes through the
+//! [`Platform`] ports, so the same environment runs in-process
+//! ([`LocalPlatform`]) or across a simulated network
+//! ([`SimPlatform`](crate::platform::SimPlatform)).
 
 use std::sync::Arc;
 
-use cscw_directory::Dn;
+use cscw_directory::{Attribute, DirOp, Dn, Entry, Rdn};
+use cscw_kernel::Layer;
+use cscw_messaging::OrAddress;
 use parking_lot::RwLock;
 use simnet::SimTime;
 
@@ -26,10 +34,48 @@ use crate::env::registry::{AppDescriptor, AppId, AppRegistry};
 use crate::error::MoccaError;
 use crate::expertise::UserExpertiseModel;
 use crate::info::{InfoContent, InfoObject, InfoObjectId, InformationRepository};
-use crate::org::{KnowledgeBase, OrgTradingPolicy, OrganisationalModel};
+use crate::org::{KnowledgeBase, OrgTradingPolicy, OrganisationalModel, ENV_PRINCIPAL};
+use crate::platform::{DirectoryPort, LocalPlatform, Platform, TraderPort, TransportPort};
 use crate::tailor::TailorStore;
 use crate::transparency::activity::ActivityIsolation;
 use crate::transparency::{CscwTransparencySelection, OrganisationTransparency, ViewRegistry};
+
+/// The service type under which registered applications are advertised
+/// to the platform's trader (one offer per [`register_app`]).
+///
+/// [`register_app`]: CscwEnvironment::register_app
+pub const APP_SERVICE_TYPE: &str = "cscw-application";
+
+/// The trader interface type every registered application offers.
+fn app_service_type() -> odp::InterfaceType {
+    odp::InterfaceType::new(APP_SERVICE_TYPE).with_operation(odp::OperationSig::new(
+        "deliver",
+        [odp::ValueKind::Text],
+        odp::ValueKind::Bool,
+    ))
+}
+
+/// O/R address for a registered application's notification mailbox.
+fn app_address(app: &AppId) -> Option<OrAddress> {
+    OrAddress::new("ZZ", "mocca", ["apps"], app.as_str()).ok()
+}
+
+/// O/R address for a person; DN separators are not legal in O/R
+/// components, so they are folded to `-` (`cn=Tom` → `cn-Tom`).
+fn person_address(dn: &Dn) -> Option<OrAddress> {
+    let name: String = dn
+        .to_string()
+        .chars()
+        .map(|c| {
+            if c == '=' || c == ',' || c == ';' {
+                '-'
+            } else {
+                c
+            }
+        })
+        .collect();
+    OrAddress::new("ZZ", "mocca", ["users"], name).ok()
+}
 
 /// The assembled open CSCW environment.
 pub struct CscwEnvironment {
@@ -46,7 +92,7 @@ pub struct CscwEnvironment {
     registry: AppRegistry,
     hub: InteropHub,
     bus: EventBus,
-    trader: odp::Trader,
+    platform: Box<dyn Platform>,
     operations: u64,
 }
 
@@ -68,12 +114,24 @@ impl Default for CscwEnvironment {
 }
 
 impl CscwEnvironment {
-    /// Creates an environment with all transparencies engaged and the
-    /// organisational trading policy attached to its trader.
+    /// Creates an environment on the in-process [`LocalPlatform`] with
+    /// all transparencies engaged and the organisational trading policy
+    /// attached to the platform's trader.
     pub fn new() -> Self {
+        Self::with_platform(Box::new(LocalPlatform::new()))
+    }
+
+    /// Creates an environment on an arbitrary engineering platform.
+    ///
+    /// The platform's trader gets the organisational trading policy
+    /// attached and the [`APP_SERVICE_TYPE`] registered, so application
+    /// registration can advertise offers immediately.
+    pub fn with_platform(mut platform: Box<dyn Platform>) -> Self {
         let org = Arc::new(RwLock::new(OrganisationalModel::new()));
-        let mut trader = odp::Trader::new("mocca-trader");
-        trader.attach_policy(OrgTradingPolicy::new(org.clone()));
+        platform
+            .trader()
+            .attach_policy(Box::new(OrgTradingPolicy::new(org.clone())));
+        platform.trader().register_service_type(app_service_type());
         CscwEnvironment {
             org,
             knowledge: KnowledgeBase::new(),
@@ -88,13 +146,29 @@ impl CscwEnvironment {
             registry: AppRegistry::new(),
             hub: InteropHub::new(),
             bus: EventBus::new(),
-            trader,
+            platform,
             operations: 0,
         }
     }
 
     fn count_op(&mut self) {
         self.operations += 1;
+    }
+
+    /// Emits an environment-layer telemetry event on the platform's
+    /// stream.
+    fn emit_env(&self, name: &'static str, detail: String) {
+        let t = self.platform.telemetry();
+        t.incr(Layer::Env, name);
+        t.emit(self.platform.clock().now_micros(), Layer::Env, name, detail);
+    }
+
+    /// Emits an application-layer telemetry event (the environment
+    /// recording what the *application* asked of it).
+    fn emit_app(&self, name: &'static str, detail: String) {
+        let t = self.platform.telemetry();
+        t.incr(Layer::App, name);
+        t.emit(self.platform.clock().now_micros(), Layer::App, name, detail);
     }
 
     /// Environment operations performed (each lowers to ODP/substrate
@@ -165,7 +239,9 @@ impl CscwEnvironment {
         &self.knowledge
     }
 
-    /// Publishes the organisational model into the knowledge base.
+    /// Publishes the organisational model into the knowledge base and
+    /// mirrors every entry into the platform's directory (already-
+    /// existing entries are left alone — publication is idempotent).
     ///
     /// # Errors
     ///
@@ -173,18 +249,47 @@ impl CscwEnvironment {
     pub fn publish_knowledge(&mut self) -> Result<usize, MoccaError> {
         self.count_op();
         let org = self.org.read().clone();
-        self.knowledge.publish(&org)
+        let published = self.knowledge.publish(&org)?;
+        self.emit_env("env.publish_knowledge", format!("{published} entries"));
+        let entries: Vec<Entry> = self.knowledge.dit().iter().cloned().collect();
+        for entry in entries {
+            match self.platform.directory().apply(DirOp::Add(entry)) {
+                Ok(_) | Err(cscw_directory::DirectoryError::EntryExists(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(published)
     }
 
-    /// The environment's trader (with the organisational policy
-    /// attached).
-    pub fn trader(&self) -> &odp::Trader {
-        &self.trader
+    /// The engineering platform the environment runs on.
+    pub fn platform(&self) -> &dyn Platform {
+        self.platform.as_ref()
     }
 
-    /// Mutable trader access (to register service types and offers).
-    pub fn trader_mut(&mut self) -> &mut odp::Trader {
-        &mut self.trader
+    /// Mutable platform access.
+    pub fn platform_mut(&mut self) -> &mut dyn Platform {
+        self.platform.as_mut()
+    }
+
+    /// The platform's layer-tagged telemetry stream.
+    pub fn telemetry(&self) -> &cscw_kernel::Telemetry {
+        self.platform.telemetry()
+    }
+
+    /// The platform's trading port (with the organisational policy
+    /// attached) — to register service types, export offers and import.
+    pub fn trader_mut(&mut self) -> &mut dyn TraderPort {
+        self.platform.trader()
+    }
+
+    /// The platform's directory port.
+    pub fn directory_mut(&mut self) -> &mut dyn DirectoryPort {
+        self.platform.directory()
+    }
+
+    /// The platform's message-transfer port.
+    pub fn transport_mut(&mut self) -> &mut dyn TransportPort {
+        self.platform.transport()
     }
 
     /// The view registry.
@@ -239,11 +344,30 @@ impl CscwEnvironment {
 
     /// Registers an application with its mapping into the common
     /// information model. One registration makes it interoperable with
-    /// every other registered application.
+    /// every other registered application, and exports a
+    /// [`APP_SERVICE_TYPE`] offer to the platform's trader so the
+    /// application can be *located* through the trading function.
     pub fn register_app(&mut self, descriptor: AppDescriptor, mapping: FormatMapping) {
         self.count_op();
-        self.hub.register_mapping(descriptor.id.clone(), mapping);
+        let id = descriptor.id.clone();
+        self.emit_env("env.register_app", id.to_string());
+        self.hub.register_mapping(id.clone(), mapping);
         self.registry.register(descriptor);
+        let export = self.platform.trader().export(
+            APP_SERVICE_TYPE,
+            &app_service_type(),
+            odp::InterfaceRef {
+                object: id.as_str().into(),
+                node: simnet::NodeId::from_raw(0),
+                interface: APP_SERVICE_TYPE.into(),
+            },
+            vec![("app".to_owned(), odp::Value::from(id.as_str()))],
+        );
+        if export.is_err() {
+            // Registration itself succeeded; the app is just not
+            // locatable via trading (e.g. the trader node is down).
+            self.emit_env("env.app_offer_failed", id.to_string());
+        }
     }
 
     /// The application registry.
@@ -260,10 +384,20 @@ impl CscwEnvironment {
     /// the common model, recording it in the information repository as
     /// a shared object owned by `sharer`.
     ///
+    /// The exchange is *lowered* through the platform, walking the
+    /// Figure-4 stack top to bottom: the application's request (App),
+    /// the environment service (Env), a trader import locating the
+    /// destination application (Odp), a directory record of the shared
+    /// object (Directory) and a notification to the destination
+    /// application's mailbox (Messaging) — each of which becomes Net
+    /// traffic on a distributed platform.
+    ///
     /// # Errors
     ///
     /// * [`MoccaError::UnknownApplication`] — unmapped application.
     /// * Repository errors for the shared record.
+    /// * Substrate errors when the platform cannot complete the
+    ///   lowering (trader unreachable, transfer failed).
     pub fn exchange(
         &mut self,
         sharer: &Dn,
@@ -272,8 +406,26 @@ impl CscwEnvironment {
         at: SimTime,
     ) -> Result<NativeArtifact, MoccaError> {
         self.count_op();
+        self.emit_app(
+            "app.exchange",
+            format!("{} -> {} by {sharer}", artifact.app, to),
+        );
+        self.emit_env("env.exchange", format!("{} -> {to}", artifact.app));
         let common = self.hub.to_common(artifact)?;
         let result = self.hub.exchange(artifact, to)?;
+        // Locate the destination application through the trading
+        // function (§6.1): the environment imports under its own
+        // engineering identity.
+        let offers = self
+            .platform
+            .trader()
+            .import(&odp::ImportRequest::any(APP_SERVICE_TYPE).with_importer(ENV_PRINCIPAL))?;
+        let located = offers
+            .iter()
+            .any(|o| o.property("app").and_then(odp::Value::as_text) == Some(to.as_str()));
+        if !located {
+            return Err(MoccaError::UnknownApplication(to.to_string()));
+        }
         // Record the exchanged object in the shared repository (ids are
         // deterministic per exchange count).
         let id = InfoObjectId::new(format!("xchg:{}:{}", self.hub.conversions_performed(), to));
@@ -283,6 +435,13 @@ impl CscwEnvironment {
             sharer.clone(),
             InfoContent::Fields(common),
         ))?;
+        self.mirror_to_directory(&id, "exchanged-artifact", sharer);
+        // Notify the destination application's mailbox via the MTS.
+        if let (Some(from), Some(dest)) = (person_address(sharer), app_address(to)) {
+            self.platform
+                .transport()
+                .notify(&from, &dest, "artifact-exchanged", id.as_str())?;
+        }
         self.bus.publish(EnvEvent {
             kind: "artifact-exchanged".into(),
             activity: None,
@@ -294,6 +453,21 @@ impl CscwEnvironment {
             ]),
         });
         Ok(result)
+    }
+
+    /// Best-effort directory record of a stored object; objects whose
+    /// ids cannot form a valid RDN are simply not mirrored, and an
+    /// already-present record is left alone.
+    fn mirror_to_directory(&mut self, id: &InfoObjectId, kind: &str, owner: &Dn) {
+        let Ok(rdn) = Rdn::new("cn", id.as_str()) else {
+            return;
+        };
+        let entry = Entry::new(Dn::root().child(rdn))
+            .with_class("cscwresource")
+            .with_attr(Attribute::single("cn", id.as_str()))
+            .with_attr(Attribute::single("resourcetype", kind))
+            .with_attr(Attribute::single("owner", owner.to_string()));
+        let _ = self.platform.directory().apply(DirOp::Add(entry));
     }
 
     // ---- activities --------------------------------------------------------
@@ -374,7 +548,11 @@ impl CscwEnvironment {
     ) -> Result<(), MoccaError> {
         self.count_op();
         let id = object.id.clone();
+        let kind = object.kind.clone();
+        let owner = object.owner.clone();
+        self.emit_env("env.store_object", id.to_string());
         self.repository.store(object)?;
+        self.mirror_to_directory(&id, &kind, &owner);
         self.bus.publish(EnvEvent {
             kind: "object-stored".into(),
             activity,
@@ -664,16 +842,16 @@ mod tests {
                     node: simnet::NodeId::from_raw(0),
                     interface: "scheduler".into(),
                 },
-                [],
+                vec![],
             )
             .unwrap();
         // Tom (coordinator) may import; Wolfgang may not.
         let ok = e
-            .trader()
+            .trader_mut()
             .import(&odp::ImportRequest::any("scheduler").with_importer("cn=Tom"));
         assert!(ok.is_ok());
         let denied = e
-            .trader()
+            .trader_mut()
             .import(&odp::ImportRequest::any("scheduler").with_importer("cn=Wolfgang"));
         assert!(denied.is_err());
     }

@@ -99,6 +99,38 @@ impl Error for MoccaError {
     }
 }
 
+impl cscw_kernel::LayerError for MoccaError {
+    /// Wrapped substrate errors keep the layer they came from; the
+    /// environment's own failures are [`Layer::Env`](cscw_kernel::Layer).
+    fn layer(&self) -> cscw_kernel::Layer {
+        match self {
+            MoccaError::Directory(e) => e.layer(),
+            MoccaError::Messaging(e) => e.layer(),
+            MoccaError::Odp(e) => e.layer(),
+            _ => cscw_kernel::Layer::Env,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            MoccaError::UnknownOrgObject(_) => "unknown_org_object",
+            MoccaError::UnknownActivity(_) => "unknown_activity",
+            MoccaError::IllegalTransition { .. } => "illegal_transition",
+            MoccaError::DependencyCycle(_) => "dependency_cycle",
+            MoccaError::AccessDenied { .. } => "access_denied",
+            MoccaError::IncompatiblePolicies(_) => "incompatible_policies",
+            MoccaError::UnknownInfoObject(_) => "unknown_info_object",
+            MoccaError::NoConversionPath { .. } => "no_conversion_path",
+            MoccaError::UnknownApplication(_) => "unknown_application",
+            MoccaError::BadNegotiationState(_) => "bad_negotiation_state",
+            MoccaError::TailoringViolation(_) => "tailoring_violation",
+            MoccaError::Directory(e) => e.kind(),
+            MoccaError::Messaging(e) => e.kind(),
+            MoccaError::Odp(e) => e.kind(),
+        }
+    }
+}
+
 impl From<cscw_directory::DirectoryError> for MoccaError {
     fn from(e: cscw_directory::DirectoryError) -> Self {
         MoccaError::Directory(e)
@@ -141,5 +173,22 @@ mod tests {
         let _: MoccaError = odp::OdpError::FederationLoop.into();
         let _: MoccaError =
             cscw_directory::DirectoryError::NoSuchEntry("c=UK".parse().unwrap()).into();
+    }
+
+    #[test]
+    fn layer_classification_keeps_the_source_layer() {
+        use cscw_kernel::{Layer, LayerError};
+
+        let own = MoccaError::UnknownActivity("review".into());
+        assert_eq!(own.layer(), Layer::Env);
+        assert_eq!(own.kind(), "unknown_activity");
+
+        let wrapped: MoccaError = odp::OdpError::FederationLoop.into();
+        assert_eq!(wrapped.layer(), Layer::Odp);
+        assert_eq!(wrapped.kind(), "federation_loop");
+
+        let k = wrapped.to_kernel();
+        assert_eq!(k.layer(), Layer::Odp);
+        assert!(k.to_string().starts_with("[odp/federation_loop]"));
     }
 }

@@ -30,10 +30,20 @@
 //! Figure 3) and offers the closed pairwise world as an explicit
 //! baseline ([`env::ClosedWorld`], Figure 2).
 //!
-//! Substrates: `simnet` (network), `cscw-directory` (X.500),
-//! `cscw-messaging` (X.400), `odp` (trader, transparencies,
-//! viewpoints). Every distribution-touching operation lowers to those
-//! layers — the subset claim of Figure 4.
+//! ## The platform ([`platform`])
+//!
+//! Substrates: `cscw-kernel` (clocks, telemetry, layered errors),
+//! `simnet` (network), `cscw-directory` (X.500), `cscw-messaging`
+//! (X.400), `odp` (trader, transparencies, viewpoints). The
+//! environment reaches them only through the [`platform::Platform`]
+//! ports. Operations that share state across applications —
+//! `exchange`, `store_object`, `publish_knowledge`, `register_app` —
+//! lower through those ports onto the trader, directory and MTS
+//! (in-process on [`platform::LocalPlatform`], across a simulated
+//! network on [`platform::SimPlatform`]); purely model-local
+//! operations (activity bookkeeping, expertise queries, tailoring)
+//! stay in the environment layer. That is Figure 4's subset claim at
+//! the granularity the code actually implements.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,8 +55,12 @@ mod error;
 pub mod expertise;
 pub mod info;
 pub mod org;
+pub mod platform;
 pub mod tailor;
 pub mod transparency;
 
 pub use env::CscwEnvironment;
 pub use error::MoccaError;
+pub use platform::{
+    DirectoryPort, LocalPlatform, Platform, SimPlatform, TraderPort, TransportPort,
+};

@@ -23,4 +23,4 @@ pub use knowledge::KnowledgeBase;
 pub use model::OrganisationalModel;
 pub use objects::{OrgRelation, OrgUnit, Person, Project, RelationKind, Resource, Role};
 pub use rules::{evaluate, obligations, Authorisation, OrgRule, RuleKind};
-pub use trading::OrgTradingPolicy;
+pub use trading::{OrgTradingPolicy, ENV_PRINCIPAL};

@@ -16,6 +16,13 @@ use parking_lot::RwLock;
 
 use crate::org::model::OrganisationalModel;
 
+/// The DN under which the environment itself performs engineering
+/// imports (e.g. locating the destination application's interface
+/// during an exchange). Those imports are the environment's own
+/// plumbing — user-level authority for the *cooperation* is checked by
+/// `CscwEnvironment::check_cooperation`, not by the trading policy.
+pub const ENV_PRINCIPAL: &str = "cn=mocca-environment";
+
 /// Trading policy driven by organisational rules.
 ///
 /// An import of service type `T` by principal `P` (the import request's
@@ -23,7 +30,8 @@ use crate::org::model::OrganisationalModel;
 /// model authorises `P` to perform action `"import"` on target kind
 /// `"service:T"`. Offers carrying an `org` property are additionally
 /// checked for action `"import-from"` on `"org:<value>"` — the
-/// inter-organisational hook.
+/// inter-organisational hook. The environment's own engineering
+/// identity ([`ENV_PRINCIPAL`]) is always allowed.
 #[derive(Clone)]
 pub struct OrgTradingPolicy {
     model: Arc<RwLock<OrganisationalModel>>,
@@ -48,6 +56,9 @@ impl TradingPolicy for OrgTradingPolicy {
     }
 
     fn allows(&self, offer: &ServiceOffer, importer: &str) -> bool {
+        if importer == ENV_PRINCIPAL {
+            return true;
+        }
         let Ok(dn) = importer.parse::<Dn>() else {
             return false; // unidentified importers get nothing
         };

@@ -1,0 +1,151 @@
+//! Engineering platforms: where the environment's distribution work
+//! actually runs.
+//!
+//! §6 of the paper maps the MOCCA environment onto ODP engineering
+//! functions — trading (§6.1), the directory-backed organisational
+//! knowledge base, and message transfer. The [`Platform`] trait is that
+//! mapping made explicit: a platform supplies the clock, the telemetry
+//! stream, and three *ports* (trader, directory, transport) through
+//! which every distribution-touching environment operation is lowered.
+//!
+//! Two implementations ship:
+//!
+//! * [`LocalPlatform`] — everything in-process, the zero-network fast
+//!   path. This is what [`CscwEnvironment::new`] uses, and it preserves
+//!   the pre-platform behaviour exactly.
+//! * [`SimPlatform`] — the same ports lowered onto `simnet` nodes: a
+//!   [`odp::TraderNode`], a [`cscw_directory::DsaNode`] and a
+//!   [`cscw_messaging::MtaNode`] on a LAN, driven through the existing
+//!   `RemoteTrader`/`Dua`/`UserAgent` facades. Every port call becomes
+//!   real (simulated) wire traffic, so a single environment operation
+//!   produces telemetry tagged at every layer of the Figure-4 stack.
+//!
+//! Both platforms run the same environment scenario suite; the layering
+//! integration test asserts the per-layer telemetry story on the sim
+//! platform.
+//!
+//! [`CscwEnvironment::new`]: crate::CscwEnvironment::new
+
+mod local;
+mod sim;
+
+pub use local::LocalPlatform;
+pub use sim::SimPlatform;
+
+use cscw_directory::{DirOp, DirResult, DirectoryError};
+use cscw_kernel::{Clock, Telemetry};
+use cscw_messaging::{MtsError, OrAddress};
+use odp::{
+    ImportRequest, InterfaceRef, InterfaceType, OdpError, OfferId, ServiceOffer, TradingPolicy,
+    Value,
+};
+
+/// The trading function (§6.1): service-offer export and policy-checked
+/// import.
+///
+/// `import` returns owned offers because on a distributed platform the
+/// offers crossed the wire to get here.
+pub trait TraderPort {
+    /// Registers a service type with the platform's trader.
+    fn register_service_type(&mut self, iface: InterfaceType);
+
+    /// Exports an offer of `service_type`.
+    ///
+    /// # Errors
+    ///
+    /// Conformance and availability errors from the trader.
+    fn export(
+        &mut self,
+        service_type: &str,
+        offering_type: &InterfaceType,
+        interface: InterfaceRef,
+        properties: Vec<(String, Value)>,
+    ) -> Result<OfferId, OdpError>;
+
+    /// Imports offers matching `request`, after policy filtering.
+    ///
+    /// # Errors
+    ///
+    /// [`OdpError::NoMatchingOffer`] and friends, or
+    /// [`OdpError::Unavailable`] when the trader cannot be reached.
+    fn import(&mut self, request: &ImportRequest) -> Result<Vec<ServiceOffer>, OdpError>;
+
+    /// Attaches a trading policy to the platform's trader.
+    fn attach_policy(&mut self, policy: Box<dyn TradingPolicy>);
+
+    /// Number of offers the trader currently holds.
+    fn offer_count(&mut self) -> usize;
+}
+
+/// The directory function: the X.500-shaped store behind the
+/// organisational knowledge base.
+pub trait DirectoryPort {
+    /// Applies one directory operation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DirectoryError`] from the responsible DSA, or
+    /// [`DirectoryError::Unavailable`] when none answers.
+    fn apply(&mut self, op: DirOp) -> Result<DirResult, DirectoryError>;
+}
+
+/// The message-transfer function: X.400-shaped store-and-forward
+/// notification.
+pub trait TransportPort {
+    /// Submits a notification message from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`MtsError`] variants for invalid addresses or failed transfer.
+    fn notify(
+        &mut self,
+        from: &OrAddress,
+        to: &OrAddress,
+        subject: &str,
+        body: &str,
+    ) -> Result<u64, MtsError>;
+
+    /// Subjects of messages delivered to `to` so far (test/observation
+    /// hook).
+    fn delivered(&mut self, to: &OrAddress) -> Vec<String>;
+}
+
+/// A pluggable engineering platform for the CSCW environment.
+///
+/// Object-safe on purpose: the environment holds `Box<dyn Platform>`,
+/// so the application layer never knows whether its trading, directory
+/// and messaging calls run in-process or across a simulated network.
+pub trait Platform {
+    /// Short platform name (for diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// The platform's clock (kernel time source).
+    fn clock(&self) -> &dyn Clock;
+
+    /// The platform's layer-tagged telemetry stream.
+    fn telemetry(&self) -> &Telemetry;
+
+    /// The trading port.
+    fn trader(&mut self) -> &mut dyn TraderPort;
+
+    /// The directory port.
+    fn directory(&mut self) -> &mut dyn DirectoryPort;
+
+    /// The message-transfer port.
+    fn transport(&mut self) -> &mut dyn TransportPort;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_trait_is_object_safe() {
+        fn takes(_: &mut dyn Platform) {}
+        let mut p = LocalPlatform::new();
+        takes(&mut p);
+        let mut boxed: Box<dyn Platform> = Box::new(LocalPlatform::new());
+        assert_eq!(boxed.name(), "local");
+        assert_eq!(boxed.trader().offer_count(), 0);
+    }
+}

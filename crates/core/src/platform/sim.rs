@@ -1,0 +1,292 @@
+//! The simulated distributed platform: ports lowered onto `simnet`
+//! nodes.
+
+use cscw_directory::{DirOp, DirResult, DirectoryError, Dn, DsaNode, Dua, DuaNode};
+use cscw_kernel::{Clock, Layer, ManualClock, Telemetry};
+use cscw_messaging::{Ipm, MtaNode, MtsError, OrAddress, SubmitOptions, UserAgent};
+use odp::{
+    ImportRequest, InterfaceRef, InterfaceType, OdpError, OfferId, RemoteTrader, ServiceOffer,
+    Trader, TraderClientNode, TraderNode, TradingPolicy, Value,
+};
+use simnet::{LinkSpec, NodeId, Sim, TopologyBuilder};
+
+use super::{DirectoryPort, Platform, TraderPort, TransportPort};
+
+/// The environment's courier address: notifications are submitted from
+/// this mailbox on behalf of the real originator (who stays in the IPM
+/// heading).
+fn courier_address() -> OrAddress {
+    OrAddress::new("ZZ", "mocca", ["env"], "courier").expect("static address is valid")
+}
+
+/// The environment's engineering functions hosted on a six-node
+/// simulated LAN: a trader, a DSA and an MTA, each reached through its
+/// standard client facade ([`RemoteTrader`], [`Dua`], [`UserAgent`]).
+/// Every port call becomes wire traffic, so one environment operation
+/// leaves telemetry at every layer of the Figure-4 stack.
+pub struct SimPlatform {
+    sim: Sim,
+    telemetry: Telemetry,
+    clock: ManualClock,
+    mta_node: NodeId,
+    trader_node: NodeId,
+    remote_trader: RemoteTrader,
+    dua: Dua,
+    courier: UserAgent,
+}
+
+impl std::fmt::Debug for SimPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPlatform")
+            .field("now_micros", &self.sim.now().as_micros())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimPlatform {
+    /// Builds the platform: trader, DSA (mastering the whole tree) and
+    /// MTA on a full-mesh LAN, plus a client node per facade, with a
+    /// shared telemetry stream attached to the network.
+    pub fn new(seed: u64) -> Self {
+        let mut b = TopologyBuilder::new();
+        let trader_client = b.add_node("env-trader-client");
+        let dua_client = b.add_node("env-dua-client");
+        let ua_node = b.add_node("env-user-agent");
+        let trader_node = b.add_node("trader");
+        let dsa_node = b.add_node("dsa");
+        let mta_node = b.add_node("mta");
+        b.full_mesh(LinkSpec::lan());
+        let mut sim = Sim::new(b.build(), seed);
+
+        let telemetry = Telemetry::new();
+        sim.attach_telemetry(telemetry.clone());
+        let clock = sim.kernel_clock();
+
+        sim.register(trader_node, TraderNode::new(Trader::new("mocca-trader")));
+        sim.register(dsa_node, DsaNode::new([Dn::root()]));
+        let mut mta = MtaNode::new("mocca-mta");
+        mta.register_mailbox(courier_address());
+        sim.register(mta_node, mta);
+        sim.register(trader_client, TraderClientNode::default());
+        sim.register(dua_client, DuaNode::default());
+
+        SimPlatform {
+            remote_trader: RemoteTrader::new(trader_client, trader_node),
+            dua: Dua::new(dua_client, dsa_node),
+            courier: UserAgent::new(courier_address(), ua_node, mta_node),
+            sim,
+            telemetry,
+            clock,
+            mta_node,
+            trader_node,
+        }
+    }
+
+    /// The underlying simulation (to inject faults or inspect metrics).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Mutable simulation access.
+    pub fn sim_mut(&mut self) -> &mut Sim {
+        &mut self.sim
+    }
+
+    fn emit(&self, layer: Layer, name: &'static str, detail: String) {
+        self.telemetry.incr(layer, name);
+        self.telemetry
+            .emit(self.clock.now_micros(), layer, name, detail);
+    }
+}
+
+impl TraderPort for SimPlatform {
+    fn register_service_type(&mut self, iface: InterfaceType) {
+        // Administrative setup, done directly at the trader's node.
+        if let Some(node) = self.sim.node_mut::<TraderNode>(self.trader_node) {
+            node.trader_mut().register_service_type(iface);
+        }
+    }
+
+    fn export(
+        &mut self,
+        service_type: &str,
+        offering_type: &InterfaceType,
+        interface: InterfaceRef,
+        properties: Vec<(String, Value)>,
+    ) -> Result<OfferId, OdpError> {
+        self.emit(Layer::Odp, "odp.export", format!("offer of {service_type}"));
+        self.remote_trader.export(
+            &mut self.sim,
+            service_type,
+            offering_type,
+            interface,
+            properties,
+        )
+    }
+
+    fn import(&mut self, request: &ImportRequest) -> Result<Vec<ServiceOffer>, OdpError> {
+        self.emit(
+            Layer::Odp,
+            "odp.import",
+            format!("seeking {}", request.service_type),
+        );
+        self.remote_trader.import(&mut self.sim, request.clone())
+    }
+
+    fn attach_policy(&mut self, policy: Box<dyn TradingPolicy>) {
+        if let Some(node) = self.sim.node_mut::<TraderNode>(self.trader_node) {
+            node.trader_mut().attach_policy_boxed(policy);
+        }
+    }
+
+    fn offer_count(&mut self) -> usize {
+        self.sim
+            .node::<TraderNode>(self.trader_node)
+            .map(|n| n.trader().offer_count())
+            .unwrap_or(0)
+    }
+}
+
+impl DirectoryPort for SimPlatform {
+    fn apply(&mut self, op: DirOp) -> Result<DirResult, DirectoryError> {
+        self.emit(Layer::Directory, "dir.apply", format!("{}", op.target()));
+        self.dua.perform(&mut self.sim, op)
+    }
+}
+
+impl TransportPort for SimPlatform {
+    fn notify(
+        &mut self,
+        from: &OrAddress,
+        to: &OrAddress,
+        subject: &str,
+        body: &str,
+    ) -> Result<u64, MtsError> {
+        self.emit(Layer::Messaging, "mts.submit", format!("{from} -> {to}"));
+        if let Some(mta) = self.sim.node_mut::<MtaNode>(self.mta_node) {
+            mta.register_mailbox(to.clone());
+        }
+        // The courier submits; the real originator rides in the heading.
+        let ipm = Ipm::text(from.clone(), to.clone(), subject, body);
+        let id = self
+            .courier
+            .submit_and_run(&mut self.sim, ipm, SubmitOptions::default());
+        Ok(id)
+    }
+
+    fn delivered(&mut self, to: &OrAddress) -> Vec<String> {
+        self.sim
+            .node::<MtaNode>(self.mta_node)
+            .and_then(|mta| mta.mailbox(to))
+            .map(|store| {
+                store
+                    .inbox()
+                    .iter()
+                    .map(|m| m.ipm.heading.subject.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+impl Platform for SimPlatform {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn clock(&self) -> &dyn Clock {
+        &self.clock
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn trader(&mut self) -> &mut dyn TraderPort {
+        self
+    }
+
+    fn directory(&mut self) -> &mut dyn DirectoryPort {
+        self
+    }
+
+    fn transport(&mut self) -> &mut dyn TransportPort {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscw_directory::{Attribute, Entry};
+    use odp::OperationSig;
+
+    fn printer_type() -> InterfaceType {
+        InterfaceType::new("printer").with_operation(OperationSig::new(
+            "print",
+            [odp::ValueKind::Text],
+            odp::ValueKind::Bool,
+        ))
+    }
+
+    #[test]
+    fn trader_port_crosses_the_wire() {
+        let mut p = SimPlatform::new(7);
+        p.register_service_type(printer_type());
+        p.export(
+            "printer",
+            &printer_type(),
+            InterfaceRef {
+                object: "lp0".into(),
+                node: NodeId::from_raw(0),
+                interface: "printer".into(),
+            },
+            vec![],
+        )
+        .unwrap();
+        let offers = p.import(&ImportRequest::any("printer")).unwrap();
+        assert_eq!(offers.len(), 1);
+        // The calls generated real network traffic…
+        assert!(p.sim().metrics().counter("messages_sent") >= 4);
+        // …and telemetry at both the ODP and Net layers.
+        assert!(p.telemetry.counter(Layer::Odp, "odp.export") == 1);
+        assert!(p.telemetry.counter(Layer::Net, "net.sent") >= 4);
+    }
+
+    #[test]
+    fn directory_port_reaches_the_dsa() {
+        let mut p = SimPlatform::new(7);
+        let dn: Dn = "cn=doc1".parse().unwrap();
+        let entry = Entry::new(dn.clone())
+            .with_class("cscwresource")
+            .with_attr(Attribute::single("cn", "doc1"))
+            .with_attr(Attribute::single("resourcetype", "document"));
+        assert!(matches!(p.apply(DirOp::Add(entry)), Ok(DirResult::Done)));
+        let got = p.apply(DirOp::Read(dn.clone())).unwrap();
+        assert!(matches!(got, DirResult::Entry(e) if e.dn() == &dn));
+        assert!(p.telemetry.counter(Layer::Directory, "dir.apply") == 2);
+        assert!(p.telemetry.counter(Layer::Net, "net.sent") >= 4);
+    }
+
+    #[test]
+    fn transport_port_delivers_via_the_mta() {
+        let mut p = SimPlatform::new(7);
+        let tom = OrAddress::new("ZZ", "mocca", ["users"], "tom").unwrap();
+        p.notify(&courier_address(), &tom, "artifact-exchanged", "doc1")
+            .unwrap();
+        assert_eq!(p.delivered(&tom), vec!["artifact-exchanged".to_owned()]);
+        assert!(p.telemetry.counter(Layer::Messaging, "mts.submit") == 1);
+        // The MTA's own delivery path also left Messaging-layer events.
+        assert!(p.telemetry.counter(Layer::Messaging, "mts.deliver") >= 1);
+    }
+
+    #[test]
+    fn clock_tracks_simulated_time() {
+        let mut p = SimPlatform::new(7);
+        let before = p.clock().now_micros();
+        let tom = OrAddress::new("ZZ", "mocca", ["users"], "tom").unwrap();
+        p.notify(&courier_address(), &tom, "s", "b").unwrap();
+        assert!(p.clock().now_micros() > before);
+        assert_eq!(p.clock().now_micros(), p.sim().now().as_micros());
+    }
+}

@@ -20,6 +20,7 @@
 
 use std::collections::BTreeMap;
 
+use cscw_kernel::Layer;
 use serde::{Deserialize, Serialize};
 use simnet::{Message, Node, NodeCtx, NodeId, Payload, Sim};
 
@@ -32,6 +33,17 @@ use crate::search::{SearchOutcome, SearchRequest};
 
 /// Maximum chaining depth before a request is refused (loop guard).
 pub const MAX_HOPS: u8 = 8;
+
+/// Mirrors a directory event into the kernel telemetry stream (if one
+/// is attached to the simulation) tagged [`Layer::Directory`]. The
+/// existing `Metrics` counters stay authoritative; telemetry adds the
+/// cross-layer view.
+fn emit_directory(ctx: &NodeCtx<'_>, name: &'static str, detail: impl Into<String>) {
+    if let Some(t) = ctx.telemetry() {
+        t.incr(Layer::Directory, name);
+        t.emit(ctx.now_micros(), Layer::Directory, name, detail);
+    }
+}
 
 /// A network-transferable entry modification (closures cannot cross the
 /// simulated wire).
@@ -307,6 +319,14 @@ impl DsaNode {
         result: Result<DirResult, DirectoryError>,
     ) {
         ctx.metrics().incr("dsa_responses");
+        emit_directory(
+            ctx,
+            "dsa.respond",
+            format!(
+                "req {req_id}: {}",
+                if result.is_ok() { "ok" } else { "error" }
+            ),
+        );
         ctx.send(
             origin,
             Payload::new(DapMessage::Response { req_id, result }),
@@ -316,6 +336,7 @@ impl DsaNode {
     fn push_shadow_update(&self, ctx: &mut NodeCtx<'_>, op: &DirOp) {
         for &shadow in &self.shadows {
             ctx.metrics().incr("dsa_shadow_pushes");
+            emit_directory(ctx, "dsa.shadow_push", format!("to {shadow:?}"));
             ctx.send(
                 shadow,
                 Payload::new(DapMessage::ShadowUpdate { op: op.clone() }),
@@ -387,6 +408,7 @@ impl DsaNode {
                     return;
                 }
                 ctx.metrics().incr("dsa_chained");
+                emit_directory(ctx, "dsa.chain", format!("req {req_id} to {next:?}"));
                 ctx.send(
                     next,
                     Payload::new(DapMessage::Request {
@@ -523,6 +545,11 @@ impl Node for DsaNode {
                 hops,
             } => {
                 ctx.metrics().incr("dsa_requests");
+                emit_directory(
+                    ctx,
+                    "dsa.request",
+                    format!("req {req_id} for {}", op.target()),
+                );
                 // Detect sub-search responses bound for an aggregation:
                 // they come back as Response to *us*, not Request.
                 self.handle_request(ctx, req_id, origin, op, hops);

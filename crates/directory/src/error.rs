@@ -65,6 +65,28 @@ impl fmt::Display for DirectoryError {
 
 impl Error for DirectoryError {}
 
+impl cscw_kernel::LayerError for DirectoryError {
+    fn layer(&self) -> cscw_kernel::Layer {
+        cscw_kernel::Layer::Directory
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            DirectoryError::InvalidName(_) => "invalid_name",
+            DirectoryError::NoSuchEntry(_) => "no_such_entry",
+            DirectoryError::EntryExists(_) => "entry_exists",
+            DirectoryError::NoParent(_) => "no_parent",
+            DirectoryError::NotLeaf(_) => "not_leaf",
+            DirectoryError::SchemaViolation { .. } => "schema_violation",
+            DirectoryError::InvalidFilter(_) => "invalid_filter",
+            DirectoryError::SizeLimitExceeded { .. } => "size_limit_exceeded",
+            DirectoryError::NoSuchContext(_) => "no_such_context",
+            DirectoryError::Unavailable(_) => "unavailable",
+            DirectoryError::NotMaster(_) => "not_master",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

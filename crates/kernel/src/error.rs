@@ -1,0 +1,131 @@
+//! Shared error plumbing.
+//!
+//! Each crate in the stack keeps its own typed error enum (directory,
+//! messaging, odp, environment) — those are the precise contracts. What
+//! the kernel adds is a common *trait* over all of them, so cross-layer
+//! code (platforms, telemetry, the facade crate) can classify any error
+//! by the layer it came from and a stable kind string without matching
+//! per-crate variants.
+
+use std::fmt;
+
+use crate::telemetry::Layer;
+
+/// An error originating from a specific layer of the stack.
+pub trait LayerError: std::error::Error {
+    /// The layer this error belongs to.
+    fn layer(&self) -> Layer;
+
+    /// A stable machine-readable kind, e.g. `"no_offer"` or
+    /// `"unknown_recipient"`. Kinds are per-layer namespaces.
+    fn kind(&self) -> &'static str;
+
+    /// Converts into the kernel's uniform error value.
+    fn to_kernel(&self) -> KernelError {
+        KernelError::new(self.layer(), self.kind(), self.to_string())
+    }
+}
+
+/// A uniform, layer-tagged error value for cross-layer reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelError {
+    layer: Layer,
+    kind: &'static str,
+    message: String,
+}
+
+impl KernelError {
+    /// Builds an error from its parts.
+    pub fn new(layer: Layer, kind: &'static str, message: impl Into<String>) -> Self {
+        KernelError {
+            layer,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// The layer the error came from.
+    pub fn layer(&self) -> Layer {
+        self.layer
+    }
+
+    /// The stable kind string.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}/{}] {}", self.layer, self.kind, self.message)
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl LayerError for KernelError {
+    fn layer(&self) -> Layer {
+        self.layer
+    }
+
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn to_kernel(&self) -> KernelError {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct NoRoute;
+
+    impl fmt::Display for NoRoute {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("no route to destination")
+        }
+    }
+
+    impl std::error::Error for NoRoute {}
+
+    impl LayerError for NoRoute {
+        fn layer(&self) -> Layer {
+            Layer::Net
+        }
+        fn kind(&self) -> &'static str {
+            "no_route"
+        }
+    }
+
+    #[test]
+    fn to_kernel_carries_layer_kind_and_message() {
+        let k = NoRoute.to_kernel();
+        assert_eq!(k.layer(), Layer::Net);
+        assert_eq!(k.kind(), "no_route");
+        assert_eq!(k.message(), "no route to destination");
+        assert_eq!(k.to_string(), "[net/no_route] no route to destination");
+    }
+
+    #[test]
+    fn kernel_error_is_itself_a_layer_error() {
+        let k = KernelError::new(Layer::Odp, "no_offer", "nothing matched");
+        let again = k.to_kernel();
+        assert_eq!(k, again);
+    }
+
+    #[test]
+    fn layer_errors_are_object_safe() {
+        let boxed: Box<dyn LayerError> = Box::new(NoRoute);
+        assert_eq!(boxed.layer(), Layer::Net);
+        assert_eq!(boxed.to_kernel().kind(), "no_route");
+    }
+}

@@ -1,0 +1,34 @@
+//! # cscw-kernel — the engineering substrate under the CSCW stack
+//!
+//! The paper this workspace reproduces (Navarro/Prinz/Rodden, ICDCS
+//! 1992) argues that an open CSCW system should stand on a small set of
+//! cross-cutting engineering functions rather than each service growing
+//! its own. This crate is that substrate for the whole workspace:
+//!
+//! * [`Clock`] — one notion of time, with a wall-clock impl
+//!   ([`WallClock`]) and an externally-driven impl ([`ManualClock`])
+//!   that `simnet`'s event loop advances.
+//! * [`SeededRng`] — seeded ChaCha8 randomness, so any platform (not
+//!   just the simulator) is reproducible from a seed.
+//! * [`Telemetry`] / [`Layer`] — one layer-tagged observability stream
+//!   unifying what used to be per-crate counters, so a single exchange
+//!   can be traced App → Env → Odp → Messaging/Directory → Net.
+//! * [`LayerError`] / [`KernelError`] — a common classification trait
+//!   over the per-crate error enums.
+//!
+//! The kernel sits **below** `simnet`: it knows nothing about nodes,
+//! topologies or simulated time types. Timestamps here are raw
+//! microseconds; `simnet` converts `SimTime` at its edge.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod error;
+mod rng;
+mod telemetry;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use error::{KernelError, LayerError};
+pub use rng::SeededRng;
+pub use telemetry::{HistogramSummary, Layer, Telemetry, TelemetryEvent};

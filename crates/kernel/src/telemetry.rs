@@ -1,0 +1,374 @@
+//! Layer-tagged structured telemetry.
+//!
+//! The paper's Figure 4 stacks the CSCW environment over ODP functions
+//! over OSI services; this module makes that stack *observable*. Every
+//! layer emits counters, duration samples and (bounded) events into one
+//! shared [`Telemetry`] handle, each tagged with the [`Layer`] it came
+//! from, so a single end-to-end operation can be traced down the stack:
+//! App → Env → Odp → Messaging/Directory → Net.
+//!
+//! `Telemetry` is a cheaply-cloneable handle (`Arc<Mutex<_>>`): the
+//! simulator core, every simulated node, and the platform front-end all
+//! hold clones of the same stream.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// The architectural layer an observation came from (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// The network substrate (simnet or a real transport).
+    Net,
+    /// The X.500-style directory service.
+    Directory,
+    /// The X.400-style message transfer service.
+    Messaging,
+    /// The ODP engineering layer: trader, binder, transparencies.
+    Odp,
+    /// The CSCW environment (MOCCA): sharing, exchange, org knowledge.
+    Env,
+    /// Applications (groupware tools) above the environment.
+    App,
+}
+
+impl Layer {
+    /// Stable lowercase name, used in rendered telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::Net => "net",
+            Layer::Directory => "directory",
+            Layer::Messaging => "messaging",
+            Layer::Odp => "odp",
+            Layer::Env => "env",
+            Layer::App => "app",
+        }
+    }
+
+    /// Position in the Figure-4 stack, top (App = 0) to bottom (Net = 4).
+    /// Directory and Messaging are peers at the same depth.
+    pub fn depth(self) -> u8 {
+        match self {
+            Layer::App => 0,
+            Layer::Env => 1,
+            Layer::Odp => 2,
+            Layer::Directory | Layer::Messaging => 3,
+            Layer::Net => 4,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// Timestamp in microseconds (source clock is the platform's).
+    pub at_micros: u64,
+    /// Layer that emitted the event.
+    pub layer: Layer,
+    /// Stable event name, e.g. `"exchange.submit"`.
+    pub name: &'static str,
+    /// Free-form context, e.g. the artifact or node involved.
+    pub detail: String,
+}
+
+impl fmt::Display for TelemetryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>10}µs] {:<9} {}",
+            self.at_micros, self.layer, self.name
+        )?;
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary statistics over one histogram's samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample, in microseconds.
+    pub min_micros: u64,
+    /// Largest sample, in microseconds.
+    pub max_micros: u64,
+    /// Arithmetic mean, in microseconds.
+    pub mean_micros: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<(Layer, &'static str), u64>,
+    histograms: BTreeMap<(Layer, &'static str), Vec<u64>>,
+    events: Vec<TelemetryEvent>,
+    event_capacity: usize,
+}
+
+/// A cheaply-cloneable, layer-tagged telemetry stream.
+///
+/// # Examples
+///
+/// ```
+/// use cscw_kernel::{Layer, Telemetry};
+///
+/// let t = Telemetry::new();
+/// t.incr(Layer::Net, "messages_sent");
+/// t.emit(10, Layer::Env, "exchange.submit", "artifact a1");
+/// assert_eq!(t.counter(Layer::Net, "messages_sent"), 1);
+/// assert_eq!(t.events()[0].layer, Layer::Env);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+const DEFAULT_EVENT_CAPACITY: usize = 1 << 14;
+
+impl Telemetry {
+    /// Creates an empty stream with the default event capacity.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Arc::new(Mutex::new(Inner {
+                event_capacity: DEFAULT_EVENT_CAPACITY,
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// True when `other` is a clone of this handle (same stream).
+    pub fn same_stream(&self, other: &Telemetry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds one to a layer-tagged counter.
+    pub fn incr(&self, layer: Layer, name: &'static str) {
+        self.add(layer, name, 1);
+    }
+
+    /// Adds `n` to a layer-tagged counter.
+    pub fn add(&self, layer: Layer, name: &'static str, n: u64) {
+        *self.lock().counters.entry((layer, name)).or_insert(0) += n;
+    }
+
+    /// Reads a counter; unknown names read as zero.
+    pub fn counter(&self, layer: Layer, name: &str) -> u64 {
+        self.lock()
+            .counters
+            .iter()
+            .find(|((l, n), _)| *l == layer && *n == name)
+            .map(|(_, &v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Sum of one counter name across all layers.
+    pub fn counter_across_layers(&self, name: &str) -> u64 {
+        self.lock()
+            .counters
+            .iter()
+            .filter(|((_, n), _)| *n == name)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Records a duration sample (microseconds) into a layer-tagged
+    /// histogram.
+    pub fn record_micros(&self, layer: Layer, name: &'static str, micros: u64) {
+        self.lock()
+            .histograms
+            .entry((layer, name))
+            .or_default()
+            .push(micros);
+    }
+
+    /// Summary of a histogram, or `None` when it has no samples.
+    pub fn histogram(&self, layer: Layer, name: &str) -> Option<HistogramSummary> {
+        let guard = self.lock();
+        let samples = guard
+            .histograms
+            .iter()
+            .find(|((l, n), _)| *l == layer && *n == name)
+            .map(|(_, v)| v)?;
+        if samples.is_empty() {
+            return None;
+        }
+        let total: u128 = samples.iter().map(|&s| s as u128).sum();
+        Some(HistogramSummary {
+            count: samples.len() as u64,
+            min_micros: *samples.iter().min().expect("non-empty"),
+            max_micros: *samples.iter().max().expect("non-empty"),
+            mean_micros: (total / samples.len() as u128) as u64,
+        })
+    }
+
+    /// Appends an event (dropped silently once the capacity is reached —
+    /// the prefix of a run is the interesting part for debugging).
+    pub fn emit(
+        &self,
+        at_micros: u64,
+        layer: Layer,
+        name: &'static str,
+        detail: impl Into<String>,
+    ) {
+        let mut guard = self.lock();
+        if guard.events.len() < guard.event_capacity {
+            let detail = detail.into();
+            guard.events.push(TelemetryEvent {
+                at_micros,
+                layer,
+                name,
+                detail,
+            });
+        }
+    }
+
+    /// Changes the maximum retained event count (existing events are
+    /// kept, even beyond a smaller new capacity).
+    pub fn set_event_capacity(&self, capacity: usize) {
+        self.lock().event_capacity = capacity;
+    }
+
+    /// Snapshot of all recorded events, in emission order.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.lock().events.clone()
+    }
+
+    /// The distinct layers that have emitted at least one event, in
+    /// `Layer` order.
+    pub fn layers_seen(&self) -> Vec<Layer> {
+        let guard = self.lock();
+        let mut layers: Vec<Layer> = guard.events.iter().map(|e| e.layer).collect();
+        layers.sort_unstable();
+        layers.dedup();
+        layers
+    }
+
+    /// Snapshot of all counters as `((layer, name), value)`, sorted.
+    pub fn counters(&self) -> Vec<((Layer, &'static str), u64)> {
+        self.lock().counters.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Drops all recorded data (capacity is unchanged).
+    pub fn clear(&self) {
+        let mut guard = self.lock();
+        guard.counters.clear();
+        guard.histograms.clear();
+        guard.events.clear();
+    }
+
+    /// Renders the full stream (counters then events) for debugging.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for ((layer, name), v) in self.counters() {
+            let _ = writeln!(out, "{layer}/{name}: {v}");
+        }
+        for e in self.events() {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_layer() {
+        let t = Telemetry::new();
+        t.incr(Layer::Net, "sent");
+        t.add(Layer::Net, "sent", 2);
+        t.incr(Layer::Env, "sent");
+        assert_eq!(t.counter(Layer::Net, "sent"), 3);
+        assert_eq!(t.counter(Layer::Env, "sent"), 1);
+        assert_eq!(t.counter(Layer::App, "sent"), 0);
+        assert_eq!(t.counter_across_layers("sent"), 4);
+    }
+
+    #[test]
+    fn clones_share_the_stream() {
+        let a = Telemetry::new();
+        let b = a.clone();
+        b.incr(Layer::Odp, "imports");
+        assert_eq!(a.counter(Layer::Odp, "imports"), 1);
+        assert!(a.same_stream(&b));
+        assert!(!a.same_stream(&Telemetry::new()));
+    }
+
+    #[test]
+    fn events_are_ordered_and_bounded() {
+        let t = Telemetry::new();
+        t.set_event_capacity(2);
+        t.emit(1, Layer::App, "one", "");
+        t.emit(2, Layer::Env, "two", "x");
+        t.emit(3, Layer::Net, "three", "");
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "one");
+        assert_eq!(events[1].detail, "x");
+    }
+
+    #[test]
+    fn histograms_summarise() {
+        let t = Telemetry::new();
+        assert!(t.histogram(Layer::Net, "latency").is_none());
+        for us in [10, 20, 30] {
+            t.record_micros(Layer::Net, "latency", us);
+        }
+        let s = t.histogram(Layer::Net, "latency").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min_micros, 10);
+        assert_eq!(s.max_micros, 30);
+        assert_eq!(s.mean_micros, 20);
+    }
+
+    #[test]
+    fn layers_seen_deduplicates() {
+        let t = Telemetry::new();
+        t.emit(1, Layer::Net, "a", "");
+        t.emit(2, Layer::Net, "b", "");
+        t.emit(3, Layer::App, "c", "");
+        assert_eq!(t.layers_seen(), vec![Layer::Net, Layer::App]);
+    }
+
+    #[test]
+    fn depth_orders_the_figure_4_stack() {
+        assert!(Layer::App.depth() < Layer::Env.depth());
+        assert!(Layer::Env.depth() < Layer::Odp.depth());
+        assert!(Layer::Odp.depth() < Layer::Messaging.depth());
+        assert_eq!(Layer::Messaging.depth(), Layer::Directory.depth());
+        assert!(Layer::Messaging.depth() < Layer::Net.depth());
+    }
+
+    #[test]
+    fn render_and_display_are_informative() {
+        let t = Telemetry::new();
+        t.incr(Layer::Odp, "exports");
+        t.emit(42, Layer::Odp, "trader.export", "scheduler");
+        let rendered = t.render();
+        assert!(rendered.contains("odp/exports: 1"));
+        assert!(rendered.contains("trader.export"));
+        assert!(rendered.contains("scheduler"));
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.counter(Layer::Odp, "exports"), 0);
+    }
+}

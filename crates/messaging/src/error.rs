@@ -48,6 +48,25 @@ impl fmt::Display for MtsError {
 
 impl Error for MtsError {}
 
+impl cscw_kernel::LayerError for MtsError {
+    fn layer(&self) -> cscw_kernel::Layer {
+        cscw_kernel::Layer::Messaging
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            MtsError::InvalidAddress(_) => "invalid_address",
+            MtsError::NoRoute(_) => "no_route",
+            MtsError::UnknownRecipient(_) => "unknown_recipient",
+            MtsError::HopLimitExceeded => "hop_limit_exceeded",
+            MtsError::DlLoop(_) => "dl_loop",
+            MtsError::UnknownDl(_) => "unknown_dl",
+            MtsError::ConversionImpossible { .. } => "conversion_impossible",
+            MtsError::Unavailable(_) => "unavailable",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

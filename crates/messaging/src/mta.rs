@@ -17,6 +17,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use cscw_kernel::Layer;
 use simnet::{Message, Node, NodeCtx, NodeId, Payload, Sim, SimDuration, SimTime};
 
 use crate::address::OrAddress;
@@ -29,6 +30,17 @@ use crate::store::MessageStore;
 
 /// Maximum MTA hops before a message is bounced.
 pub const MAX_HOPS: usize = 16;
+
+/// Mirrors an MTS event into the kernel telemetry stream (if one is
+/// attached to the simulation) tagged [`Layer::Messaging`]. The
+/// existing `Metrics` counters stay authoritative; telemetry adds the
+/// cross-layer view.
+fn emit_messaging(ctx: &NodeCtx<'_>, name: &'static str, detail: impl Into<String>) {
+    if let Some(t) = ctx.telemetry() {
+        t.incr(Layer::Messaging, name);
+        t.emit(ctx.now_micros(), Layer::Messaging, name, detail);
+    }
+}
 
 /// The inter-MTA / UA-MTA wire protocol (P1-ish).
 // PDUs are boxed inside `simnet::Payload` the moment they are sent, so
@@ -217,6 +229,11 @@ impl MtaNode {
                 .expect("bucketed as local");
             store.deliver(envelope.message_id, now, ipm.clone());
             ctx.metrics().incr("mts_delivered");
+            emit_messaging(
+                ctx,
+                "mts.deliver",
+                format!("{} delivered to {recipient}", envelope.message_id),
+            );
             ctx.metrics().record(
                 "mts_end_to_end",
                 now.saturating_since(envelope.submitted_at),
@@ -246,6 +263,11 @@ impl MtaNode {
             copy.recipients = recipients;
             let size = ipm.wire_size();
             ctx.metrics().incr("mts_forwarded");
+            emit_messaging(
+                ctx,
+                "mts.forward",
+                format!("{} via {}", envelope.message_id, self.name),
+            );
             ctx.send_sized(
                 hop,
                 Payload::new(MtsPdu::Transfer {
@@ -265,6 +287,11 @@ impl MtaNode {
         reason: NonDeliveryReason,
     ) {
         ctx.metrics().incr("mts_non_delivered");
+        emit_messaging(
+            ctx,
+            "mts.non_deliver",
+            format!("{} to {recipient}: {reason:?}", envelope.message_id),
+        );
         let report = DeliveryReport {
             subject_message_id: envelope.message_id,
             recipient,
@@ -344,6 +371,11 @@ impl Node for MtaNode {
         match pdu {
             MtsPdu::Transfer { envelope, ipm } => {
                 ctx.metrics().incr("mts_received");
+                emit_messaging(
+                    ctx,
+                    "mts.transfer_in",
+                    format!("{} at {}", envelope.message_id, self.name),
+                );
                 self.schedule_processing(ctx, envelope, ipm);
             }
             MtsPdu::Report { to, report, hops } => self.route_report(ctx, to, report, hops),

@@ -66,6 +66,28 @@ impl fmt::Display for OdpError {
 
 impl Error for OdpError {}
 
+impl cscw_kernel::LayerError for OdpError {
+    fn layer(&self) -> cscw_kernel::Layer {
+        cscw_kernel::Layer::Odp
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            OdpError::NoMatchingOffer { .. } => "no_matching_offer",
+            OdpError::UnknownServiceType(_) => "unknown_service_type",
+            OdpError::InvalidConstraint(_) => "invalid_constraint",
+            OdpError::NoSuchObject(_) => "no_such_object",
+            OdpError::NoSuchOperation { .. } => "no_such_operation",
+            OdpError::BadArguments(_) => "bad_arguments",
+            OdpError::NotConformant { .. } => "not_conformant",
+            OdpError::Unavailable(_) => "unavailable",
+            OdpError::FederationLoop => "federation_loop",
+            OdpError::InconsistentViewpoints(_) => "inconsistent_viewpoints",
+            OdpError::Application(_) => "application",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

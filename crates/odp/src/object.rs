@@ -196,6 +196,15 @@ impl Node for ObjectHost {
         } = pdu
         {
             ctx.metrics().incr("odp_invocations");
+            if let Some(t) = ctx.telemetry() {
+                t.incr(cscw_kernel::Layer::Odp, "odp.invoke");
+                t.emit(
+                    ctx.now_micros(),
+                    cscw_kernel::Layer::Odp,
+                    "odp.invoke",
+                    format!("req {req_id}: {object}.{op}"),
+                );
+            }
             let result = self.invoke_local(&object, &op, &args);
             let size = 16 + result.as_ref().map(Value::wire_size).unwrap_or(32);
             ctx.send_sized(
@@ -239,7 +248,11 @@ impl Node for InvokerNode {
 ///         })
 ///     }
 ///     fn invoke(&mut self, _op: &str, args: &[Value]) -> Result<Value, OdpError> {
-///         self.0 += args[0].as_int().expect("checked by host");
+///         let delta = args
+///             .first()
+///             .and_then(Value::as_int)
+///             .ok_or_else(|| OdpError::BadArguments("add wants one int".into()))?;
+///         self.0 += delta;
 ///         Ok(Value::Int(self.0))
 ///     }
 /// }

@@ -273,6 +273,12 @@ impl Trader {
         self.policies.push(Box::new(policy));
     }
 
+    /// Attaches an already-boxed trading policy (for callers that only
+    /// hold the policy as a trait object).
+    pub fn attach_policy_boxed(&mut self, policy: Box<dyn TradingPolicy>) {
+        self.policies.push(policy);
+    }
+
     /// Number of active offers.
     pub fn offer_count(&self) -> usize {
         self.offers.len()

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use cscw_kernel::Layer;
 use simnet::{Message, Node, NodeCtx, NodeId, Payload, Sim};
 
 use crate::error::OdpError;
@@ -97,6 +98,15 @@ impl Node for TraderNode {
                 properties,
             } => {
                 ctx.metrics().incr("trader_exports");
+                if let Some(t) = ctx.telemetry() {
+                    t.incr(Layer::Odp, "trader.export");
+                    t.emit(
+                        ctx.now_micros(),
+                        Layer::Odp,
+                        "trader.export",
+                        format!("req {req_id}: offer of {service_type}"),
+                    );
+                }
                 // `export` takes 'static keys for ergonomic inline use;
                 // the wire carries owned strings, so go through the
                 // dynamic path.
@@ -117,6 +127,15 @@ impl Node for TraderNode {
                 request,
             } => {
                 ctx.metrics().incr("trader_imports");
+                if let Some(t) = ctx.telemetry() {
+                    t.incr(Layer::Odp, "trader.import");
+                    t.emit(
+                        ctx.now_micros(),
+                        Layer::Odp,
+                        "trader.import",
+                        format!("req {req_id}: seeking {}", request.service_type),
+                    );
+                }
                 let result = self
                     .trader
                     .import(&request)

@@ -2,14 +2,13 @@
 //!
 //! Every stochastic decision in the simulator (link jitter, loss,
 //! tie-breaking in higher layers) draws from a single seeded ChaCha8
-//! stream, so a run is fully reproducible from its seed. ChaCha8 is used
-//! rather than `StdRng` because its output is stable across `rand`
-//! versions, which keeps recorded experiment shapes comparable over time.
+//! stream, so a run is fully reproducible from its seed. The generator
+//! itself lives in `cscw-kernel` (as [`cscw_kernel::SeededRng`]) so that
+//! non-simulated platforms share the same reproducibility guarantees;
+//! `SimRng` is this crate's historical name for it.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
-/// A seeded, reproducible random number generator.
+/// A seeded, reproducible random number generator (kernel
+/// [`cscw_kernel::SeededRng`] under its historical simnet name).
 ///
 /// # Examples
 ///
@@ -20,72 +19,23 @@ use rand_chacha::ChaCha8Rng;
 /// let mut b = SimRng::seed_from(7);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone)]
-pub struct SimRng {
-    inner: ChaCha8Rng,
-}
-
-impl SimRng {
-    /// Creates a generator from a 64-bit seed.
-    pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
-        }
-    }
-
-    /// Returns the next `u64` from the stream.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    /// Returns a uniformly random value in `[0, bound)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bound` is zero.
-    pub fn below(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
-    }
-
-    /// Returns a uniformly random value in `[lo, hi]` (inclusive).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lo > hi`.
-    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
-        assert!(lo <= hi, "lo must not exceed hi");
-        self.inner.gen_range(lo..=hi)
-    }
-
-    /// Returns true with probability `p` (clamped to `[0, 1]`).
-    pub fn chance(&mut self, p: f64) -> bool {
-        let p = p.clamp(0.0, 1.0);
-        if p <= 0.0 {
-            return false;
-        }
-        if p >= 1.0 {
-            return true;
-        }
-        self.inner.gen_bool(p)
-    }
-
-    /// Returns a uniformly random `f64` in `[0, 1)`.
-    pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
-    }
-
-    /// Forks an independent generator whose stream is derived from this
-    /// one. Used to give each node its own stream so adding a node never
-    /// perturbs the draws of existing nodes.
-    pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.next_u64())
-    }
-}
+pub type SimRng = cscw_kernel::SeededRng;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn alias_preserves_the_full_api() {
+        let mut rng = SimRng::seed_from(9);
+        assert!(rng.below(10) < 10);
+        assert!(rng.range_inclusive(3, 5) >= 3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!((0.0..1.0).contains(&rng.unit()));
+        let mut fork = rng.fork();
+        let _ = fork.next_u64();
+    }
 
     #[test]
     fn same_seed_same_stream() {
@@ -94,56 +44,5 @@ mod tests {
         for _ in 0..64 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
-    }
-
-    #[test]
-    fn different_seeds_diverge() {
-        let mut a = SimRng::seed_from(1);
-        let mut b = SimRng::seed_from(2);
-        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 16);
-    }
-
-    #[test]
-    fn below_respects_bound() {
-        let mut rng = SimRng::seed_from(9);
-        for _ in 0..1000 {
-            assert!(rng.below(10) < 10);
-        }
-    }
-
-    #[test]
-    fn range_inclusive_covers_endpoints() {
-        let mut rng = SimRng::seed_from(9);
-        let mut seen_lo = false;
-        let mut seen_hi = false;
-        for _ in 0..2000 {
-            match rng.range_inclusive(0, 3) {
-                0 => seen_lo = true,
-                3 => seen_hi = true,
-                _ => {}
-            }
-        }
-        assert!(seen_lo && seen_hi);
-    }
-
-    #[test]
-    fn chance_extremes_are_deterministic() {
-        let mut rng = SimRng::seed_from(5);
-        assert!(!rng.chance(0.0));
-        assert!(rng.chance(1.0));
-        assert!(!rng.chance(-1.0));
-        assert!(rng.chance(2.0));
-    }
-
-    #[test]
-    fn forks_are_reproducible_and_independent() {
-        let mut root1 = SimRng::seed_from(42);
-        let mut root2 = SimRng::seed_from(42);
-        let mut f1 = root1.fork();
-        let mut f2 = root2.fork();
-        assert_eq!(f1.next_u64(), f2.next_u64());
-        // The fork consumed one draw from the root; roots remain in lockstep.
-        assert_eq!(root1.next_u64(), root2.next_u64());
     }
 }

@@ -24,6 +24,8 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use cscw_kernel::{Layer, ManualClock, Telemetry};
+
 use crate::id::{MessageId, NodeId, TimerId};
 use crate::metrics::Metrics;
 use crate::payload::Payload;
@@ -185,6 +187,21 @@ impl NodeCtx<'_> {
         &mut self.core.metrics
     }
 
+    /// The attached layer-tagged telemetry stream, if any (a cheap
+    /// clone of the shared handle — see [`Sim::attach_telemetry`]).
+    /// Node behaviours use this to emit events tagged with their own
+    /// layer (Messaging, Directory, Odp) alongside the Net events the
+    /// simulator itself records.
+    pub fn telemetry(&self) -> Option<Telemetry> {
+        self.core.telemetry.clone()
+    }
+
+    /// Current simulation time in microseconds, for telemetry
+    /// timestamps.
+    pub fn now_micros(&self) -> u64 {
+        self.core.now.as_micros()
+    }
+
     /// Read-only view of the topology (e.g. to enumerate neighbours).
     pub fn topology(&self) -> &Topology {
         &self.core.topology
@@ -205,9 +222,19 @@ struct Core {
     node_rngs: Vec<SimRng>,
     metrics: Metrics,
     trace: Trace,
+    /// Kernel-facing view of `now`; advanced in lockstep so code holding
+    /// a [`ManualClock`] handle observes simulated time.
+    clock: ManualClock,
+    telemetry: Option<Telemetry>,
 }
 
 impl Core {
+    /// Advances simulated time, keeping the kernel clock in lockstep.
+    fn set_now(&mut self, at: SimTime) {
+        self.now = at;
+        self.clock.set_micros(at.as_micros());
+    }
+
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -226,6 +253,20 @@ impl Core {
         let id = MessageId(self.next_msg);
         self.next_msg += 1;
         self.metrics.incr("messages_sent");
+        if let Some(t) = &self.telemetry {
+            t.incr(Layer::Net, "net.sent");
+            t.emit(
+                self.now.as_micros(),
+                Layer::Net,
+                "net.send",
+                format!(
+                    "{} -> {} {} ({size}B)",
+                    self.topology.node_name(from),
+                    self.topology.node_name(to),
+                    payload.type_label(),
+                ),
+            );
+        }
         self.trace.push(
             self.now,
             TraceKind::Sent {
@@ -312,6 +353,15 @@ impl Core {
             DropReason::NodeDown => "dropped_node_down",
             DropReason::Loss => "dropped_loss",
         });
+        if let Some(t) = &self.telemetry {
+            t.incr(Layer::Net, "net.dropped");
+            t.emit(
+                self.now.as_micros(),
+                Layer::Net,
+                "net.drop",
+                format!("{id:?} {reason:?}"),
+            );
+        }
         self.trace.push(self.now, TraceKind::Dropped { id, reason });
     }
 
@@ -325,6 +375,15 @@ impl Core {
             FaultAction::Restart(n) => self.topology.restart_node(n),
         }
         self.metrics.incr("faults_applied");
+        if let Some(t) = &self.telemetry {
+            t.incr(Layer::Net, "net.faults");
+            t.emit(
+                self.now.as_micros(),
+                Layer::Net,
+                "net.fault",
+                description.clone(),
+            );
+        }
         self.trace.push(self.now, TraceKind::Fault { description });
     }
 }
@@ -392,6 +451,8 @@ impl Sim {
                 node_rngs,
                 metrics: Metrics::new(),
                 trace: Trace::new(),
+                clock: ManualClock::new(),
+                telemetry: None,
             },
             nodes: (0..n).map(|_| None).collect(),
             started: false,
@@ -483,6 +544,29 @@ impl Sim {
         &mut self.core.metrics
     }
 
+    /// Attaches a kernel telemetry stream. From then on the simulator
+    /// mirrors its network-level activity (sends, deliveries, drops,
+    /// faults) into the stream as [`Layer::Net`] events and counters,
+    /// and node behaviours can retrieve the handle via
+    /// [`NodeCtx::telemetry`] to emit events for their own layers.
+    /// Detached (the default), telemetry costs nothing.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.core.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry stream, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.core.telemetry.as_ref()
+    }
+
+    /// A kernel [`Clock`](cscw_kernel::Clock) handle that tracks
+    /// simulated time: it reads `0` until the first event runs and
+    /// advances whenever the event loop does. Clones share state, so
+    /// the handle stays valid for the simulator's lifetime.
+    pub fn kernel_clock(&self) -> ManualClock {
+        self.core.clock.clone()
+    }
+
     /// The trace.
     pub fn trace(&self) -> &Trace {
         &self.core.trace
@@ -533,7 +617,7 @@ impl Sim {
             return false;
         };
         debug_assert!(event.at >= self.core.now, "time must not run backwards");
-        self.core.now = event.at;
+        self.core.set_now(event.at);
         match event.kind {
             EventKind::Fault(action) => self.handle_fault(action),
             EventKind::Timer { node, timer, tag } => {
@@ -570,6 +654,25 @@ impl Sim {
                     "delivery_latency",
                     self.core.now.saturating_since(msg.sent_at),
                 );
+                if let Some(t) = &self.core.telemetry {
+                    t.incr(Layer::Net, "net.delivered");
+                    t.record_micros(
+                        Layer::Net,
+                        "net.delivery_latency",
+                        self.core.now.saturating_since(msg.sent_at).as_micros(),
+                    );
+                    t.emit(
+                        self.core.now.as_micros(),
+                        Layer::Net,
+                        "net.deliver",
+                        format!(
+                            "{} -> {} {}",
+                            self.core.topology.node_name(from),
+                            self.core.topology.node_name(to),
+                            msg.payload.type_label(),
+                        ),
+                    );
+                }
                 self.core
                     .trace
                     .push(self.core.now, TraceKind::Delivered { id, from, to });
@@ -625,7 +728,7 @@ impl Sim {
             self.step();
         }
         if self.core.now < deadline {
-            self.core.now = deadline;
+            self.core.set_now(deadline);
         }
     }
 }
@@ -1037,5 +1140,57 @@ mod tests {
         let dbg = format!("{sim:?}");
         assert!(dbg.contains("pending_events: 1"), "{dbg}");
         assert!(dbg.contains("nodes: 2"), "{dbg}");
+    }
+
+    #[test]
+    fn attached_telemetry_mirrors_net_activity() {
+        use cscw_kernel::Clock;
+
+        let (mut sim, a, c) = pair(5);
+        let telemetry = Telemetry::new();
+        sim.attach_telemetry(telemetry.clone());
+        let clock = sim.kernel_clock();
+        assert_eq!(clock.now_micros(), 0);
+
+        sim.register(c, Echo);
+        sim.register(a, Collector::default());
+        sim.send_from(a, c, Payload::new(1u32), 16);
+        sim.run_until_idle();
+
+        assert_eq!(telemetry.counter(Layer::Net, "net.sent"), 2);
+        assert_eq!(telemetry.counter(Layer::Net, "net.delivered"), 2);
+        let latency = telemetry
+            .histogram(Layer::Net, "net.delivery_latency")
+            .expect("latency recorded");
+        assert_eq!(latency.count, 2);
+        assert!(telemetry
+            .events()
+            .iter()
+            .any(|e| e.name == "net.deliver" && e.layer == Layer::Net));
+        // The kernel clock tracked the event loop: two 5 ms hops.
+        assert_eq!(clock.now_micros(), sim.now().as_micros());
+        assert_eq!(clock.now_micros(), 10_000);
+    }
+
+    #[test]
+    fn detached_telemetry_costs_nothing_and_reports_none() {
+        let (mut sim, a, c) = pair(1);
+        assert!(sim.telemetry().is_none());
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        sim.run_until_idle();
+        assert!(sim.telemetry().is_none());
+    }
+
+    #[test]
+    fn telemetry_records_drops_and_faults() {
+        let (mut sim, a, c) = pair(1);
+        let telemetry = Telemetry::new();
+        sim.attach_telemetry(telemetry.clone());
+        sim.apply_fault(FaultAction::Crash(c));
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        sim.run_until_idle();
+        assert_eq!(telemetry.counter(Layer::Net, "net.faults"), 1);
+        assert_eq!(telemetry.counter(Layer::Net, "net.dropped"), 1);
+        assert!(telemetry.events().iter().any(|e| e.name == "net.drop"));
     }
 }

@@ -7,6 +7,8 @@
 //! This crate re-exports the public API of every workspace member so that
 //! examples and downstream users can depend on a single crate:
 //!
+//! - [`kernel`] — cross-cutting substrate (clocks, seeded RNG,
+//!   layer-tagged telemetry, layered errors).
 //! - [`simnet`] — deterministic discrete-event network simulation.
 //! - [`directory`] — X.500-style directory service.
 //! - [`messaging`] — X.400-style message transfer system.
@@ -20,6 +22,7 @@
 //! inventory and per-experiment index.
 
 pub use cscw_directory as directory;
+pub use cscw_kernel as kernel;
 pub use cscw_messaging as messaging;
 pub use groupware;
 pub use mocca;

@@ -11,16 +11,24 @@ use open_cscw::mocca::env::{AppId, EnvEvent};
 use open_cscw::mocca::info::{AccessRight, InfoContent, InfoObject};
 use open_cscw::mocca::org::{OrgRule, Person, RelationKind, Role, RuleKind};
 use open_cscw::mocca::transparency::{CscwTransparencySelection, View};
-use open_cscw::mocca::{CscwEnvironment, MoccaError};
+use open_cscw::mocca::{CscwEnvironment, LocalPlatform, MoccaError, SimPlatform};
 use open_cscw::simnet::SimTime;
 
 fn dn(s: &str) -> Dn {
     s.parse().unwrap()
 }
 
+/// Every scenario runs on both engineering platforms: in-process and
+/// across a simulated network. The environment's behaviour must not
+/// depend on where its substrate functions execute.
+fn on_both_platforms(scenario: fn(CscwEnvironment)) {
+    scenario(base_env(Box::new(LocalPlatform::new())));
+    scenario(base_env(Box::new(SimPlatform::new(42))));
+}
+
 /// Tom (coordinator, Lancaster) and Wolfgang (member, GMD).
-fn base_env() -> CscwEnvironment {
-    let env = CscwEnvironment::new();
+fn base_env(platform: Box<dyn open_cscw::mocca::Platform>) -> CscwEnvironment {
+    let env = CscwEnvironment::with_platform(platform);
     {
         let org = env.org();
         let mut org = org.write();
@@ -44,7 +52,10 @@ fn base_env() -> CscwEnvironment {
 
 #[test]
 fn whole_population_interoperates_with_one_registration_each() {
-    let mut env = base_env();
+    on_both_platforms(whole_population_interoperates_with_one_registration_each_scenario);
+}
+
+fn whole_population_interoperates_with_one_registration_each_scenario(mut env: CscwEnvironment) {
     for app in APP_POPULATION {
         env.register_app(descriptor_for(app), mapping_for(app));
     }
@@ -75,7 +86,10 @@ fn whole_population_interoperates_with_one_registration_each() {
 
 #[test]
 fn closed_world_partial_wiring_fails_where_hub_succeeds() {
-    let mut env = base_env();
+    on_both_platforms(closed_world_partial_wiring_fails_where_hub_succeeds_scenario);
+}
+
+fn closed_world_partial_wiring_fails_where_hub_succeeds_scenario(mut env: CscwEnvironment) {
     for app in APP_POPULATION {
         env.register_app(descriptor_for(app), mapping_for(app));
     }
@@ -104,7 +118,12 @@ fn closed_world_partial_wiring_fails_where_hub_succeeds() {
 
 #[test]
 fn activity_transparency_ablation_changes_disturbance_not_relevance() {
-    let mut env = base_env();
+    on_both_platforms(activity_transparency_ablation_changes_disturbance_not_relevance_scenario);
+}
+
+fn activity_transparency_ablation_changes_disturbance_not_relevance_scenario(
+    mut env: CscwEnvironment,
+) {
     env.create_activity(
         &dn("cn=Tom"),
         Activity::new("report".into(), "r"),
@@ -151,7 +170,10 @@ fn activity_transparency_ablation_changes_disturbance_not_relevance() {
 
 #[test]
 fn view_transparency_ablation_controls_personal_views() {
-    let mut env = base_env();
+    on_both_platforms(view_transparency_ablation_controls_personal_views_scenario);
+}
+
+fn view_transparency_ablation_controls_personal_views_scenario(mut env: CscwEnvironment) {
     env.store_object(
         InfoObject::new(
             "doc".into(),
@@ -189,7 +211,10 @@ fn view_transparency_ablation_controls_personal_views() {
 
 #[test]
 fn organisation_transparency_bridges_or_blocks_interorg_work() {
-    let mut env = base_env();
+    on_both_platforms(organisation_transparency_bridges_or_blocks_interorg_work_scenario);
+}
+
+fn organisation_transparency_bridges_or_blocks_interorg_work_scenario(mut env: CscwEnvironment) {
     {
         let t = env.org_transparency_mut();
         let mut lancaster = odp::Domain::new("lancaster");
@@ -228,7 +253,10 @@ fn organisation_transparency_bridges_or_blocks_interorg_work() {
 
 #[test]
 fn expertise_model_routes_work_to_the_right_person() {
-    let mut env = base_env();
+    on_both_platforms(expertise_model_routes_work_to_the_right_person_scenario);
+}
+
+fn expertise_model_routes_work_to_the_right_person_scenario(mut env: CscwEnvironment) {
     use open_cscw::mocca::expertise::{Capability, Responsibility};
     env.expertise_mut()
         .declare_capability(&dn("cn=Tom"), Capability::new("odp-modelling", 3));
@@ -258,10 +286,13 @@ fn expertise_model_routes_work_to_the_right_person() {
 
 #[test]
 fn non_cscw_application_uses_the_environment_too() {
-    // §6.2: "even applications which are not typically regarded as CSCW
-    // applications, like document processing systems, might use the
-    // CSCW environment when they are used in a cooperative context."
-    let mut env = base_env();
+    on_both_platforms(non_cscw_application_scenario);
+}
+
+/// §6.2: "even applications which are not typically regarded as CSCW
+/// applications, like document processing systems, might use the
+/// CSCW environment when they are used in a cooperative context."
+fn non_cscw_application_scenario(mut env: CscwEnvironment) {
     env.register_app(
         open_cscw::mocca::env::AppDescriptor {
             id: "wordproc".into(),

@@ -106,7 +106,7 @@ fn layered() -> Layered {
             "document-store",
             &doc_store_type(),
             iref.clone(),
-            [("site", Value::from("UK"))],
+            vec![("site".to_owned(), Value::from("UK"))],
         )
         .unwrap();
 
@@ -128,7 +128,7 @@ fn import_then_invoke_through_every_layer() {
     // CSCW layer: Tom imports through the policy-carrying trader.
     let offers = l
         .env
-        .trader()
+        .trader_mut()
         .import(&ImportRequest::any("document-store").with_importer("cn=Tom"))
         .unwrap();
     assert_eq!(offers.len(), 1);
@@ -149,11 +149,11 @@ fn import_then_invoke_through_every_layer() {
 
 #[test]
 fn policy_refuses_unauthorised_importers_before_any_network_traffic() {
-    let l = layered();
+    let mut l = layered();
     let before = l.sim.metrics().counter("messages_sent");
     let err = l
         .env
-        .trader()
+        .trader_mut()
         .import(&ImportRequest::any("document-store").with_importer("cn=Wolfgang"))
         .unwrap_err();
     assert!(matches!(err, OdpError::NoMatchingOffer { .. }));

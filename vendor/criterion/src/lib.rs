@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the bench crate uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], [`black_box`], and
+//! the `criterion_group!` / `criterion_main!` macros — backed by a
+//! simple wall-clock timer. Each benchmark runs a short warm-up, then a
+//! fixed number of timed samples, and prints the per-iteration median.
+//! No statistics, plots, or baseline comparisons.
+
+#![allow(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named benchmark identifier (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |bencher| f(bencher));
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |bencher| f(bencher, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up sample, then timed samples.
+        for timed in std::iter::once(false).chain(std::iter::repeat(true).take(self.sample_size)) {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            f(&mut bencher);
+            if timed && bencher.iterations > 0 {
+                samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        println!(
+            "{}/{id}: median {median:.0} ns/iter ({} samples)",
+            self.name,
+            samples.len()
+        );
+    }
+}
+
+/// Times closures for one benchmark sample.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // A small fixed batch per sample keeps offline runs fast while
+        // still amortising timer overhead.
+        const BATCH: u64 = 8;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += BATCH;
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+    }
+}

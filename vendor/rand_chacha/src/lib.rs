@@ -1,0 +1,165 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! [`ChaCha8Rng`] is a genuine ChaCha keystream generator (8 double
+//! rounds) implementing the vendored `rand` traits. Deterministic and
+//! portable across platforms; statistically strong for simulation use.
+//! Stream layout details (word order within a block) are not guaranteed
+//! to match the upstream crate bit-for-bit — the workspace only relies
+//! on determinism, not on reference vectors.
+
+#![allow(clippy::all)]
+
+use rand::{RngCore, SeedableRng};
+
+/// Number of ChaCha double-rounds (ChaCha8).
+const DOUBLE_ROUNDS: usize = 4;
+
+/// A ChaCha8 random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words 0..8 of the initial state (constants and counter are
+    /// reconstructed per block).
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Buffered keystream words from the current block.
+    block: [u32; 16],
+    /// Next unread index into `block`; 16 means "refill".
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [
+            // "expand 32-byte k"
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial.iter()) {
+            *word = word.wrapping_add(*init);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn keystream_advances_across_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn works_with_rng_helpers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            let v: usize = rng.gen_range(0..10);
+            assert!(v < 10);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

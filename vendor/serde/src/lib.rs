@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde only for `#[derive(Serialize, Deserialize)]`
+//! annotations (no serialisation format crate is wired in), so this stub
+//! provides the two trait names as markers with blanket implementations
+//! and re-exports no-op derive macros. Swapping the real serde back in is
+//! a one-line change in the workspace `Cargo.toml`.
+
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types so derive bounds and `T: Serialize` constraints are satisfied.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: Sized {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Stand-in for `serde::de`, for code that names the module.
+pub mod de {
+    pub use super::DeserializeOwned;
+}
