@@ -117,7 +117,7 @@ fn procedure_run(seed: u64) -> SimDuration {
     let mut t = start;
     let mut last = start;
     for i in 0..3 {
-        p.perform(&org, i, &dn("cn=A"), t).unwrap();
+        p.perform(&org, i, &dn("cn=A"), t.into()).unwrap();
         last = t;
         t += SimDuration::from_secs(4 * 3600);
     }

@@ -1,0 +1,155 @@
+//! `cscw-conform` — a workspace conformance analyzer.
+//!
+//! Statically enforces the architecture the paper's Figure 4 promises
+//! and that PR 1's port refactor established, over the workspace's own
+//! shipping source:
+//!
+//! * **R1** — layer dependencies respect the partial order
+//!   `kernel ≤ simnet ≤ {messaging, directory} ≤ odp ≤ core ≤ groupware`,
+//!   with `simnet` encapsulated below the communication services.
+//! * **R2** — no panics in library code; public fallible APIs return
+//!   `cscw_kernel::LayerError`-classified error types.
+//! * **R3** — lock-acquisition order is acyclic workspace-wide and no
+//!   lock guard is held across a `Platform` port call.
+//! * **R4** — telemetry events carry the emitting crate's own layer tag.
+//!
+//! The analyzer is deliberately std-only (hand-rolled lexer, no `syn`,
+//! no proc-macro machinery): it must run offline in the same container
+//! as the code it checks, and it must depend on nothing it judges.
+//!
+//! Existing debt is tracked in `conform-baseline.toml` as a ratchet:
+//! new findings fail the check, baselined counts may only go down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use baseline::{Baseline, RatchetReport};
+use diag::{sort_findings, Finding};
+use lexer::{lex, strip_test_code};
+use rules::{
+    check_errors, check_layering, check_locks, check_telemetry, collect_classified_errors,
+    FileContext, LockGraph,
+};
+use workspace::{discover, Waivers};
+
+/// The result of analysing a workspace.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All unwaived findings, in stable report order.
+    pub findings: Vec<Finding>,
+    /// Number of files analysed.
+    pub files: usize,
+    /// Number of crates analysed.
+    pub crates: usize,
+    /// Error types accepted as `LayerError`-classified.
+    pub classified_errors: BTreeSet<String>,
+}
+
+/// Analyses the workspace rooted at `root` and returns every finding.
+///
+/// # Errors
+///
+/// I/O failures reading the workspace.
+pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
+    let crates = discover(root)?;
+    let mut analysis = Analysis {
+        crates: crates.len(),
+        ..Analysis::default()
+    };
+
+    // Pass 1: read + lex every file once, discovering the set of
+    // LayerError-classified error types as we go.
+    struct PreparedFile<'a> {
+        krate: &'a workspace::WorkspaceCrate,
+        rel_path: String,
+        tokens: Vec<lexer::Token>,
+        waivers: Waivers,
+    }
+    let mut prepared: Vec<PreparedFile<'_>> = Vec::new();
+    for krate in &crates {
+        for path in &krate.files {
+            let source = fs::read_to_string(path)?;
+            let rel_path = rel_path(root, path);
+            let waivers = Waivers::parse(&source);
+            let tokens = strip_test_code(lex(&source));
+            collect_classified_errors(&tokens, &mut analysis.classified_errors);
+            prepared.push(PreparedFile {
+                krate,
+                rel_path,
+                tokens,
+                waivers,
+            });
+        }
+    }
+    analysis.files = prepared.len();
+
+    // Pass 2: run the per-file rules; R3 also accumulates the global
+    // lock-acquisition graph, whose cycles are judged at the end.
+    let mut graph = LockGraph::new();
+    for file in &prepared {
+        let ctx = FileContext {
+            krate: file.krate,
+            rel_path: file.rel_path.clone(),
+            tokens: &file.tokens,
+            waivers: &file.waivers,
+        };
+        check_layering(&ctx, &mut analysis.findings);
+        check_errors(&ctx, &analysis.classified_errors, &mut analysis.findings);
+        check_locks(&ctx, &mut graph, &mut analysis.findings);
+        check_telemetry(&ctx, &mut analysis.findings);
+    }
+    analysis.findings.extend(graph.inversion_findings());
+
+    sort_findings(&mut analysis.findings);
+    Ok(analysis)
+}
+
+/// Root-relative path with forward slashes, for stable report keys.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// The outcome of a full `check` run.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// The analysis itself.
+    pub analysis: Analysis,
+    /// The baseline the findings were ratcheted against.
+    pub baseline: Baseline,
+    /// Regression/staleness report.
+    pub report: RatchetReport,
+}
+
+impl CheckOutcome {
+    /// True when the check passes: no findings exceed the baseline, and
+    /// (under `deny_stale`) no baselined debt has silently disappeared.
+    pub fn is_pass(&self, deny_stale: bool) -> bool {
+        self.report.is_pass() && (!deny_stale || self.report.stale.is_empty())
+    }
+}
+
+/// Analyses `root` and ratchets the findings against `baseline`.
+///
+/// # Errors
+///
+/// I/O failures reading the workspace.
+pub fn check(root: &Path, baseline: Baseline) -> std::io::Result<CheckOutcome> {
+    let analysis = analyze(root)?;
+    let report = baseline.ratchet(&analysis.findings);
+    Ok(CheckOutcome {
+        analysis,
+        baseline,
+        report,
+    })
+}

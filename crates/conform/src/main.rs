@@ -1,0 +1,222 @@
+//! CLI for the conformance analyzer.
+//!
+//! ```text
+//! cargo run -p cscw-conform -- check [--root PATH] [--baseline PATH]
+//!                                    [--format human|json] [-D|--deny]
+//!                                    [--write-baseline]
+//! ```
+//!
+//! Exit codes: `0` pass, `1` conformance failure (regressions, or stale
+//! baseline entries under `--deny`), `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cscw_conform::baseline::Baseline;
+use cscw_conform::diag::{findings_to_json, json_escape};
+use cscw_conform::{check, CheckOutcome};
+
+const USAGE: &str = "\
+usage: cscw-conform check [options]
+
+options:
+  --root PATH        workspace root to analyse (default: .)
+  --baseline PATH    baseline file (default: <root>/conform-baseline.toml)
+  --format FMT       human | json (default: human)
+  -D, --deny         also fail on stale baseline entries
+  --write-baseline   rewrite the baseline to match current findings
+  -h, --help         show this help
+";
+
+struct Options {
+    root: PathBuf,
+    baseline_path: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+    write_baseline: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline_path: None,
+        json: false,
+        deny: false,
+        write_baseline: false,
+    };
+    let mut saw_check = false;
+    let mut i = 0usize;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "check" if !saw_check => saw_check = true,
+            "--root" | "--baseline" | "--format" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{arg} needs a value"))?;
+                if arg == "--root" {
+                    opts.root = PathBuf::from(value);
+                } else if arg == "--baseline" {
+                    opts.baseline_path = Some(PathBuf::from(value));
+                } else {
+                    match value.as_str() {
+                        "human" => opts.json = false,
+                        "json" => opts.json = true,
+                        other => return Err(format!("unknown format {other:?}")),
+                    }
+                }
+                i += 1;
+            }
+            "-D" | "--deny" => opts.deny = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if !saw_check {
+        return Err("expected the `check` subcommand".to_owned());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(pass) => {
+            if pass {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("conform-baseline.toml"));
+    let baseline = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        Baseline::parse(&text)?
+    } else {
+        Baseline::empty()
+    };
+
+    let outcome = check(&opts.root, baseline)
+        .map_err(|e| format!("analysing {}: {e}", opts.root.display()))?;
+
+    if opts.write_baseline {
+        let regenerated = Baseline::from_findings(&outcome.analysis.findings);
+        std::fs::write(&baseline_path, regenerated.render())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "wrote {} ({} entries, {} findings)",
+            baseline_path.display(),
+            regenerated.len(),
+            regenerated.total()
+        );
+        return Ok(true);
+    }
+
+    let pass = outcome.is_pass(opts.deny);
+    if opts.json {
+        print!("{}", render_json(&outcome, pass));
+    } else {
+        print!("{}", render_human(&outcome, opts.deny, pass));
+    }
+    Ok(pass)
+}
+
+fn render_human(outcome: &CheckOutcome, deny: bool, pass: bool) -> String {
+    let mut out = String::new();
+    let a = &outcome.analysis;
+    out.push_str(&format!(
+        "cscw-conform: {} crates, {} files, {} findings ({} baselined)\n",
+        a.crates,
+        a.files,
+        a.findings.len(),
+        outcome.baseline.total()
+    ));
+    if !outcome.report.regressions.is_empty() {
+        out.push_str("\nregressions (counts above baseline):\n");
+        for (rule, file, allowed, got, bucket) in &outcome.report.regressions {
+            out.push_str(&format!(
+                "  {rule} {file}: {got} findings, baseline allows {allowed}\n"
+            ));
+            for f in bucket {
+                out.push_str(&format!("    {f}\n"));
+            }
+        }
+    }
+    if !outcome.report.stale.is_empty() {
+        out.push_str("\nstale baseline entries (debt paid down — regenerate the baseline):\n");
+        for (rule, file, allowed, got) in &outcome.report.stale {
+            out.push_str(&format!(
+                "  {rule} {file}: baseline says {allowed}, found {got}\n"
+            ));
+        }
+        if deny {
+            out.push_str("  (--deny: staleness is a failure)\n");
+        }
+    }
+    out.push_str(if pass {
+        "\nconformance: PASS\n"
+    } else {
+        "\nconformance: FAIL\n"
+    });
+    out
+}
+
+fn render_json(outcome: &CheckOutcome, pass: bool) -> String {
+    let a = &outcome.analysis;
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"pass\":{pass},\"crates\":{},\"files\":{},\"baseline_total\":{},",
+        a.crates,
+        a.files,
+        outcome.baseline.total()
+    ));
+    out.push_str(&format!("\"findings\":{},", findings_to_json(&a.findings)));
+    out.push_str("\"regressions\":[");
+    for (i, (rule, file, allowed, got, _)) in outcome.report.regressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"baseline\":{allowed},\"found\":{got}}}",
+            json_escape(rule),
+            json_escape(file)
+        ));
+    }
+    out.push_str("],\"stale\":[");
+    for (i, (rule, file, allowed, got)) in outcome.report.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"baseline\":{allowed},\"found\":{got}}}",
+            json_escape(rule),
+            json_escape(file)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}

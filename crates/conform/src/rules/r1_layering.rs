@@ -1,0 +1,153 @@
+//! R1 — layer dependencies (Figure 4, §3/§6).
+//!
+//! A layer crate may reference only crates *below* itself in the stack,
+//! with two sharpenings:
+//!
+//! * `cscw-kernel` is the substrate: every crate may use it.
+//! * `simnet` (the net layer) is **encapsulated** below the
+//!   communication services: only `cscw-messaging` and `cscw-directory`
+//!   may name it. Crates above them reach the network through the
+//!   environment's `Platform` ports — naming `simnet` from `odp`,
+//!   `mocca` or `groupware` bypasses the port abstraction PR 1
+//!   introduced (the exact erosion §6's engineering language warns
+//!   about).
+//!
+//! Peer crates (`cscw-messaging` ↔ `cscw-directory`) must not couple,
+//! and upward references are always violations. The facade and tool
+//! crates assemble the whole stack and are exempt.
+
+use std::collections::BTreeMap;
+
+use super::FileContext;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::workspace::{CrateRole, LayerTag};
+
+/// Import names of workspace crates, mapped to their layer.
+fn layer_of_import(name: &str) -> Option<LayerTag> {
+    Some(match name {
+        "cscw_kernel" => LayerTag::Kernel,
+        "simnet" => LayerTag::Net,
+        "cscw_messaging" => LayerTag::Messaging,
+        "cscw_directory" => LayerTag::Directory,
+        "odp" => LayerTag::Odp,
+        "mocca" => LayerTag::Env,
+        "groupware" => LayerTag::App,
+        _ => return None,
+    })
+}
+
+/// Checks one file's crate references against the layer order.
+pub fn check_layering(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let CrateRole::Layer(own) = ctx.role() else {
+        return; // facade and tools assemble the stack freely
+    };
+    // Count one reference per (crate, line): `use simnet::{A, B}` is one
+    // architectural dependency, not two.
+    let mut seen: BTreeMap<(String, u32), ()> = BTreeMap::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        let Some(target) = layer_of_import(name) else {
+            continue;
+        };
+        if !is_crate_reference(ctx, i) {
+            continue;
+        }
+        if target == own && name == &ctx.krate.import_name {
+            continue; // self-reference (macro output, docs)
+        }
+        if seen.insert((name.clone(), tok.line), ()).is_some() {
+            continue;
+        }
+        let Some(problem) = judge(own, target) else {
+            continue;
+        };
+        if ctx.waivers.covers("R1", tok.line) {
+            continue;
+        }
+        findings.push(Finding::new(
+            "R1",
+            ctx.rel_path.clone(),
+            tok.line,
+            format!("{problem}: `{name}` referenced from the {own:?} layer"),
+        ));
+    }
+}
+
+/// Is the ident at `i` used as a crate path root (`name::…`, `use name`,
+/// `extern crate name`)?
+fn is_crate_reference(ctx: &FileContext<'_>, i: usize) -> bool {
+    let toks = ctx.tokens;
+    // Not a path root if *preceded* by `::` (e.g. `crate::odp::…` in the
+    // facade, or any `foo::odp` module path).
+    if i > 0 && toks[i - 1].kind.is_punct("::") {
+        return false;
+    }
+    let followed_by_path = toks
+        .get(i + 1)
+        .map(|t| t.kind.is_punct("::"))
+        .unwrap_or(false);
+    let after_use = i > 0
+        && toks[i - 1]
+            .kind
+            .ident()
+            .map(|k| k == "use" || k == "crate")
+            .unwrap_or(false);
+    let after_extern_crate =
+        i > 1 && toks[i - 1].kind.is_ident("crate") && toks[i - 2].kind.is_ident("extern");
+    followed_by_path || after_use || after_extern_crate
+}
+
+/// Returns the violation description, or `None` when the dependency is
+/// legal.
+fn judge(own: LayerTag, target: LayerTag) -> Option<&'static str> {
+    if target == LayerTag::Kernel {
+        return None;
+    }
+    if target == own {
+        return None;
+    }
+    if target.rank() > own.rank() {
+        return Some("upward layer dependency");
+    }
+    if target.rank() == own.rank() {
+        return Some("peer-layer dependency");
+    }
+    // Downward: fine, unless it reaches past the communication services
+    // to the net layer.
+    if target == LayerTag::Net && own.rank() > LayerTag::Messaging.rank() {
+        return Some("net-layer bypass (use the Platform ports / kernel time types)");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_free_for_all() {
+        assert_eq!(judge(LayerTag::App, LayerTag::Kernel), None);
+        assert_eq!(judge(LayerTag::Net, LayerTag::Kernel), None);
+    }
+
+    #[test]
+    fn downward_is_legal_but_net_is_encapsulated() {
+        assert_eq!(judge(LayerTag::App, LayerTag::Env), None);
+        assert_eq!(judge(LayerTag::Env, LayerTag::Odp), None);
+        assert_eq!(judge(LayerTag::Messaging, LayerTag::Net), None);
+        assert_eq!(judge(LayerTag::Directory, LayerTag::Net), None);
+        assert!(judge(LayerTag::Odp, LayerTag::Net).is_some());
+        assert!(judge(LayerTag::Env, LayerTag::Net).is_some());
+        assert!(judge(LayerTag::App, LayerTag::Net).is_some());
+    }
+
+    #[test]
+    fn upward_and_peer_are_violations() {
+        assert!(judge(LayerTag::Net, LayerTag::Odp).is_some());
+        assert!(judge(LayerTag::Messaging, LayerTag::Directory).is_some());
+        assert!(judge(LayerTag::Directory, LayerTag::Messaging).is_some());
+    }
+}

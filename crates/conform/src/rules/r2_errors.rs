@@ -1,0 +1,383 @@
+//! R2 — error-taxonomy coverage (the layered failure model).
+//!
+//! Two sub-checks over shipping code:
+//!
+//! * **Panic discipline** — `unwrap()`, `expect("…")`, `panic!`,
+//!   `unreachable!`, `todo!` and `unimplemented!` are findings in
+//!   library code: a layered system reports failures through its layer's
+//!   error type, it does not abort the stack. (`.expect(` is only
+//!   flagged when its argument is a string literal, so parser-style
+//!   `expect('(')` helper methods are not confused with
+//!   `Option::expect`.)
+//! * **Public API classification** — a `pub fn` returning
+//!   `Result<_, E>` must use an `E` that implements
+//!   `cscw_kernel::LayerError` (discovered by scanning the workspace for
+//!   `impl … LayerError for X` items), so every cross-layer caller can
+//!   classify any failure by layer and kind.
+
+use std::collections::BTreeSet;
+
+use super::FileContext;
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::CrateRole;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans a file for `impl LayerError for X` (possibly path-qualified)
+/// and records each `X` into `out`.
+pub fn collect_classified_errors(tokens: &[Token], out: &mut BTreeSet<String>) {
+    for i in 0..tokens.len() {
+        if !tokens[i].kind.is_ident("LayerError") {
+            continue;
+        }
+        if tokens
+            .get(i + 1)
+            .map(|t| t.kind.is_ident("for"))
+            .unwrap_or(false)
+        {
+            if let Some(name) = tokens.get(i + 2).and_then(|t| t.kind.ident()) {
+                out.insert(name.to_owned());
+            }
+        }
+    }
+}
+
+/// Checks one file's panic discipline and public API error types.
+pub fn check_errors(
+    ctx: &FileContext<'_>,
+    classified: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    check_panics(ctx, findings);
+    if matches!(ctx.role(), CrateRole::Layer(_)) {
+        check_public_apis(ctx, classified, findings);
+    }
+}
+
+fn check_panics(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        let Some(id) = toks[i].kind.ident() else {
+            continue;
+        };
+        let line = toks[i].line;
+        let flagged: Option<String> = if PANIC_MACROS.contains(&id)
+            && toks
+                .get(i + 1)
+                .map(|t| t.kind.is_punct("!"))
+                .unwrap_or(false)
+        {
+            Some(format!("`{id}!` in library code"))
+        } else if id == "unwrap"
+            && i > 0
+            && toks[i - 1].kind.is_punct(".")
+            && toks
+                .get(i + 1)
+                .map(|t| t.kind.is_punct("("))
+                .unwrap_or(false)
+            && toks
+                .get(i + 2)
+                .map(|t| t.kind.is_punct(")"))
+                .unwrap_or(false)
+        {
+            Some("`.unwrap()` in library code".to_owned())
+        } else if id == "expect"
+            && i > 0
+            && toks[i - 1].kind.is_punct(".")
+            && toks
+                .get(i + 1)
+                .map(|t| t.kind.is_punct("("))
+                .unwrap_or(false)
+            && toks
+                .get(i + 2)
+                .map(|t| t.kind == TokenKind::Str)
+                .unwrap_or(false)
+        {
+            Some("`.expect(\"…\")` in library code".to_owned())
+        } else {
+            None
+        };
+        if let Some(what) = flagged {
+            if !ctx.waivers.covers("R2", line) {
+                findings.push(Finding::new(
+                    "R2",
+                    ctx.rel_path.clone(),
+                    line,
+                    format!("{what}; return the layer's error type instead"),
+                ));
+            }
+        }
+    }
+}
+
+/// Error-type names that need no `LayerError` impl: the uninhabited
+/// std type, and generic parameters we cannot judge (single-ident
+/// uppercase-short names declared in the fn's own generics are skipped
+/// by the caller).
+fn exempt_error_type(name: &str) -> bool {
+    matches!(name, "Infallible")
+}
+
+fn check_public_apis(
+    ctx: &FileContext<'_>,
+    classified: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = ctx.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `pub fn name…`; `pub(crate)`/`pub(super)` are not public API.
+        if !toks[i].kind.is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        if toks
+            .get(i + 1)
+            .map(|t| t.kind.is_punct("("))
+            .unwrap_or(false)
+        {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Allow qualifiers between pub and fn (const, async, unsafe).
+        while j < toks.len()
+            && toks[j]
+                .kind
+                .ident()
+                .map(|k| matches!(k, "const" | "async" | "unsafe"))
+                .unwrap_or(false)
+        {
+            j += 1;
+        }
+        if !toks.get(j).map(|t| t.kind.is_ident("fn")).unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[j].line;
+        let fn_name = toks
+            .get(j + 1)
+            .and_then(|t| t.kind.ident())
+            .unwrap_or("?")
+            .to_owned();
+        // Generic parameter names declared on the fn itself.
+        let (sig_end, generics) = scan_signature(toks, j + 1);
+        if let Some(err_ty) = signature_error_type(toks, j + 1, sig_end) {
+            let judged = !generics.contains(&err_ty)
+                && !exempt_error_type(&err_ty)
+                && !classified.contains(&err_ty);
+            if judged && !ctx.waivers.covers("R2", fn_line) {
+                findings.push(Finding::new(
+                    "R2",
+                    ctx.rel_path.clone(),
+                    fn_line,
+                    format!(
+                        "public fallible API `{fn_name}` returns `Result<_, {err_ty}>` \
+                         but `{err_ty}` does not implement `cscw_kernel::LayerError`"
+                    ),
+                ));
+            }
+        }
+        i = sig_end.max(i + 1);
+    }
+}
+
+/// From the fn-name index, finds the end of the signature (the body `{`
+/// or the `;`) and collects generic parameter idents declared in the
+/// fn's `<…>` list.
+fn scan_signature(toks: &[Token], name_idx: usize) -> (usize, BTreeSet<String>) {
+    let mut generics = BTreeSet::new();
+    let mut i = name_idx;
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut in_decl_generics = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind.is_punct("<") {
+            if angle == 0 && paren == 0 && i == name_idx + 1 {
+                in_decl_generics = true;
+            }
+            angle += 1;
+        } else if t.kind.is_punct(">") {
+            angle -= 1;
+            if angle == 0 {
+                in_decl_generics = false;
+            }
+        } else if t.kind.is_punct("(") {
+            paren += 1;
+        } else if t.kind.is_punct(")") {
+            paren -= 1;
+        } else if paren == 0 && angle == 0 && (t.kind.is_punct("{") || t.kind.is_punct(";")) {
+            return (i, generics);
+        } else if in_decl_generics && angle == 1 {
+            if let Some(id) = t.kind.ident() {
+                // First ident of each comma-separated segment is the
+                // parameter name; bounds after `:` are skipped.
+                let prev_sep = toks[..i]
+                    .iter()
+                    .rev()
+                    .take_while(|p| !p.kind.is_punct("<"))
+                    .find(|p| p.kind.is_punct(",") || p.kind.is_punct(":"));
+                let is_param_name = match prev_sep {
+                    None => true,
+                    Some(p) => p.kind.is_punct(","),
+                };
+                if is_param_name && id != "const" && id != "where" {
+                    generics.insert(id.to_owned());
+                }
+            }
+        }
+        i += 1;
+    }
+    (toks.len().saturating_sub(1), generics)
+}
+
+/// Extracts the error-type name from a `-> Result<…, E>` return type in
+/// `toks[start..end]`, if present: the last path-segment ident of the
+/// second top-level generic argument. `None` for non-`Result` returns,
+/// aliased results (`fmt::Result`), or when no arrow exists.
+fn signature_error_type(toks: &[Token], start: usize, end: usize) -> Option<String> {
+    // Find `->` at paren/angle depth 0.
+    let mut i = start;
+    let mut paren = 0i32;
+    let mut arrow = None;
+    while i < end {
+        let t = &toks[i];
+        if t.kind.is_punct("(") {
+            paren += 1;
+        } else if t.kind.is_punct(")") {
+            paren -= 1;
+        } else if paren == 0 && t.kind.is_punct("->") {
+            arrow = Some(i);
+            break;
+        }
+        i += 1;
+    }
+    let arrow = arrow?;
+    // Return type must be `Result` (bare or path-qualified) with generics.
+    let mut r = arrow + 1;
+    while r < end && (toks[r].kind.is_punct("::") || toks[r].kind.ident().is_some()) {
+        if toks[r].kind.is_ident("Result") {
+            break;
+        }
+        r += 1;
+    }
+    if r >= end || !toks[r].kind.is_ident("Result") {
+        return None;
+    }
+    if !toks
+        .get(r + 1)
+        .map(|t| t.kind.is_punct("<"))
+        .unwrap_or(false)
+    {
+        return None; // aliased Result (e.g. fmt::Result): not judged
+    }
+    // Walk the generic args, split at top-level commas. Parens and
+    // brackets nest too: the comma in `Result<(A, B), E>` separates the
+    // tuple's fields, not the Ok/Err arguments.
+    let mut angle = 1i32;
+    let mut nested = 0i32; // paren/bracket depth inside the generics
+    let mut i = r + 2;
+    let mut current_last_ident: Option<String> = None;
+    let mut args_done = 0usize;
+    while i < end && angle > 0 {
+        let t = &toks[i];
+        if t.kind.is_punct("(") || t.kind.is_punct("[") {
+            nested += 1;
+        } else if t.kind.is_punct(")") || t.kind.is_punct("]") {
+            nested -= 1;
+        } else if t.kind.is_punct("<") {
+            angle += 1;
+        } else if t.kind.is_punct(">") {
+            angle -= 1;
+            if angle == 0 {
+                args_done += 1;
+                if args_done == 2 {
+                    return current_last_ident;
+                }
+            }
+        } else if t.kind.is_punct(",") && angle == 1 && nested == 0 {
+            args_done += 1;
+            if args_done == 2 {
+                return current_last_ident;
+            }
+            current_last_ident = None;
+        } else if angle == 1 && args_done == 1 {
+            if let Some(id) = t.kind.ident() {
+                current_last_ident = Some(id.to_owned());
+            }
+        }
+        i += 1;
+    }
+    if args_done >= 1 {
+        current_last_ident
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn err_ty(sig: &str) -> Option<String> {
+        let toks = lex(sig);
+        let end = toks.len();
+        signature_error_type(&toks, 0, end)
+    }
+
+    #[test]
+    fn extracts_error_types() {
+        assert_eq!(
+            err_ty("fn f() -> Result<u32, OdpError> {"),
+            Some("OdpError".to_owned())
+        );
+        assert_eq!(
+            err_ty("fn f(&self) -> Result<Vec<&ServiceOffer>, odp::OdpError> {"),
+            Some("OdpError".to_owned())
+        );
+        assert_eq!(
+            err_ty("fn f() -> Result<BTreeMap<String, u32>, MtsError> {"),
+            Some("MtsError".to_owned())
+        );
+        assert_eq!(err_ty("fn f() -> u32 {"), None);
+        assert_eq!(err_ty("fn f() -> fmt::Result {"), None);
+        assert_eq!(
+            err_ty("fn f() -> std::result::Result<(), DirectoryError> {"),
+            Some("DirectoryError".to_owned())
+        );
+        // Tuples in the Ok position nest their own commas.
+        assert_eq!(
+            err_ty("fn f() -> Result<(String, Vec<ServiceOffer>), OdpError> {"),
+            Some("OdpError".to_owned())
+        );
+        assert_eq!(
+            err_ty("fn f() -> Result<(BodyPart, ConversionCost), MtsError> {"),
+            Some("MtsError".to_owned())
+        );
+    }
+
+    #[test]
+    fn fn_generics_are_collected() {
+        let toks = lex("g<T: Clone, E, const N: usize>(x: T) -> Result<T, E> {");
+        let (_, generics) = scan_signature(&toks, 0);
+        assert!(generics.contains("T"));
+        assert!(generics.contains("E"));
+        assert!(!generics.contains("Clone"));
+        assert!(!generics.contains("usize"));
+    }
+
+    #[test]
+    fn classified_impls_are_discovered() {
+        let mut set = BTreeSet::new();
+        collect_classified_errors(
+            &lex("impl cscw_kernel::LayerError for MoccaError { }"),
+            &mut set,
+        );
+        collect_classified_errors(&lex("impl LayerError for KernelError {}"), &mut set);
+        assert!(set.contains("MoccaError"));
+        assert!(set.contains("KernelError"));
+    }
+}

@@ -1,0 +1,65 @@
+//! R4 — telemetry layer-tag conformance.
+//!
+//! The kernel's `Telemetry` stream exists so one end-to-end operation
+//! can be traced down the Figure-4 stack; that only works if each crate
+//! tags its observations with *its own* layer. This rule finds calls to
+//! the telemetry surface (`incr`, `add`, `emit`, `record_micros`) whose
+//! arguments name a `Layer::` variant other than the emitting crate's
+//! layer.
+//!
+//! Port boundaries that deliberately narrate another layer (the
+//! platform front-ends recording the layer an operation lowers into)
+//! carry explicit `conform: allow(R4)` waivers with their rationale.
+
+use super::{matching_paren, FileContext};
+use crate::diag::Finding;
+use crate::workspace::CrateRole;
+
+const TELEMETRY_METHODS: [&str; 4] = ["incr", "add", "emit", "record_micros"];
+
+/// Checks one file's telemetry emissions.
+pub fn check_telemetry(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let CrateRole::Layer(own) = ctx.role() else {
+        return; // tools and the facade may narrate any layer
+    };
+    let Some(expected) = own.telemetry_variant() else {
+        return; // the kernel itself is layer-neutral
+    };
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].kind.is_punct(".") {
+            continue;
+        }
+        let Some(method) = toks.get(i + 1).and_then(|t| t.kind.ident()) else {
+            continue;
+        };
+        if !TELEMETRY_METHODS.contains(&method) {
+            continue;
+        }
+        let Some(open) = toks.get(i + 2).filter(|t| t.kind.is_punct("(")) else {
+            continue;
+        };
+        let _ = open;
+        let close = matching_paren(toks, i + 2);
+        // Scan the argument tokens for `Layer::Variant` paths.
+        let mut j = i + 3;
+        while j + 2 <= close {
+            if toks[j].kind.is_ident("Layer") && toks[j + 1].kind.is_punct("::") {
+                if let Some(variant) = toks.get(j + 2).and_then(|t| t.kind.ident()) {
+                    if variant != expected && !ctx.waivers.covers("R4", toks[j].line) {
+                        findings.push(Finding::new(
+                            "R4",
+                            ctx.rel_path.clone(),
+                            toks[j].line,
+                            format!(
+                                "telemetry tagged `Layer::{variant}` emitted from the \
+                                 {own:?} layer (expected `Layer::{expected}`)"
+                            ),
+                        ));
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+}

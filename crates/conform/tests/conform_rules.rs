@@ -1,0 +1,130 @@
+//! Fixture-based integration tests: each rule has a clean fixture and a
+//! violating fixture, plus the ratchet semantics over synthetic
+//! baselines.
+
+use std::path::PathBuf;
+
+use cscw_conform::analyze;
+use cscw_conform::baseline::Baseline;
+use cscw_conform::diag::Finding;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn findings_for(name: &str) -> Vec<Finding> {
+    analyze(&fixture(name))
+        .unwrap_or_else(|e| panic!("analyzing fixture {name}: {e}"))
+        .findings
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let findings = findings_for("clean");
+    assert!(findings.is_empty(), "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn layering_fixture_flags_bypass_upward_and_peer() {
+    let findings = findings_for("layering");
+    let r1: Vec<_> = findings.iter().filter(|f| f.rule == "R1").collect();
+    assert_eq!(r1.len(), 3, "{findings:#?}");
+    assert!(r1
+        .iter()
+        .any(|f| f.file.contains("groupware") && f.message.contains("net-layer bypass")));
+    assert!(r1
+        .iter()
+        .any(|f| f.file.contains("simnet") && f.message.contains("upward")));
+    assert!(r1
+        .iter()
+        .any(|f| f.file.contains("messaging") && f.message.contains("peer")));
+    // The directory crate's downward use of simnet is legal.
+    assert!(!r1.iter().any(|f| f.file.contains("directory")));
+}
+
+#[test]
+fn errors_fixture_flags_panics_and_unclassified_apis() {
+    let findings = findings_for("errors");
+    let r2: Vec<_> = findings.iter().filter(|f| f.rule == "R2").collect();
+    assert_eq!(r2.len(), 4, "{findings:#?}");
+    assert!(r2.iter().any(|f| f.message.contains("`.unwrap()`")));
+    assert!(r2.iter().any(|f| f.message.contains("`.expect(")));
+    assert!(r2.iter().any(|f| f.message.contains("`panic!`")));
+    assert!(r2.iter().any(
+        |f| f.message.contains("UnclassifiedError") && f.message.contains("does not implement")
+    ));
+    // The parser-style `expect('(')` helper must not be confused with
+    // `Option::expect`.
+    assert!(!r2.iter().any(|f| f.line >= 22 && f.line <= 33));
+}
+
+#[test]
+fn locks_fixture_flags_port_calls_and_inversions() {
+    let findings = findings_for("locks");
+    let r3: Vec<_> = findings.iter().filter(|f| f.rule == "R3").collect();
+    assert_eq!(r3.len(), 3, "{findings:#?}");
+    assert!(r3
+        .iter()
+        .any(|f| f.message.contains("held across Platform port call")
+            && f.message.contains("org-model")));
+    let inversions: Vec<_> = r3
+        .iter()
+        .filter(|f| f.message.contains("lock order inversion"))
+        .collect();
+    assert_eq!(inversions.len(), 2, "{r3:#?}");
+}
+
+#[test]
+fn telemetry_fixture_flags_foreign_layer_tags() {
+    let findings = findings_for("telemetry");
+    let r4: Vec<_> = findings.iter().filter(|f| f.rule == "R4").collect();
+    assert_eq!(r4.len(), 2, "{findings:#?}");
+    assert!(r4.iter().any(|f| f.message.contains("Layer::App")));
+    assert!(r4.iter().any(|f| f.message.contains("Layer::Net")));
+    assert!(r4
+        .iter()
+        .all(|f| f.message.contains("expected `Layer::Odp`")));
+}
+
+#[test]
+fn waiver_pragmas_suppress_findings() {
+    let findings = findings_for("waivers");
+    assert!(
+        findings.is_empty(),
+        "expected all waived, got: {findings:#?}"
+    );
+}
+
+#[test]
+fn ratchet_passes_at_exact_counts_and_fails_on_one_more() {
+    let findings = findings_for("layering");
+    assert!(!findings.is_empty());
+
+    // A baseline generated from the findings themselves passes.
+    let exact = Baseline::from_findings(&findings);
+    assert!(exact.ratchet(&findings).is_pass());
+
+    // Dropping one entry's count by one (simulating a newly introduced
+    // violation relative to the recorded debt) must fail the check.
+    let mut reduced = findings.clone();
+    reduced.pop();
+    let tighter = Baseline::from_findings(&reduced);
+    let report = tighter.ratchet(&findings);
+    assert!(!report.is_pass());
+    assert_eq!(report.regressions.len(), 1);
+
+    // Paying down debt only goes stale, never fails the default check.
+    let report = exact.ratchet(&reduced);
+    assert!(report.is_pass());
+    assert!(!report.stale.is_empty());
+}
+
+#[test]
+fn baseline_round_trips_through_render_and_parse() {
+    let findings = findings_for("errors");
+    let baseline = Baseline::from_findings(&findings);
+    let parsed = Baseline::parse(&baseline.render()).expect("rendered baseline parses");
+    assert_eq!(baseline, parsed);
+}

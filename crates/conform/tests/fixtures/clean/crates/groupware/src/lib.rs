@@ -1,0 +1,47 @@
+//! Clean fixture: an app-layer crate that plays by all the rules.
+
+use cscw_kernel::Timestamp;
+use mocca::CscwEnvironment;
+
+pub enum AppError {
+    Missing(String),
+}
+
+impl cscw_kernel::LayerError for AppError {
+    fn layer(&self) -> cscw_kernel::Layer {
+        cscw_kernel::Layer::App
+    }
+    fn kind(&self) -> &'static str {
+        "missing"
+    }
+}
+
+pub struct App {
+    started: Timestamp,
+}
+
+impl App {
+    pub fn lookup(&self, env: &CscwEnvironment, name: &str) -> Result<Timestamp, AppError> {
+        if name.is_empty() {
+            return Err(AppError::Missing(name.to_owned()));
+        }
+        let _ = env;
+        Ok(self.started)
+    }
+
+    pub fn narrate(&self, telemetry: &cscw_kernel::Telemetry) {
+        telemetry.incr(Layer::App, "app.lookup");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may panic freely; the analyzer must not look here.
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let t: Result<(), ()> = Ok(());
+        t.expect("fine in tests");
+    }
+}

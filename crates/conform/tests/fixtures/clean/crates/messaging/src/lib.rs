@@ -1,0 +1,11 @@
+//! Clean fixture: the message transfer layer may name the net layer.
+
+use simnet::NodeId;
+
+pub fn route(node: NodeId) -> NodeId {
+    // A doc example naming an upper layer must not count:
+    // ```
+    // use groupware::Conference;
+    // ```
+    node
+}

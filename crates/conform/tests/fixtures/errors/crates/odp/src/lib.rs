@@ -1,0 +1,38 @@
+//! Violating fixture for R2: panics in library code and a public
+//! fallible API with an unclassified error type.
+
+pub struct UnclassifiedError;
+
+pub fn shaky(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+pub fn louder(input: Result<u32, ()>) -> u32 {
+    input.expect("should have been a number")
+}
+
+pub fn giving_up() -> ! {
+    panic!("cannot continue");
+}
+
+pub fn fallible() -> Result<u32, UnclassifiedError> {
+    Err(UnclassifiedError)
+}
+
+// Not Option::expect: a parser-style helper named `expect` taking a
+// char must NOT be flagged.
+pub struct Parser;
+
+impl Parser {
+    pub fn expect(&mut self, c: char) -> bool {
+        c == '('
+    }
+    pub fn run(&mut self) -> bool {
+        self.expect('(')
+    }
+}
+
+// Generic error parameters cannot be judged and are skipped.
+pub fn generic<T, E>(v: Result<T, E>) -> Result<T, E> {
+    v
+}

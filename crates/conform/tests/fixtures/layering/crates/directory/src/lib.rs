@@ -1,0 +1,8 @@
+//! Clean half of the layering fixture: the directory may use the net
+//! layer below it.
+
+use simnet::NodeId;
+
+pub fn home(node: NodeId) -> NodeId {
+    node
+}

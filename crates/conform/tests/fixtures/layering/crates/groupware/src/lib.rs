@@ -1,0 +1,8 @@
+//! Violating fixture: the app layer reaches straight down to the net
+//! layer (R1 net-layer bypass).
+
+use simnet::SimTime;
+
+pub fn now() -> SimTime {
+    SimTime::ZERO
+}

@@ -1,0 +1,8 @@
+//! Violating fixture: peer coupling between the communication services
+//! (R1 peer-layer dependency).
+
+use cscw_directory::Dn;
+
+pub fn lookup(dn: &Dn) {
+    let _ = dn;
+}

@@ -1,0 +1,7 @@
+//! Violating fixture: the net layer imports upward (R1).
+
+use odp::Trader;
+
+pub fn broken(t: &Trader) {
+    let _ = t;
+}

@@ -1,0 +1,35 @@
+//! Violating fixture for R3: a guard held across a Platform port call,
+//! and a lock-order inversion between two functions.
+
+pub struct Env;
+
+impl Env {
+    // Held-across-port: `org` is still live at the trader() call.
+    pub fn bad_port_call(&self) {
+        let org = self.org.read();
+        let offers = self.platform.trader().import(&org);
+        drop(offers);
+    }
+
+    // Temporary guard: released at the end of the statement, fine.
+    pub fn good_port_call(&self) {
+        self.org.read().check();
+        let _offers = self.platform.trader().import_all();
+    }
+
+    // Acquires alpha then beta…
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    // …and beta then alpha elsewhere: an inversion.
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+}

@@ -1,0 +1,10 @@
+//! Violating fixture for R4: the ODP layer tagging telemetry with
+//! another layer's tag.
+
+use cscw_kernel::{Layer, Telemetry};
+
+pub fn observe(t: &Telemetry) {
+    t.incr(Layer::Odp, "trader.import"); // correct: own layer
+    t.incr(Layer::App, "trader.import"); // wrong: upper layer's tag
+    t.emit(0, Layer::Net, "trader.import", String::new()); // wrong too
+}

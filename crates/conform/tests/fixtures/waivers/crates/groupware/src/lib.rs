@@ -1,0 +1,20 @@
+//! Fixture: violations covered by waiver pragmas produce no findings.
+//!
+//! conform: allow-file(R4) — fixture exercises the file-level pragma
+
+use cscw_kernel::{Layer, Telemetry};
+// conform: allow(R1) — fixture exercises the line-level pragma
+use simnet::SimTime;
+
+pub fn tagged(t: &Telemetry) {
+    t.incr(Layer::Net, "whatever");
+}
+
+pub fn when() -> SimTime {
+    // conform: allow(R2) — fixture pragma on the line above the panic
+    SimTime::from_micros(always_there().unwrap())
+}
+
+fn always_there() -> Option<u64> {
+    Some(7)
+}

@@ -1,0 +1,81 @@
+//! The workspace's own conformance gate: `cargo test` enforces the
+//! committed baseline, so a layering/panic/lock/telemetry regression
+//! fails the test suite even before CI runs the analyzer binary.
+
+use std::path::{Path, PathBuf};
+
+use cscw_conform::baseline::Baseline;
+use cscw_conform::diag::Finding;
+use cscw_conform::{analyze, check};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn committed_baseline(root: &Path) -> Baseline {
+    let path = root.join("conform-baseline.toml");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    Baseline::parse(&text).expect("committed baseline parses")
+}
+
+#[test]
+fn workspace_conforms_to_committed_baseline() {
+    let root = workspace_root();
+    let baseline = committed_baseline(&root);
+    let outcome = check(&root, baseline).expect("analysis succeeds");
+    let mut detail = String::new();
+    for (rule, file, allowed, got, bucket) in &outcome.report.regressions {
+        detail.push_str(&format!(
+            "\n{rule} {file}: {got} findings, baseline allows {allowed}"
+        ));
+        for f in bucket {
+            detail.push_str(&format!("\n    {f}"));
+        }
+    }
+    assert!(
+        outcome.report.is_pass(),
+        "conformance regressions (fix them, or if intentional debt, regenerate \
+         conform-baseline.toml with `cargo run -p cscw-conform -- check --write-baseline`):{detail}"
+    );
+}
+
+#[test]
+fn baseline_records_the_known_groupware_simnet_debt() {
+    // The acceptance marker for the analyzer: the pre-existing direct
+    // groupware→simnet references are found and tracked as debt.
+    let root = workspace_root();
+    let baseline = committed_baseline(&root);
+    for file in [
+        "crates/groupware/src/bbs.rs",
+        "crates/groupware/src/conference.rs",
+        "crates/groupware/src/lens_mail.rs",
+    ] {
+        assert!(
+            baseline.count("R1", file) > 0,
+            "expected baselined R1 debt for {file}"
+        );
+    }
+    // procedure.rs was rerouted through the kernel's Timestamp and must
+    // stay clean.
+    assert_eq!(baseline.count("R1", "crates/groupware/src/procedure.rs"), 0);
+}
+
+#[test]
+fn a_synthetic_violation_fails_the_ratchet() {
+    let root = workspace_root();
+    let baseline = committed_baseline(&root);
+    let mut analysis = analyze(&root).expect("analysis succeeds");
+    // Simulate one new net-layer bypass appearing in shipping code.
+    analysis.findings.push(Finding::new(
+        "R1",
+        "crates/groupware/src/bbs.rs",
+        1,
+        "synthetic: one more `simnet` reference",
+    ));
+    let report = baseline.ratchet(&analysis.findings);
+    assert!(!report.is_pass(), "the synthetic violation must regress");
+}

@@ -162,7 +162,9 @@ impl InterActivityModel {
             self.activities.keys().map(|id| (id, 0)).collect();
         for dep in &self.dependencies {
             if dep.kind == DependencyKind::Before {
-                *indegree.get_mut(&dep.to).expect("validated on insert") += 1;
+                if let Some(d) = indegree.get_mut(&dep.to) {
+                    *d += 1;
+                }
             }
         }
         let mut ready: BTreeSet<&ActivityId> = indegree
@@ -176,10 +178,11 @@ impl InterActivityModel {
             order.push(next.clone());
             for dep in &self.dependencies {
                 if dep.kind == DependencyKind::Before && dep.from == *next {
-                    let d = indegree.get_mut(&dep.to).expect("validated");
-                    *d -= 1;
-                    if *d == 0 {
-                        ready.insert(&dep.to);
+                    if let Some(d) = indegree.get_mut(&dep.to) {
+                        *d -= 1;
+                        if *d == 0 {
+                            ready.insert(&dep.to);
+                        }
                     }
                 }
             }

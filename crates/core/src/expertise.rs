@@ -87,12 +87,14 @@ impl UserExpertiseModel {
     }
 
     fn record_mut(&mut self, person: &Dn) -> &mut Expertise {
-        if let Some(pos) = self.records.iter().position(|(dn, _)| dn == person) {
-            &mut self.records[pos].1
-        } else {
-            self.records.push((person.clone(), Expertise::default()));
-            &mut self.records.last_mut().expect("just pushed").1
-        }
+        let pos = match self.records.iter().position(|(dn, _)| dn == person) {
+            Some(pos) => pos,
+            None => {
+                self.records.push((person.clone(), Expertise::default()));
+                self.records.len() - 1
+            }
+        };
+        &mut self.records[pos].1
     }
 
     /// A person's record.

@@ -1,4 +1,8 @@
 //! The in-process platform: the zero-network fast path.
+//!
+//! conform: allow-file(R4) — like the simulated platform, the port
+//! front-end narrates the layer each call lowers *into*, so both
+//! platforms produce comparable per-layer telemetry.
 
 use std::collections::BTreeMap;
 

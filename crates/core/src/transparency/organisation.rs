@@ -73,7 +73,7 @@ impl OrganisationTransparency {
             .domain_of(exporter)
             .ok_or_else(|| MoccaError::UnknownOrgObject(exporter.to_string()))?;
         match self.registry.interaction_allowed(from, to, service_type) {
-            v if v.is_allowed() => Ok(()),
+            InteractionVerdict::Allowed | InteractionVerdict::AllowedIntraDomain => Ok(()),
             InteractionVerdict::NoContract => Err(MoccaError::IncompatiblePolicies(format!(
                 "no federation contract between {from} and {to} for {service_type}"
             ))),
@@ -86,7 +86,6 @@ impl OrganisationTransparency {
             InteractionVerdict::UnknownDomain(d) => {
                 Err(MoccaError::UnknownOrgObject(format!("domain {d}")))
             }
-            _ => unreachable!("allowed verdicts handled above"),
         }
     }
 }

@@ -94,6 +94,35 @@ impl From<cscw_messaging::MtsError> for GroupwareError {
     }
 }
 
+impl cscw_kernel::LayerError for GroupwareError {
+    /// Wrapped lower-layer errors keep the layer they came from; the
+    /// applications' own failures are [`Layer::App`](cscw_kernel::Layer).
+    fn layer(&self) -> cscw_kernel::Layer {
+        match self {
+            GroupwareError::Mocca(e) => e.layer(),
+            GroupwareError::Mts(e) => e.layer(),
+            _ => cscw_kernel::Layer::App,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            GroupwareError::NotAParticipant(_) => "not_a_participant",
+            GroupwareError::WrongPhase { .. } => "wrong_phase",
+            GroupwareError::NotFacilitator(_) => "not_facilitator",
+            GroupwareError::NoSuchItem(_) => "no_such_item",
+            GroupwareError::AlreadyVoted(..) => "already_voted",
+            GroupwareError::NoSuchConference(_) => "no_such_conference",
+            GroupwareError::NoSuchEntry(_) => "no_such_entry",
+            GroupwareError::WrongRole { .. } => "wrong_role",
+            GroupwareError::StepOutOfOrder { .. } => "step_out_of_order",
+            GroupwareError::ProcedureComplete => "procedure_complete",
+            GroupwareError::Mocca(e) => e.kind(),
+            GroupwareError::Mts(e) => e.kind(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +137,19 @@ mod tests {
             .is_none());
         let wrapped: GroupwareError = cscw_messaging::MtsError::HopLimitExceeded.into();
         assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn classified_by_layer_and_kind() {
+        use cscw_kernel::{Layer, LayerError};
+        assert_eq!(GroupwareError::ProcedureComplete.layer(), Layer::App);
+        assert_eq!(
+            GroupwareError::ProcedureComplete.kind(),
+            "procedure_complete"
+        );
+        // Wrapped lower-layer errors classify to their origin layer.
+        let wrapped: GroupwareError = cscw_messaging::MtsError::HopLimitExceeded.into();
+        assert_eq!(wrapped.layer(), Layer::Messaging);
+        assert_eq!(wrapped.to_kernel().layer(), Layer::Messaging);
     }
 }

@@ -12,9 +12,9 @@
 //! rationale (the human factor), not only completed in order.
 
 use cscw_directory::Dn;
+use cscw_kernel::Timestamp;
 use mocca::org::OrganisationalModel;
 use serde::{Deserialize, Serialize};
-use simnet::SimTime;
 
 use crate::GroupwareError;
 
@@ -35,14 +35,14 @@ pub enum StepOutcome {
         /// Who did it.
         by: Dn,
         /// When.
-        at: SimTime,
+        at: Timestamp,
     },
     /// Skipped by exception.
     Skipped {
         /// Who took the exception.
         by: Dn,
         /// When.
-        at: SimTime,
+        at: Timestamp,
         /// Why — the recorded human judgement.
         rationale: String,
     },
@@ -112,7 +112,7 @@ impl Procedure {
         org: &OrganisationalModel,
         index: usize,
         who: &Dn,
-        at: SimTime,
+        at: Timestamp,
     ) -> Result<(), GroupwareError> {
         let step = self.check_turn(index)?;
         if !org.roles_of(who).contains(&step.required_role) {
@@ -141,7 +141,7 @@ impl Procedure {
         index: usize,
         who: &Dn,
         rationale: &str,
-        at: SimTime,
+        at: Timestamp,
     ) -> Result<(), GroupwareError> {
         self.check_turn(index)?;
         self.outcomes.push(StepOutcome::Skipped {
@@ -215,16 +215,18 @@ mod tests {
     fn steps_complete_in_order_at_different_times() {
         let org = org();
         let mut p = claim();
-        p.perform(&org, 0, &dn("cn=Clerk"), SimTime::from_secs(100))
+        p.perform(&org, 0, &dn("cn=Clerk"), Timestamp::from_secs(100))
             .unwrap();
         // The manager comes in much later — the "different times" point.
-        p.perform(&org, 1, &dn("cn=Manager"), SimTime::from_secs(90_000))
+        p.perform(&org, 1, &dn("cn=Manager"), Timestamp::from_secs(90_000))
             .unwrap();
-        p.perform(&org, 2, &dn("cn=Clerk"), SimTime::from_secs(180_000))
+        p.perform(&org, 2, &dn("cn=Clerk"), Timestamp::from_secs(180_000))
             .unwrap();
         assert!(p.is_complete());
         assert_eq!(p.outcomes().len(), 3);
-        assert!(p.perform(&org, 0, &dn("cn=Clerk"), SimTime::ZERO).is_err());
+        assert!(p
+            .perform(&org, 0, &dn("cn=Clerk"), Timestamp::ZERO)
+            .is_err());
     }
 
     #[test]
@@ -232,7 +234,7 @@ mod tests {
         let org = org();
         let mut p = claim();
         let err = p
-            .perform(&org, 1, &dn("cn=Manager"), SimTime::ZERO)
+            .perform(&org, 1, &dn("cn=Manager"), Timestamp::ZERO)
             .unwrap_err();
         assert!(matches!(
             err,
@@ -248,7 +250,7 @@ mod tests {
         let org = org();
         let mut p = claim();
         let err = p
-            .perform(&org, 0, &dn("cn=Manager"), SimTime::ZERO)
+            .perform(&org, 0, &dn("cn=Manager"), Timestamp::ZERO)
             .unwrap_err();
         assert!(matches!(err, GroupwareError::WrongRole { .. }));
     }
@@ -257,16 +259,18 @@ mod tests {
     fn exceptions_allow_human_flexibility() {
         let org = org();
         let mut p = claim();
-        p.perform(&org, 0, &dn("cn=Clerk"), SimTime::ZERO).unwrap();
+        p.perform(&org, 0, &dn("cn=Clerk"), Timestamp::ZERO)
+            .unwrap();
         // The manager is on holiday; the clerk takes a recorded exception.
         p.skip(
             1,
             &dn("cn=Clerk"),
             "manager on leave, pre-approved by phone",
-            SimTime::ZERO,
+            Timestamp::ZERO,
         )
         .unwrap();
-        p.perform(&org, 2, &dn("cn=Clerk"), SimTime::ZERO).unwrap();
+        p.perform(&org, 2, &dn("cn=Clerk"), Timestamp::ZERO)
+            .unwrap();
         assert!(p.is_complete());
         assert_eq!(p.exception_count(), 1);
         match &p.outcomes()[1] {
@@ -282,7 +286,8 @@ mod tests {
         let org = org();
         let mut p = claim();
         assert_eq!(p.due(), Some(0));
-        p.perform(&org, 0, &dn("cn=Clerk"), SimTime::ZERO).unwrap();
+        p.perform(&org, 0, &dn("cn=Clerk"), Timestamp::ZERO)
+            .unwrap();
         assert_eq!(p.due(), Some(1));
     }
 }

@@ -99,9 +99,9 @@ proptest! {
         for (step, skip) in attempts {
             let before = p.outcomes().len();
             let result = if skip {
-                p.skip(step, &dn("cn=A"), "exception", simnet::SimTime::ZERO)
+                p.skip(step, &dn("cn=A"), "exception", cscw_kernel::Timestamp::ZERO)
             } else {
-                p.perform(&org, step, &dn("cn=A"), simnet::SimTime::ZERO)
+                p.perform(&org, step, &dn("cn=A"), cscw_kernel::Timestamp::ZERO)
             };
             match result {
                 Ok(()) => {

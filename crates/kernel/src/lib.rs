@@ -17,8 +17,9 @@
 //!   over the per-crate error enums.
 //!
 //! The kernel sits **below** `simnet`: it knows nothing about nodes,
-//! topologies or simulated time types. Timestamps here are raw
-//! microseconds; `simnet` converts `SimTime` at its edge.
+//! topologies or simulated time types. [`Timestamp`] is the shared
+//! value type for instants — raw microseconds since the owning clock's
+//! epoch; `simnet` converts `SimTime` at its edge.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +28,10 @@ mod clock;
 mod error;
 mod rng;
 mod telemetry;
+mod time;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use error::{KernelError, LayerError};
 pub use rng::SeededRng;
 pub use telemetry::{HistogramSummary, Layer, Telemetry, TelemetryEvent};
+pub use time::Timestamp;

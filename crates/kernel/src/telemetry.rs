@@ -210,10 +210,13 @@ impl Telemetry {
             return None;
         }
         let total: u128 = samples.iter().map(|&s| s as u128).sum();
+        let (min_micros, max_micros) = samples
+            .iter()
+            .fold((u64::MAX, 0u64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
         Some(HistogramSummary {
             count: samples.len() as u64,
-            min_micros: *samples.iter().min().expect("non-empty"),
-            max_micros: *samples.iter().max().expect("non-empty"),
+            min_micros,
+            max_micros,
             mean_micros: (total / samples.len() as u128) as u64,
         })
     }

@@ -51,6 +51,7 @@ impl Payload {
     ///
     /// Returns `self` unchanged when the payload is not a `T`, so callers
     /// can try several protocol types in turn.
+    // conform: allow(R2) — the Err side hands the payload back, by design
     pub fn downcast<T: Any>(self) -> Result<T, Payload> {
         let type_label = self.type_label;
         match self.value.downcast::<T>() {

@@ -231,6 +231,22 @@ impl From<SimDuration> for std::time::Duration {
     }
 }
 
+// The kernel's `Timestamp` is the platform-neutral instant type the
+// layers above the environment use; these conversions are the simnet
+// edge of that boundary (the kernel itself knows nothing of `SimTime`).
+
+impl From<SimTime> for cscw_kernel::Timestamp {
+    fn from(t: SimTime) -> Self {
+        cscw_kernel::Timestamp::from_micros(t.0)
+    }
+}
+
+impl From<cscw_kernel::Timestamp> for SimTime {
+    fn from(t: cscw_kernel::Timestamp) -> Self {
+        SimTime(t.as_micros())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,10 +10,11 @@ use open_cscw::groupware::{
     descriptor_for, mapping_for, BbsClient, BbsServer, ConferenceClient, ConferenceServer,
     MeetingRoom, Participant, Procedure, ProcedureStep, APP_POPULATION,
 };
+use open_cscw::kernel::Timestamp;
 use open_cscw::messaging::{MtaNode, OrAddress};
 use open_cscw::mocca::org::{Person, RelationKind, Role};
 use open_cscw::mocca::CscwEnvironment;
-use open_cscw::simnet::{LinkSpec, Sim, SimDuration, SimTime, TopologyBuilder};
+use open_cscw::simnet::{LinkSpec, Sim, SimDuration, TopologyBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tom: Dn = "cn=Tom".parse()?;
@@ -145,9 +146,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         ],
     );
-    procedure.perform(&org, 0, &tom, SimTime::from_secs(0))?;
-    procedure.perform(&org, 1, &wolfgang, SimTime::from_secs(86_400))?;
-    procedure.perform(&org, 2, &tom, SimTime::from_secs(172_800))?;
+    procedure.perform(&org, 0, &tom, Timestamp::from_secs(0))?;
+    procedure.perform(&org, 1, &wolfgang, Timestamp::from_secs(86_400))?;
+    procedure.perform(&org, 2, &tom, Timestamp::from_secs(172_800))?;
     println!("[diff times / same place]       DOMINO-style procedure");
     println!(
         "    {} steps completed across 2 simulated days, complete = {}",
