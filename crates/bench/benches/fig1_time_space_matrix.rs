@@ -92,8 +92,8 @@ fn bbs_post(seed: u64) -> SimDuration {
     // The reader arrives an hour later.
     sim.run_until(sim.now() + SimDuration::from_secs(3600));
     let entries = client.read(&sim, "c").unwrap();
-    sim.now()
-        .saturating_since(entries.first().map(|e| e.at).unwrap_or(posted))
+    let accepted = entries.first().map(|e| e.at.into()).unwrap_or(posted);
+    sim.now().saturating_since(accepted)
 }
 
 /// Different times / same place: a three-step procedure across a day.
@@ -126,7 +126,7 @@ fn procedure_run(seed: u64) -> SimDuration {
 
 /// Asynchronous mail end-to-end, for the matrix's async latency row.
 fn mail_end_to_end(seed: u64) -> SimDuration {
-    let (mut sim, mut a, b) = mail_world(seed);
+    let (mut sim, mut a, b) = mail_world(seed).expect("static fixtures");
     let ipm = Ipm::text(a.address().clone(), b.address().clone(), "s", "t");
     a.submit_and_run(&mut sim, ipm, SubmitOptions::default());
     let inbox = b.inbox(&sim).unwrap();
@@ -144,7 +144,7 @@ fn print_shape() {
     println!("  diff times / diff places     (X.400 delivery):  {mail}");
     println!("  diff times / diff places     (COM read lag):    {bbs}");
     println!("  diff times / same place      (DOMINO span):     {proc_span}");
-    let env = population_env();
+    let env = population_env().expect("static population");
     println!(
         "  quadrants covered by one environment: {}/4",
         env.apps().covered_quadrants().len()

@@ -124,7 +124,7 @@ fn odp_share(sim: &mut Sim, channel: &mut odp::Channel) {
 // ---- layer 3: the CSCW environment ----------------------------------------
 
 fn env_share(env: &mut mocca::CscwEnvironment, n: u64) {
-    let artifact = sample_artifact("sharedx");
+    let artifact = sample_artifact("sharedx").expect("fixed population");
     // Each exchange: hub to-common + from-common, repository record,
     // event publication — the full environment service.
     env.exchange(
@@ -148,7 +148,7 @@ fn print_shape() {
     let odp_msgs = sim.metrics().counter("messages_sent");
     let stats = channel.stats();
 
-    let mut env = population_env();
+    let mut env = population_env().expect("static population");
     env_share(&mut env, 1);
     let ops = env.operations();
     let conversions = env.hub().conversions_performed();
@@ -177,7 +177,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| odp_share(&mut sim, &mut channel));
     });
     group.bench_function("layer3_cscw_environment_share", |b| {
-        let mut env = population_env();
+        let mut env = population_env().expect("static population");
         let mut n = 0;
         b.iter(|| {
             n += 1;

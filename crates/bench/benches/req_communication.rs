@@ -50,7 +50,7 @@ fn sync_latency(seed: u64) -> SimDuration {
 }
 
 fn async_latency(seed: u64, priority: Priority) -> SimDuration {
-    let (mut sim, mut a, b) = mail_world(seed);
+    let (mut sim, mut a, b) = mail_world(seed).expect("static fixtures");
     let submit = sim.now();
     let ipm = Ipm::text(a.address().clone(), b.address().clone(), "s", "t");
     a.submit_and_run(

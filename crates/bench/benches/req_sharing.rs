@@ -17,7 +17,7 @@ fn print_shape() {
     println!("── R1: directory search scaling (simulated entries visited) ──");
     println!("  entries   subtree-all   subtree-filtered   one-level(org0)   base");
     for n in [100usize, 1_000, 5_000] {
-        let dit = populated_dit(n, 10);
+        let dit = populated_dit(n, 10).expect("generated fixtures");
         let all = dit
             .search(&SearchRequest::new(
                 dn("c=UK"),
@@ -66,7 +66,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("req1_sharing");
     group.sample_size(10);
     for n in [100usize, 1_000, 5_000] {
-        let dit = populated_dit(n, 10);
+        let dit = populated_dit(n, 10).expect("generated fixtures");
         group.bench_with_input(BenchmarkId::new("subtree_search_all", n), &n, |b, _| {
             b.iter(|| {
                 dit.search(&SearchRequest::new(

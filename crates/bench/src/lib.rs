@@ -4,17 +4,26 @@
 //! or more bench targets; the benches measure wall time with Criterion
 //! and print *simulated-time / count* shapes (the paper-facing result)
 //! to stdout.
+//!
+//! The builders are fallible: addresses and names are parsed and tree
+//! insertions validated, so a typo in a fixture surfaces as a
+//! classified layer error at the bench harness instead of a panic
+//! inside library code.
 
 #![forbid(unsafe_code)]
 
-use cscw_directory::{Attribute, Dit, Entry};
-use cscw_messaging::{MtaNode, OrAddress, UserAgent};
-use groupware::{descriptor_for, mapping_for};
+use cscw_directory::{Attribute, DirectoryError, Dit, Entry};
+use cscw_messaging::{MtaNode, MtsError, OrAddress, UserAgent};
+use groupware::{descriptor_for, mapping_for, GroupwareError};
 use mocca::CscwEnvironment;
 use simnet::{LinkSpec, Sim, TopologyBuilder};
 
 /// A two-MTA mail world: `(sim, sender agent, receiver agent)`.
-pub fn mail_world(seed: u64) -> (Sim, UserAgent, UserAgent) {
+///
+/// # Errors
+///
+/// [`MtsError`] if either fixture O/R address fails to parse.
+pub fn mail_world(seed: u64) -> Result<(Sim, UserAgent, UserAgent), MtsError> {
     let mut b = TopologyBuilder::new();
     let a_ws = b.add_node("a-ws");
     let b_ws = b.add_node("b-ws");
@@ -23,8 +32,8 @@ pub fn mail_world(seed: u64) -> (Sim, UserAgent, UserAgent) {
     b.full_mesh(LinkSpec::wan());
     let mut sim = Sim::new(b.build(), seed);
 
-    let a_addr: OrAddress = "C=UK;O=Lancaster;PN=A".parse().expect("static");
-    let b_addr: OrAddress = "C=DE;O=GMD;PN=B".parse().expect("static");
+    let a_addr: OrAddress = "C=UK;O=Lancaster;PN=A".parse()?;
+    let b_addr: OrAddress = "C=DE;O=GMD;PN=B".parse()?;
     let mut a = MtaNode::new("mta-a");
     a.register_mailbox(a_addr.clone());
     a.routing_mut().add_country_route("DE", mta_b);
@@ -34,54 +43,58 @@ pub fn mail_world(seed: u64) -> (Sim, UserAgent, UserAgent) {
     sim.register(mta_a, a);
     sim.register(mta_b, m_b);
 
-    (
+    Ok((
         sim,
         UserAgent::new(a_addr, a_ws, mta_a),
         UserAgent::new(b_addr, b_ws, mta_b),
-    )
+    ))
 }
 
 /// A DIT populated with `n` person entries under `orgs` organisations.
-pub fn populated_dit(n: usize, orgs: usize) -> Dit {
+///
+/// # Errors
+///
+/// [`DirectoryError`] if a generated name fails to parse or an entry
+/// cannot be inserted (e.g. a duplicate).
+pub fn populated_dit(n: usize, orgs: usize) -> Result<Dit, DirectoryError> {
     let mut dit = Dit::new();
     dit.add(
-        Entry::new("c=UK".parse().expect("static"))
+        Entry::new("c=UK".parse()?)
             .with_class("country")
             .with_attr(Attribute::single("c", "UK")),
-    )
-    .expect("fresh tree");
+    )?;
     for o in 0..orgs {
         dit.add(
-            Entry::new(format!("c=UK,o=org{o}").parse().expect("generated"))
+            Entry::new(format!("c=UK,o=org{o}").parse()?)
                 .with_class("organization")
                 .with_attr(Attribute::single("o", format!("org{o}"))),
-        )
-        .expect("fresh tree");
+        )?;
     }
     for i in 0..n {
         let o = i % orgs;
-        let mut e = Entry::new(
-            format!("c=UK,o=org{o},cn=person{i}")
-                .parse()
-                .expect("generated"),
-        )
-        .with_class("person")
-        .with_attr(Attribute::single("cn", format!("person{i}")))
-        .with_attr(Attribute::single("sn", format!("Surname{}", i % 50)))
-        .with_attr(Attribute::single("capabilitylevel", (i % 5) as i64 + 1));
+        let mut e = Entry::new(format!("c=UK,o=org{o},cn=person{i}").parse()?)
+            .with_class("person")
+            .with_attr(Attribute::single("cn", format!("person{i}")))
+            .with_attr(Attribute::single("sn", format!("Surname{}", i % 50)))
+            .with_attr(Attribute::single("capabilitylevel", (i % 5) as i64 + 1));
         if i % 3 == 0 {
             e.put_attr(Attribute::single("occupiesrole", "cn=coordinator"));
         }
-        dit.add(e).expect("fresh tree");
+        dit.add(e)?;
     }
-    dit
+    Ok(dit)
 }
 
 /// An environment with the full five-app population registered.
-pub fn population_env() -> CscwEnvironment {
+///
+/// # Errors
+///
+/// [`GroupwareError::UnknownApp`] if the fixed population ever lists an
+/// app without a descriptor or mapping.
+pub fn population_env() -> Result<CscwEnvironment, GroupwareError> {
     let mut env = CscwEnvironment::new();
     for app in groupware::APP_POPULATION {
-        env.register_app(descriptor_for(app), mapping_for(app));
+        env.register_app(descriptor_for(app)?, mapping_for(app)?);
     }
-    env
+    Ok(env)
 }

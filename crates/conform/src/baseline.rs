@@ -60,6 +60,15 @@ impl Baseline {
         self.entries.values().sum()
     }
 
+    /// Total baselined finding count for one rule across all files.
+    pub fn total_for_rule(&self, rule: &str) -> u32 {
+        self.entries
+            .iter()
+            .filter(|((r, _), _)| r == rule)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
     /// The baselined count for a bucket.
     pub fn count(&self, rule: &str, file: &str) -> u32 {
         self.entries
@@ -224,6 +233,8 @@ mod tests {
         assert_eq!(b, parsed);
         assert_eq!(parsed.count("R1", "a.rs"), 2);
         assert_eq!(parsed.total(), 3);
+        assert_eq!(parsed.total_for_rule("R1"), 2);
+        assert_eq!(parsed.total_for_rule("R3"), 0);
     }
 
     #[test]

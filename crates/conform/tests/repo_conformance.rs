@@ -44,24 +44,38 @@ fn workspace_conforms_to_committed_baseline() {
 }
 
 #[test]
-fn baseline_records_the_known_groupware_simnet_debt() {
-    // The acceptance marker for the analyzer: the pre-existing direct
-    // groupware→simnet references are found and tracked as debt.
+fn groupware_simnet_debt_is_paid_and_stays_paid() {
+    // The groupware→simnet bypasses the analyzer originally tracked as
+    // debt were paid down (the apps now host nodes through
+    // `cscw_messaging::net` and carry kernel `Timestamp`s); the ratchet
+    // must hold them at zero.
     let root = workspace_root();
     let baseline = committed_baseline(&root);
     for file in [
         "crates/groupware/src/bbs.rs",
         "crates/groupware/src/conference.rs",
         "crates/groupware/src/lens_mail.rs",
+        "crates/groupware/src/procedure.rs",
     ] {
-        assert!(
-            baseline.count("R1", file) > 0,
-            "expected baselined R1 debt for {file}"
+        assert_eq!(
+            baseline.count("R1", file),
+            0,
+            "R1 debt crept back into the baseline for {file}"
         );
     }
-    // procedure.rs was rerouted through the kernel's Timestamp and must
-    // stay clean.
-    assert_eq!(baseline.count("R1", "crates/groupware/src/procedure.rs"), 0);
+}
+
+#[test]
+fn panic_debt_is_paid_and_stays_paid() {
+    // PR 4 burned down every baselined R2 panic site; the ratchet must
+    // hold the whole rule at zero.
+    let root = workspace_root();
+    let baseline = committed_baseline(&root);
+    assert_eq!(
+        baseline.total_for_rule("R2"),
+        0,
+        "R2 panic debt crept back into the baseline"
+    );
 }
 
 #[test]

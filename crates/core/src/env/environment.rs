@@ -121,6 +121,21 @@ impl CscwEnvironment {
         Self::with_platform(Box::new(LocalPlatform::new()))
     }
 
+    /// Creates an environment whose platform ports are wrapped in a
+    /// [`ResilientPlatform`](crate::ResilientPlatform) — retries with
+    /// seeded-jitter backoff, per-port circuit breakers, and graceful
+    /// degradation — before the environment is constructed on top.
+    ///
+    /// This is the failure-transparent configuration RM-ODP asks of the
+    /// engineering infrastructure: applications above the environment
+    /// see transient platform faults masked, degraded (flagged stale)
+    /// answers while a breaker is open, and classified errors otherwise.
+    pub fn with_resilient_platform(platform: Box<dyn Platform>, seed: u64) -> Self {
+        Self::with_platform(Box::new(
+            crate::ResilientPlatform::new(platform).with_seed(seed),
+        ))
+    }
+
     /// Creates an environment on an arbitrary engineering platform.
     ///
     /// The platform's trader gets the organisational trading policy

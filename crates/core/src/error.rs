@@ -129,6 +129,15 @@ impl cscw_kernel::LayerError for MoccaError {
             MoccaError::Odp(e) => e.kind(),
         }
     }
+
+    fn class(&self) -> cscw_kernel::ErrorClass {
+        match self {
+            MoccaError::Directory(e) => e.class(),
+            MoccaError::Messaging(e) => e.class(),
+            MoccaError::Odp(e) => e.class(),
+            _ => cscw_kernel::ErrorClass::Permanent,
+        }
+    }
 }
 
 impl From<cscw_directory::DirectoryError> for MoccaError {
@@ -190,5 +199,18 @@ mod tests {
         let k = wrapped.to_kernel();
         assert_eq!(k.layer(), Layer::Odp);
         assert!(k.to_string().starts_with("[odp/federation_loop]"));
+    }
+
+    #[test]
+    fn transience_follows_the_wrapped_error() {
+        use cscw_kernel::LayerError;
+
+        let transient: MoccaError = odp::OdpError::Unavailable("no reply".into()).into();
+        assert!(transient.class().is_transient());
+        let permanent: MoccaError = odp::OdpError::FederationLoop.into();
+        assert!(!permanent.class().is_transient());
+        assert!(!MoccaError::UnknownActivity("review".into())
+            .class()
+            .is_transient());
     }
 }

@@ -62,5 +62,6 @@ pub mod transparency;
 pub use env::CscwEnvironment;
 pub use error::MoccaError;
 pub use platform::{
-    DirectoryPort, LocalPlatform, Platform, SimPlatform, TraderPort, TransportPort,
+    DirectoryPort, LocalPlatform, Platform, ResilientPlatform, SimPlatform, TraderPort,
+    TransportPort,
 };

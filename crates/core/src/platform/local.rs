@@ -182,6 +182,10 @@ impl Platform for LocalPlatform {
         "local"
     }
 
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
     fn clock(&self) -> &dyn Clock {
         &self.clock
     }

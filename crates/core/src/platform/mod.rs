@@ -27,9 +27,11 @@
 //! [`CscwEnvironment::new`]: crate::CscwEnvironment::new
 
 mod local;
+mod resilient;
 mod sim;
 
 pub use local::LocalPlatform;
+pub use resilient::ResilientPlatform;
 pub use sim::SimPlatform;
 
 use cscw_directory::{DirOp, DirResult, DirectoryError};
@@ -115,9 +117,14 @@ pub trait TransportPort {
 /// Object-safe on purpose: the environment holds `Box<dyn Platform>`,
 /// so the application layer never knows whether its trading, directory
 /// and messaging calls run in-process or across a simulated network.
-pub trait Platform {
+pub trait Platform: std::any::Any {
     /// Short platform name (for diagnostics).
     fn name(&self) -> &'static str;
+
+    /// The platform as [`Any`](std::any::Any), so harnesses that know
+    /// the concrete type (fault injectors, bench probes) can reach it
+    /// through the environment's `Box<dyn Platform>`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 
     /// The platform's clock (kernel time source).
     fn clock(&self) -> &dyn Clock;

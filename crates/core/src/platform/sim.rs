@@ -203,6 +203,10 @@ impl Platform for SimPlatform {
         "sim"
     }
 
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
     fn clock(&self) -> &dyn Clock {
         &self.clock
     }

@@ -107,7 +107,9 @@ impl Dit {
         if self.entries.contains_key(&dn) {
             return Err(DirectoryError::EntryExists(dn));
         }
-        let parent = dn.parent().expect("non-root has a parent");
+        let Some(parent) = dn.parent() else {
+            return Err(DirectoryError::InvalidName("cannot add the root".into()));
+        };
         if !parent.is_root() && !self.entries.contains_key(&parent) {
             return Err(DirectoryError::NoParent(dn));
         }
@@ -151,12 +153,13 @@ impl Dit {
         {
             return Err(DirectoryError::NotLeaf(dn.clone()));
         }
-        let parent = dn.parent().expect("entries are never the root");
-        if let Some(siblings) = self.children.get_mut(&parent) {
+        if let Some(siblings) = dn.parent().and_then(|p| self.children.get_mut(&p)) {
             siblings.remove(dn);
         }
         self.children.remove(dn);
-        Ok(self.entries.remove(dn).expect("presence checked"))
+        self.entries
+            .remove(dn)
+            .ok_or_else(|| DirectoryError::NoSuchEntry(dn.clone()))
     }
 
     /// Removes an entire subtree rooted at `dn` (inclusive); returns how

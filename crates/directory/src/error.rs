@@ -85,6 +85,15 @@ impl cscw_kernel::LayerError for DirectoryError {
             DirectoryError::NotMaster(_) => "not_master",
         }
     }
+
+    fn class(&self) -> cscw_kernel::ErrorClass {
+        match self {
+            // Only a silent DSA is worth retrying; name, schema and
+            // filter faults are properties of the request.
+            DirectoryError::Unavailable(_) => cscw_kernel::ErrorClass::Transient,
+            _ => cscw_kernel::ErrorClass::Permanent,
+        }
+    }
 }
 
 #[cfg(test)]

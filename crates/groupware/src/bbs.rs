@@ -10,9 +10,10 @@
 //! simultaneous presence.
 
 use cscw_directory::Dn;
+use cscw_kernel::Timestamp;
+use cscw_messaging::net::{Message, Node, NodeCtx, NodeId, Payload, Sim};
 use cscw_messaging::{Envelope, Ipm, MtsPdu, OrAddress};
 use serde::{Deserialize, Serialize};
-use simnet::{Message, Node, NodeCtx, NodeId, Payload, Sim, SimTime};
 
 use crate::GroupwareError;
 
@@ -31,8 +32,10 @@ pub struct BbsEntry {
     pub text: String,
     /// Threading: the entry this replies to.
     pub in_reply_to: Option<u64>,
-    /// When the server accepted it.
-    pub at: SimTime,
+    /// When the server accepted it, in platform time — the entry
+    /// outlives any particular network run, so it carries the
+    /// kernel's neutral instant type rather than a net-layer one.
+    pub at: Timestamp,
 }
 
 /// Commands sent to the BBS over the network.
@@ -212,7 +215,7 @@ impl Node for BbsServer {
                     subject,
                     text,
                     in_reply_to,
-                    at: ctx.now(),
+                    at: ctx.now().into(),
                 };
                 self.next_id += 1;
                 ctx.metrics().incr("bbs_posts");
@@ -308,8 +311,8 @@ impl BbsClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cscw_messaging::net::{LinkSpec, SimTime, TopologyBuilder};
     use cscw_messaging::MtaNode;
-    use simnet::{LinkSpec, TopologyBuilder};
 
     fn dn(s: &str) -> Dn {
         s.parse().unwrap()

@@ -11,17 +11,19 @@
 
 use mocca::env::{AppDescriptor, AppId, FormatMapping, NativeArtifact, Quadrant};
 
+use crate::GroupwareError;
+
 /// The five application vocabularies of the reproduction's population,
 /// mirroring the systems the paper cites in §2.
 pub const APP_POPULATION: [&str; 5] = ["sharedx", "colab", "com", "domino", "lens"];
 
 /// The descriptor for one of the population apps.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on names outside [`APP_POPULATION`] — the population is a
-/// fixed experimental fixture.
-pub fn descriptor_for(app: &str) -> AppDescriptor {
+/// [`GroupwareError::UnknownApp`] on names outside [`APP_POPULATION`] —
+/// the population is a fixed experimental fixture.
+pub fn descriptor_for(app: &str) -> Result<AppDescriptor, GroupwareError> {
     let (name, quadrant) = match app {
         "sharedx" => (
             "Shared X desktop conferencing",
@@ -31,25 +33,25 @@ pub fn descriptor_for(app: &str) -> AppDescriptor {
         "com" => ("COM computer conferencing", Quadrant::CORRESPONDENCE),
         "domino" => ("DOMINO procedure system", Quadrant::SHARED_FACILITY),
         "lens" => ("Object Lens mail", Quadrant::CORRESPONDENCE),
-        other => panic!("unknown population app {other:?}"),
+        other => return Err(GroupwareError::UnknownApp(other.to_owned())),
     };
-    AppDescriptor {
+    Ok(AppDescriptor {
         id: app.into(),
         name: name.to_owned(),
         quadrant,
         native_format: format!("{app}-native"),
         kinds: vec!["document".into()],
-    }
+    })
 }
 
 /// Each app's mapping between its native vocabulary and the common
 /// information model (`title`, `body`, `author`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on names outside [`APP_POPULATION`].
-pub fn mapping_for(app: &str) -> FormatMapping {
-    match app {
+/// [`GroupwareError::UnknownApp`] on names outside [`APP_POPULATION`].
+pub fn mapping_for(app: &str) -> Result<FormatMapping, GroupwareError> {
+    let mapping = match app {
         "sharedx" => FormatMapping::new([
             ("window_title", "title"),
             ("window_body", "body"),
@@ -71,31 +73,37 @@ pub fn mapping_for(app: &str) -> FormatMapping {
             ("initiator", "author"),
         ]),
         "lens" => FormatMapping::new([("Subject", "title"), ("Text", "body"), ("From", "author")]),
-        other => panic!("unknown population app {other:?}"),
-    }
+        other => return Err(GroupwareError::UnknownApp(other.to_owned())),
+    };
+    Ok(mapping)
 }
 
 /// Composes two per-app mappings into the direct `from → to` adapter a
 /// closed-world integrator would write by hand: native-from names to
 /// native-to names, for the fields both vocabularies can express.
-pub fn direct_adapter(from: &str, to: &str) -> FormatMapping {
-    let from_map = mapping_for(from);
-    let to_map = mapping_for(to);
+///
+/// # Errors
+///
+/// [`GroupwareError::UnknownApp`] when either end is outside
+/// [`APP_POPULATION`].
+pub fn direct_adapter(from: &str, to: &str) -> Result<FormatMapping, GroupwareError> {
+    let from_map = mapping_for(from)?;
+    let to_map = mapping_for(to)?;
     let mut pairs = Vec::new();
     for (from_native, common) in &from_map.pairs {
         if let Some((to_native, _)) = to_map.pairs.iter().find(|(_, c)| c == common) {
             pairs.push((from_native.clone(), to_native.clone()));
         }
     }
-    FormatMapping { pairs }
+    Ok(FormatMapping { pairs })
 }
 
 /// A sample document artifact in an app's native vocabulary.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on names outside [`APP_POPULATION`].
-pub fn sample_artifact(app: &str) -> NativeArtifact {
+/// [`GroupwareError::UnknownApp`] on names outside [`APP_POPULATION`].
+pub fn sample_artifact(app: &str) -> Result<NativeArtifact, GroupwareError> {
     let fields: Vec<(&'static str, String)> = match app {
         "sharedx" => vec![
             ("window_title", "Design sketch".to_owned()),
@@ -122,9 +130,13 @@ pub fn sample_artifact(app: &str) -> NativeArtifact {
             ("Text", "trader crash".to_owned()),
             ("From", "cn=Wolfgang".to_owned()),
         ],
-        other => panic!("unknown population app {other:?}"),
+        other => return Err(GroupwareError::UnknownApp(other.to_owned())),
     };
-    NativeArtifact::new(AppId::new(app), &format!("{app}-native"), fields)
+    Ok(NativeArtifact::new(
+        AppId::new(app),
+        &format!("{app}-native"),
+        fields,
+    ))
 }
 
 /// Number of direct adapters a closed world needs for full pairwise
@@ -146,11 +158,11 @@ mod tests {
     #[test]
     fn every_population_app_has_descriptor_and_mapping() {
         for app in APP_POPULATION {
-            let d = descriptor_for(app);
+            let d = descriptor_for(app).unwrap();
             assert_eq!(d.id.as_str(), app);
-            let m = mapping_for(app);
+            let m = mapping_for(app).unwrap();
             assert_eq!(m.pairs.len(), 3, "{app} maps title/body/author");
-            let artifact = sample_artifact(app);
+            let artifact = sample_artifact(app).unwrap();
             assert_eq!(artifact.fields.len(), 3);
         }
     }
@@ -159,7 +171,7 @@ mod tests {
     fn population_covers_all_four_quadrants() {
         let mut reg = mocca::env::AppRegistry::new();
         for app in APP_POPULATION {
-            reg.register(descriptor_for(app));
+            reg.register(descriptor_for(app).unwrap());
         }
         assert_eq!(reg.covered_quadrants().len(), 4, "Figure 1 fully covered");
     }
@@ -168,14 +180,14 @@ mod tests {
     fn hub_exchanges_any_pair_with_n_mappings() {
         let mut hub = InteropHub::new();
         for app in APP_POPULATION {
-            hub.register_mapping(app.into(), mapping_for(app));
+            hub.register_mapping(app.into(), mapping_for(app).unwrap());
         }
         assert_eq!(hub.mappings_needed(), open_world_mapping_count(5));
         let mut successes = 0;
         for from in APP_POPULATION {
             for to in APP_POPULATION {
                 if from != to {
-                    let artifact = sample_artifact(from);
+                    let artifact = sample_artifact(from).unwrap();
                     let out = hub.exchange(&artifact, &to.into()).unwrap();
                     assert_eq!(out.fields.len(), 3, "{from}->{to} lost fields");
                     successes += 1;
@@ -188,20 +200,20 @@ mod tests {
     #[test]
     fn direct_adapter_equals_hub_composition() {
         let mut hub = InteropHub::new();
-        hub.register_mapping("sharedx".into(), mapping_for("sharedx"));
-        hub.register_mapping("com".into(), mapping_for("com"));
+        hub.register_mapping("sharedx".into(), mapping_for("sharedx").unwrap());
+        hub.register_mapping("com".into(), mapping_for("com").unwrap());
         let via_hub = hub
-            .exchange(&sample_artifact("sharedx"), &"com".into())
+            .exchange(&sample_artifact("sharedx").unwrap(), &"com".into())
             .unwrap();
 
         let mut closed = ClosedWorld::new();
         closed.install_adapter(
             "sharedx".into(),
             "com".into(),
-            direct_adapter("sharedx", "com"),
+            direct_adapter("sharedx", "com").unwrap(),
         );
         let direct = closed
-            .exchange(&sample_artifact("sharedx"), &"com".into())
+            .exchange(&sample_artifact("sharedx").unwrap(), &"com".into())
             .unwrap();
 
         assert_eq!(
@@ -216,13 +228,13 @@ mod tests {
         closed.install_adapter(
             "sharedx".into(),
             "com".into(),
-            direct_adapter("sharedx", "com"),
+            direct_adapter("sharedx", "com").unwrap(),
         );
         assert!(closed
-            .exchange(&sample_artifact("com"), &"sharedx".into())
+            .exchange(&sample_artifact("com").unwrap(), &"sharedx".into())
             .is_err());
         assert!(closed
-            .exchange(&sample_artifact("lens"), &"com".into())
+            .exchange(&sample_artifact("lens").unwrap(), &"com".into())
             .is_err());
         assert_eq!(closed.failed_exchanges(), 2);
     }

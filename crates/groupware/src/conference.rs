@@ -8,8 +8,8 @@
 //! accepted update (strict WYSIWIS).
 
 use cscw_directory::Dn;
+use cscw_messaging::net::{Message, Node, NodeCtx, NodeId, Payload, Sim};
 use mocca::comm::channel::{SessionPdu, Utterance};
-use simnet::{Message, Node, NodeCtx, NodeId, Payload, Sim};
 
 /// Commands participants send to the conference.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,7 +28,7 @@ pub enum ConferenceCmd {
     },
 }
 
-/// The shared-window server: a `simnet` node owning the canonical
+/// The shared-window server: a hosted network node owning the canonical
 /// window content and the floor token. It relays accepted updates
 /// through an internal [`PlainSessionHub`]-style member list.
 #[derive(Debug, Default)]
@@ -60,14 +60,14 @@ impl ConferenceServer {
         self.rejected_draws
     }
 
-    fn broadcast(&self, ctx: &mut NodeCtx<'_>, line: &str, seq: u64) {
+    fn broadcast(&self, ctx: &mut NodeCtx<'_>, who: &Dn, line: &str, seq: u64) {
         for (_, node) in &self.members {
             ctx.send_sized(
                 *node,
                 Payload::new(SessionPdu::Broadcast(Utterance {
                     seq,
                     at: ctx.now(),
-                    from: self.floor.clone().expect("broadcast only while held"),
+                    from: who.clone(),
                     content: line.to_owned(),
                 })),
                 32 + line.len() as u64,
@@ -132,7 +132,7 @@ impl Node for ConferenceServer {
                     let seq = self.window.len() as u64;
                     self.window.push(line.clone());
                     ctx.metrics().incr("conference_draws");
-                    self.broadcast(ctx, &line, seq);
+                    self.broadcast(ctx, &who, &line, seq);
                 } else {
                     self.rejected_draws += 1;
                     ctx.metrics().incr("conference_rejected_draws");
@@ -253,7 +253,7 @@ pub use mocca::comm::channel::SessionHub as PlainSessionHub;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simnet::{LinkSpec, TopologyBuilder};
+    use cscw_messaging::net::{LinkSpec, TopologyBuilder};
 
     fn dn(s: &str) -> Dn {
         s.parse().unwrap()

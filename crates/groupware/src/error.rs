@@ -21,6 +21,8 @@ pub enum GroupwareError {
     AlreadyVoted(String, usize),
     /// The named conference/topic does not exist.
     NoSuchConference(String),
+    /// The named application is not part of the experimental population.
+    UnknownApp(String),
     /// No entry with that id exists.
     NoSuchEntry(u64),
     /// The person does not hold the role a procedure step requires.
@@ -58,6 +60,7 @@ impl fmt::Display for GroupwareError {
                 write!(f, "{who} already voted for item {i}")
             }
             GroupwareError::NoSuchConference(c) => write!(f, "no such conference: {c}"),
+            GroupwareError::UnknownApp(a) => write!(f, "unknown population app: {a}"),
             GroupwareError::NoSuchEntry(id) => write!(f, "no such entry: {id}"),
             GroupwareError::WrongRole { who, required } => {
                 write!(f, "{who} does not hold required role {required}")
@@ -113,12 +116,21 @@ impl cscw_kernel::LayerError for GroupwareError {
             GroupwareError::NoSuchItem(_) => "no_such_item",
             GroupwareError::AlreadyVoted(..) => "already_voted",
             GroupwareError::NoSuchConference(_) => "no_such_conference",
+            GroupwareError::UnknownApp(_) => "unknown_app",
             GroupwareError::NoSuchEntry(_) => "no_such_entry",
             GroupwareError::WrongRole { .. } => "wrong_role",
             GroupwareError::StepOutOfOrder { .. } => "step_out_of_order",
             GroupwareError::ProcedureComplete => "procedure_complete",
             GroupwareError::Mocca(e) => e.kind(),
             GroupwareError::Mts(e) => e.kind(),
+        }
+    }
+
+    fn class(&self) -> cscw_kernel::ErrorClass {
+        match self {
+            GroupwareError::Mocca(e) => e.class(),
+            GroupwareError::Mts(e) => e.class(),
+            _ => cscw_kernel::ErrorClass::Permanent,
         }
     }
 }
@@ -151,5 +163,14 @@ mod tests {
         let wrapped: GroupwareError = cscw_messaging::MtsError::HopLimitExceeded.into();
         assert_eq!(wrapped.layer(), Layer::Messaging);
         assert_eq!(wrapped.to_kernel().layer(), Layer::Messaging);
+    }
+
+    #[test]
+    fn transience_follows_the_wrapped_error() {
+        use cscw_kernel::LayerError;
+        let transient: GroupwareError =
+            cscw_messaging::MtsError::Unavailable("partition".into()).into();
+        assert!(transient.class().is_transient());
+        assert!(!GroupwareError::ProcedureComplete.class().is_transient());
     }
 }

@@ -10,10 +10,10 @@
 
 use std::collections::BTreeMap;
 
+use cscw_messaging::net::Sim;
 use cscw_messaging::{BodyPart, Ipm, OrAddress, SubmitOptions, UserAgent};
 use mocca::info::InfoContent;
 use mocca::tailor::{RuleAction, RuleEngine};
-use simnet::Sim;
 
 use crate::GroupwareError;
 
@@ -266,9 +266,9 @@ impl LensMailbox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cscw_messaging::net::{LinkSpec, NodeId, TopologyBuilder};
     use cscw_messaging::MtaNode;
     use mocca::tailor::{EventPattern, TailorRule};
-    use simnet::{LinkSpec, NodeId, TopologyBuilder};
 
     struct World {
         sim: Sim,

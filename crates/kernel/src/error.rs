@@ -11,6 +11,29 @@ use std::fmt;
 
 use crate::telemetry::Layer;
 
+/// Whether retrying the failed operation could plausibly succeed.
+///
+/// Failure-transparency machinery ([`crate::RetryPolicy`],
+/// [`crate::CircuitBreaker`]) keys off this classification: only
+/// transient faults are worth masking; permanent ones must surface to
+/// the caller unchanged, however many times they are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// A fault of the distribution infrastructure (timeout, partition,
+    /// crashed peer) that a later attempt may not hit.
+    Transient,
+    /// A fault of the request itself (unknown name, contract violation)
+    /// that every retry will reproduce.
+    Permanent,
+}
+
+impl ErrorClass {
+    /// True for [`ErrorClass::Transient`].
+    pub const fn is_transient(self) -> bool {
+        matches!(self, ErrorClass::Transient)
+    }
+}
+
 /// An error originating from a specific layer of the stack.
 pub trait LayerError: std::error::Error {
     /// The layer this error belongs to.
@@ -20,9 +43,18 @@ pub trait LayerError: std::error::Error {
     /// `"unknown_recipient"`. Kinds are per-layer namespaces.
     fn kind(&self) -> &'static str;
 
+    /// Transient-vs-permanent classification for retry policies.
+    ///
+    /// Defaults to [`ErrorClass::Permanent`]: a layer must opt a
+    /// variant *into* retryability, never the reverse, so an
+    /// unclassified error is never retried by mistake.
+    fn class(&self) -> ErrorClass {
+        ErrorClass::Permanent
+    }
+
     /// Converts into the kernel's uniform error value.
     fn to_kernel(&self) -> KernelError {
-        KernelError::new(self.layer(), self.kind(), self.to_string())
+        KernelError::new(self.layer(), self.kind(), self.to_string()).with_class(self.class())
     }
 }
 
@@ -32,16 +64,24 @@ pub struct KernelError {
     layer: Layer,
     kind: &'static str,
     message: String,
+    class: ErrorClass,
 }
 
 impl KernelError {
-    /// Builds an error from its parts.
+    /// Builds an error from its parts, classified permanent.
     pub fn new(layer: Layer, kind: &'static str, message: impl Into<String>) -> Self {
         KernelError {
             layer,
             kind,
             message: message.into(),
+            class: ErrorClass::Permanent,
         }
+    }
+
+    /// Overrides the transient-vs-permanent classification.
+    pub fn with_class(mut self, class: ErrorClass) -> Self {
+        self.class = class;
+        self
     }
 
     /// The layer the error came from.
@@ -75,6 +115,10 @@ impl LayerError for KernelError {
 
     fn kind(&self) -> &'static str {
         self.kind
+    }
+
+    fn class(&self) -> ErrorClass {
+        self.class
     }
 
     fn to_kernel(&self) -> KernelError {
@@ -120,6 +164,16 @@ mod tests {
         let k = KernelError::new(Layer::Odp, "no_offer", "nothing matched");
         let again = k.to_kernel();
         assert_eq!(k, again);
+    }
+
+    #[test]
+    fn classification_defaults_permanent_and_survives_to_kernel() {
+        assert_eq!(NoRoute.class(), ErrorClass::Permanent);
+        let k = KernelError::new(Layer::Net, "timeout", "courier timed out")
+            .with_class(ErrorClass::Transient);
+        assert!(k.class().is_transient());
+        assert!(k.to_kernel().class().is_transient());
+        assert!(!ErrorClass::Permanent.is_transient());
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   unifying what used to be per-crate counters, so a single exchange
 //!   can be traced App → Env → Odp → Messaging/Directory → Net.
 //! * [`LayerError`] / [`KernelError`] — a common classification trait
-//!   over the per-crate error enums.
+//!   over the per-crate error enums, including a transient-vs-permanent
+//!   [`ErrorClass`] for retry decisions.
+//! * [`RetryPolicy`] / [`CircuitBreaker`] / [`Deadline`] — the
+//!   failure-transparency policy mechanics platforms apply at their
+//!   port boundaries; jitter comes from [`SeededRng`], so resilience
+//!   never costs reproducibility.
 //!
 //! The kernel sits **below** `simnet`: it knows nothing about nodes,
 //! topologies or simulated time types. [`Timestamp`] is the shared
@@ -26,12 +31,14 @@
 
 mod clock;
 mod error;
+mod resilience;
 mod rng;
 mod telemetry;
 mod time;
 
 pub use clock::{Clock, ManualClock, WallClock};
-pub use error::{KernelError, LayerError};
+pub use error::{ErrorClass, KernelError, LayerError};
+pub use resilience::{BreakerState, CircuitBreaker, Deadline, RetryPolicy};
 pub use rng::SeededRng;
 pub use telemetry::{HistogramSummary, Layer, Telemetry, TelemetryEvent};
 pub use time::Timestamp;

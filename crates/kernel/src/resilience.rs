@@ -1,0 +1,325 @@
+//! Failure-transparency primitives: deadlines, bounded retry with
+//! deterministic jitter, and per-port circuit breakers.
+//!
+//! RM-ODP's engineering language makes *failure transparency* a
+//! platform obligation: the infrastructure, not the application, masks
+//! the faults of distribution. This module holds the policy mechanics;
+//! a platform decorator (see `mocca`'s `ResilientPlatform`) applies
+//! them at the port boundary.
+//!
+//! Everything here is deterministic. Backoff jitter draws from
+//! [`SeededRng`], and time is the caller-supplied [`Timestamp`] of the
+//! owning [`Clock`](crate::Clock) — no wall-clock sleeps, so simulated
+//! runs replay bit-for-bit from a seed.
+
+use crate::error::ErrorClass;
+use crate::rng::SeededRng;
+use crate::time::Timestamp;
+
+/// A point in platform time after which an operation should give up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Timestamp>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub const NEVER: Deadline = Deadline { at: None };
+
+    /// Expires at the given instant.
+    pub const fn at(instant: Timestamp) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// Expires `budget_micros` after `now`.
+    pub fn within(now: Timestamp, budget_micros: u64) -> Self {
+        Deadline::at(now + budget_micros)
+    }
+
+    /// True once `now` has reached or passed the deadline.
+    pub fn expired(&self, now: Timestamp) -> bool {
+        match self.at {
+            Some(at) => now >= at,
+            None => false,
+        }
+    }
+
+    /// Microseconds left before expiry (zero once expired, `u64::MAX`
+    /// when the deadline never expires).
+    pub fn remaining_micros(&self, now: Timestamp) -> u64 {
+        match self.at {
+            Some(at) => at.micros_since(now),
+            None => u64::MAX,
+        }
+    }
+}
+
+/// Bounded exponential backoff with equal jitter.
+///
+/// Attempt `n` (zero-based) waits `d/2 + uniform(0 ..= d/2)` where
+/// `d = min(cap, base << n)`. Half the delay is fixed so retries always
+/// spread out; half is drawn from the kernel's seeded RNG so
+/// simultaneous callers desynchronise without losing reproducibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, including the first (0 behaves as 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry, in microseconds.
+    pub base_micros: u64,
+    /// Upper bound on any single delay, in microseconds.
+    pub cap_micros: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with the given bounds.
+    pub const fn new(max_attempts: u32, base_micros: u64, cap_micros: u64) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_micros,
+            cap_micros,
+        }
+    }
+
+    /// No retries: one attempt, fail fast.
+    pub const fn none() -> Self {
+        RetryPolicy::new(1, 0, 0)
+    }
+
+    /// True when a failure of the given class on zero-based attempt
+    /// `attempt` should be retried.
+    pub fn should_retry(&self, attempt: u32, class: ErrorClass) -> bool {
+        class.is_transient() && attempt + 1 < self.max_attempts.max(1)
+    }
+
+    /// The jittered delay before the retry that follows zero-based
+    /// attempt `attempt`, in microseconds.
+    pub fn backoff_micros(&self, attempt: u32, rng: &mut SeededRng) -> u64 {
+        let exp = self
+            .base_micros
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(self.cap_micros.max(self.base_micros));
+        if exp == 0 {
+            return 0;
+        }
+        let half = exp / 2;
+        half + rng.range_inclusive(0, exp - half)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms base delay, capped at one second.
+    fn default() -> Self {
+        RetryPolicy::new(3, 10_000, 1_000_000)
+    }
+}
+
+/// Circuit breaker states (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Calls flow through; failures are counted.
+    Closed,
+    /// Calls are refused until the cooldown elapses.
+    Open,
+    /// One probe call is allowed; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name, for telemetry counters.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// A per-port circuit breaker.
+///
+/// After `failure_threshold` consecutive transient failures the breaker
+/// opens and [`CircuitBreaker::admit`] refuses calls (letting the
+/// decorator degrade instead of hammering a dead peer). Once
+/// `cooldown_micros` of platform time has passed, the next `admit`
+/// moves to half-open and lets a single probe through: success closes
+/// the breaker, failure re-opens it for another cooldown.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    failure_threshold: u32,
+    cooldown_micros: u64,
+    consecutive_failures: u32,
+    opened_at: Timestamp,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `failure_threshold`
+    /// consecutive failures and cools down for `cooldown_micros`.
+    pub fn new(failure_threshold: u32, cooldown_micros: u64) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            failure_threshold: failure_threshold.max(1),
+            cooldown_micros,
+            consecutive_failures: 0,
+            opened_at: Timestamp::ZERO,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Decides whether a call may proceed at `now`. An open breaker
+    /// whose cooldown has elapsed transitions to half-open and admits
+    /// the probe.
+    pub fn admit(&mut self, now: Timestamp) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now.micros_since(self.opened_at) >= self.cooldown_micros {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call: the breaker closes and the failure
+    /// count resets.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failed call at `now`. A half-open probe failure
+    /// re-opens immediately; a closed breaker opens once the
+    /// consecutive-failure threshold is reached.
+    pub fn record_failure(&mut self, now: Timestamp) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+            }
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                }
+            }
+            BreakerState::Open => {
+                self.opened_at = now;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_expiry_and_remaining() {
+        let d = Deadline::within(Timestamp::from_secs(1), 500_000);
+        assert!(!d.expired(Timestamp::from_secs(1)));
+        assert_eq!(d.remaining_micros(Timestamp::from_secs(1)), 500_000);
+        assert!(d.expired(Timestamp::from_micros(1_500_000)));
+        assert_eq!(d.remaining_micros(Timestamp::from_secs(2)), 0);
+        assert!(!Deadline::NEVER.expired(Timestamp::from_secs(u64::MAX / 2_000_000)));
+        assert_eq!(Deadline::NEVER.remaining_micros(Timestamp::ZERO), u64::MAX);
+    }
+
+    #[test]
+    fn retry_only_on_transient_within_budget() {
+        let p = RetryPolicy::new(3, 1_000, 8_000);
+        assert!(p.should_retry(0, ErrorClass::Transient));
+        assert!(p.should_retry(1, ErrorClass::Transient));
+        assert!(!p.should_retry(2, ErrorClass::Transient));
+        assert!(!p.should_retry(0, ErrorClass::Permanent));
+        assert!(!RetryPolicy::none().should_retry(0, ErrorClass::Transient));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_under_a_fixed_seed() {
+        let p = RetryPolicy::new(5, 1_000, 1_000_000);
+        let mut a = SeededRng::seed_from(77);
+        let mut b = SeededRng::seed_from(77);
+        let run_a: Vec<u64> = (0..5).map(|i| p.backoff_micros(i, &mut a)).collect();
+        let run_b: Vec<u64> = (0..5).map(|i| p.backoff_micros(i, &mut b)).collect();
+        assert_eq!(run_a, run_b, "same seed, same jitter sequence");
+        let mut c = SeededRng::seed_from(78);
+        let run_c: Vec<u64> = (0..5).map(|i| p.backoff_micros(i, &mut c)).collect();
+        assert_ne!(run_a, run_c, "different seed desynchronises");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_respects_the_cap() {
+        let p = RetryPolicy::new(10, 1_000, 16_000);
+        let mut rng = SeededRng::seed_from(1);
+        for attempt in 0..10 {
+            let d = p.backoff_micros(attempt, &mut rng);
+            let exp = (1_000u64 << attempt.min(32)).min(16_000);
+            assert!(d >= exp / 2, "attempt {attempt}: {d} below half of {exp}");
+            assert!(d <= exp, "attempt {attempt}: {d} above {exp}");
+        }
+        // Zero base means no delay at all.
+        assert_eq!(RetryPolicy::none().backoff_micros(0, &mut rng), 0);
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let mut b = CircuitBreaker::new(2, 1_000);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(Timestamp::ZERO));
+        b.record_failure(Timestamp::ZERO);
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.record_failure(Timestamp::from_micros(10));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(Timestamp::from_micros(500)), "cooling down");
+        assert!(b.admit(Timestamp::from_micros(1_200)), "probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(1, 1_000);
+        b.record_failure(Timestamp::ZERO);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.admit(Timestamp::from_micros(1_000)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure(Timestamp::from_micros(1_010));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(
+            !b.admit(Timestamp::from_micros(1_500)),
+            "cooldown restarted"
+        );
+        assert!(b.admit(Timestamp::from_micros(2_100)));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = CircuitBreaker::new(3, 1_000);
+        b.record_failure(Timestamp::ZERO);
+        b.record_failure(Timestamp::ZERO);
+        b.record_success();
+        b.record_failure(Timestamp::ZERO);
+        b.record_failure(Timestamp::ZERO);
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+        b.record_failure(Timestamp::ZERO);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn breaker_state_names_are_stable() {
+        assert_eq!(BreakerState::Closed.as_str(), "closed");
+        assert_eq!(BreakerState::Open.as_str(), "open");
+        assert_eq!(BreakerState::HalfOpen.as_str(), "half_open");
+    }
+}

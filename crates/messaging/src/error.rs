@@ -65,6 +65,15 @@ impl cscw_kernel::LayerError for MtsError {
             MtsError::Unavailable(_) => "unavailable",
         }
     }
+
+    fn class(&self) -> cscw_kernel::ErrorClass {
+        match self {
+            // An unreachable MTS may come back; bad addresses, unknown
+            // recipients and routing loops will not.
+            MtsError::Unavailable(_) => cscw_kernel::ErrorClass::Transient,
+            _ => cscw_kernel::ErrorClass::Permanent,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ mod content;
 mod envelope;
 mod error;
 pub mod mta;
+pub mod net;
 mod report;
 mod routing;
 mod store;

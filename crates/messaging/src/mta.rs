@@ -223,11 +223,20 @@ impl MtaNode {
         // Local deliveries.
         let now = ctx.now();
         for recipient in locals {
-            let store = self
-                .mailboxes
-                .get_mut(&recipient)
-                .expect("bucketed as local");
-            store.deliver(envelope.message_id, now, ipm.clone());
+            // Bucketed as local above; if the mailbox vanished since,
+            // report non-delivery rather than assume.
+            if !self.mailboxes.contains_key(&recipient) {
+                self.non_deliver(
+                    ctx,
+                    &envelope,
+                    recipient,
+                    NonDeliveryReason::UnknownRecipient,
+                );
+                continue;
+            }
+            if let Some(store) = self.mailboxes.get_mut(&recipient) {
+                store.deliver(envelope.message_id, now, ipm.clone());
+            }
             ctx.metrics().incr("mts_delivered");
             emit_messaging(
                 ctx,

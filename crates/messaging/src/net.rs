@@ -1,0 +1,17 @@
+//! The hosting surface the communication services re-export upward.
+//!
+//! Figure 4 encapsulates the net layer below the communication
+//! services: applications and the environment reach the network
+//! through the `Platform` ports, and when they need to *host* a node
+//! of their own (a conferencing server, a BBS), they do it through
+//! this module rather than naming the net layer directly. The
+//! messaging layer legitimately sits on `simnet`, so it is the right
+//! place to lend out the node machinery without eroding the layering.
+//!
+//! Time values that cross out of hosted nodes should be converted to
+//! [`cscw_kernel::Timestamp`] at the boundary (`ctx.now().into()`);
+//! only scheduling-internal code should keep [`SimTime`].
+
+pub use simnet::{
+    LinkSpec, Message, Node, NodeCtx, NodeId, Payload, Sim, SimDuration, SimTime, TopologyBuilder,
+};

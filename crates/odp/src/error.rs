@@ -86,6 +86,15 @@ impl cscw_kernel::LayerError for OdpError {
             OdpError::Application(_) => "application",
         }
     }
+
+    fn class(&self) -> cscw_kernel::ErrorClass {
+        match self {
+            // A missing reply is the one fault a later attempt may not
+            // hit; every other variant is a property of the request.
+            OdpError::Unavailable(_) => cscw_kernel::ErrorClass::Transient,
+            _ => cscw_kernel::ErrorClass::Permanent,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use open_cscw::groupware::{
 };
 use open_cscw::mocca::env::{AppId, ClosedWorld, InteropHub};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = APP_POPULATION.len();
     println!(
         "population: {n} heterogeneous applications\n  {:?}\n",
@@ -29,7 +29,11 @@ fn main() {
     ];
     let mut closed = ClosedWorld::new();
     for (from, to) in wired {
-        closed.install_adapter(AppId::new(*from), AppId::new(*to), direct_adapter(from, to));
+        closed.install_adapter(
+            AppId::new(*from),
+            AppId::new(*to),
+            direct_adapter(from, to)?,
+        );
     }
     let mut closed_ok = 0;
     let mut closed_fail = 0;
@@ -38,7 +42,7 @@ fn main() {
             if from == to {
                 continue;
             }
-            match closed.exchange(&sample_artifact(from), &AppId::new(to)) {
+            match closed.exchange(&sample_artifact(from)?, &AppId::new(to)) {
                 Ok(_) => closed_ok += 1,
                 Err(_) => closed_fail += 1,
             }
@@ -58,8 +62,8 @@ fn main() {
     // ---- Figure 3: the environment hub -------------------------------------
     let mut hub = InteropHub::new();
     for app in APP_POPULATION {
-        let _ = descriptor_for(app); // registered with the env in real use
-        hub.register_mapping(AppId::new(app), mapping_for(app));
+        let _ = descriptor_for(app)?; // registered with the env in real use
+        hub.register_mapping(AppId::new(app), mapping_for(app)?);
     }
     let mut open_ok = 0;
     for from in APP_POPULATION {
@@ -67,7 +71,7 @@ fn main() {
             if from == to {
                 continue;
             }
-            hub.exchange(&sample_artifact(from), &AppId::new(to))
+            hub.exchange(&sample_artifact(from)?, &AppId::new(to))
                 .expect("hub serves every registered pair");
             open_ok += 1;
         }
@@ -90,4 +94,5 @@ fn main() {
             open_world_mapping_count(n)
         );
     }
+    Ok(())
 }

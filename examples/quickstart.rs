@@ -62,9 +62,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    exchange a document between them — one mapping each, no
     //    pairwise adapter anywhere.
     for app in ["sharedx", "com"] {
-        env.register_app(groupware::descriptor_for(app), groupware::mapping_for(app));
+        env.register_app(
+            groupware::descriptor_for(app)?,
+            groupware::mapping_for(app)?,
+        );
     }
-    let sketch = groupware::sample_artifact("sharedx");
+    let sketch = groupware::sample_artifact("sharedx")?;
     let as_com = env.exchange(&tom, &sketch, &AppId::new("com"), SimTime::ZERO)?;
     println!("Shared X artifact arrived in COM vocabulary:");
     for (k, v) in &as_com.fields {

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // requirement: remote/local × synchronous/asynchronous co-exist).
     let mut env = CscwEnvironment::new();
     for app in APP_POPULATION {
-        env.register_app(descriptor_for(app), mapping_for(app));
+        env.register_app(descriptor_for(app)?, mapping_for(app)?);
     }
     println!(
         "environment covers {} of 4 quadrants with {} applications\n",
@@ -110,7 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Wolfgang reads a simulated day later.
     sim.run_until(sim.now() + SimDuration::from_secs(86_400));
     let entries = bbs_wolfgang.read(&sim, "odp-discussion")?;
-    let async_latency = sim.now().saturating_since(entries[0].at);
+    let async_latency = sim.now().saturating_since(entries[0].at.into());
     println!("[diff times / diff places]      COM-style conferencing");
     println!(
         "    entry read {async_latency} after posting ({} entr(y/ies))",

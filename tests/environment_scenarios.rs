@@ -57,7 +57,7 @@ fn whole_population_interoperates_with_one_registration_each() {
 
 fn whole_population_interoperates_with_one_registration_each_scenario(mut env: CscwEnvironment) {
     for app in APP_POPULATION {
-        env.register_app(descriptor_for(app), mapping_for(app));
+        env.register_app(descriptor_for(app).unwrap(), mapping_for(app).unwrap());
     }
     assert_eq!(env.apps().covered_quadrants().len(), 4);
 
@@ -67,7 +67,7 @@ fn whole_population_interoperates_with_one_registration_each_scenario(mut env: C
             if from == to {
                 continue;
             }
-            let artifact = sample_artifact(from);
+            let artifact = sample_artifact(from).unwrap();
             let out = env.exchange(&dn("cn=Tom"), &artifact, &AppId::new(to), SimTime::ZERO);
             assert!(out.is_ok(), "{from}->{to} failed: {:?}", out.err());
             exchanges += 1;
@@ -91,25 +91,25 @@ fn closed_world_partial_wiring_fails_where_hub_succeeds() {
 
 fn closed_world_partial_wiring_fails_where_hub_succeeds_scenario(mut env: CscwEnvironment) {
     for app in APP_POPULATION {
-        env.register_app(descriptor_for(app), mapping_for(app));
+        env.register_app(descriptor_for(app).unwrap(), mapping_for(app).unwrap());
     }
     // A closed world with only one direction of one pair wired.
     let mut closed = env.closed_world_baseline([(
         AppId::new("sharedx"),
         AppId::new("com"),
-        direct_adapter("sharedx", "com"),
+        direct_adapter("sharedx", "com").unwrap(),
     )]);
     assert!(closed
-        .exchange(&sample_artifact("sharedx"), &AppId::new("com"))
+        .exchange(&sample_artifact("sharedx").unwrap(), &AppId::new("com"))
         .is_ok());
     assert!(closed
-        .exchange(&sample_artifact("com"), &AppId::new("sharedx"))
+        .exchange(&sample_artifact("com").unwrap(), &AppId::new("sharedx"))
         .is_err());
     // Hub serves both directions from the same five mappings.
     assert!(env
         .exchange(
             &dn("cn=Tom"),
-            &sample_artifact("com"),
+            &sample_artifact("com").unwrap(),
             &AppId::new("sharedx"),
             SimTime::ZERO
         )
@@ -303,7 +303,7 @@ fn non_cscw_application_scenario(mut env: CscwEnvironment) {
         },
         open_cscw::mocca::env::FormatMapping::new([("doc_name", "title"), ("doc_text", "body")]),
     );
-    env.register_app(descriptor_for("com"), mapping_for("com"));
+    env.register_app(descriptor_for("com").unwrap(), mapping_for("com").unwrap());
     let doc = open_cscw::mocca::env::NativeArtifact::new(
         "wordproc".into(),
         "wordproc-native",

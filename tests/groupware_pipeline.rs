@@ -20,7 +20,7 @@ fn dn(s: &str) -> Dn {
 fn meeting_minutes_reach_the_conferencing_system_via_the_hub() {
     let mut env = CscwEnvironment::new();
     for app in ["colab", "com"] {
-        env.register_app(descriptor_for(app), mapping_for(app));
+        env.register_app(descriptor_for(app).unwrap(), mapping_for(app).unwrap());
     }
 
     // Same place / same time: the meeting happens.

@@ -37,12 +37,12 @@ fn sim_env() -> CscwEnvironment {
 fn one_exchange_touches_every_layer_of_the_figure4_stack() {
     let mut env = sim_env();
     for app in ["sharedx", "com"] {
-        env.register_app(descriptor_for(app), mapping_for(app));
+        env.register_app(descriptor_for(app).unwrap(), mapping_for(app).unwrap());
     }
     // Observe only the exchange itself, not the registration setup.
     env.telemetry().clear();
 
-    let artifact = sample_artifact("sharedx");
+    let artifact = sample_artifact("sharedx").unwrap();
     env.exchange(&dn("cn=Tom"), &artifact, &AppId::new("com"), SimTime::ZERO)
         .unwrap();
 
@@ -103,10 +103,10 @@ fn local_platform_stays_off_the_network() {
         org.write().add_person(Person::new(dn("cn=Tom"), "Tom"));
     }
     for app in ["sharedx", "com"] {
-        env.register_app(descriptor_for(app), mapping_for(app));
+        env.register_app(descriptor_for(app).unwrap(), mapping_for(app).unwrap());
     }
     env.telemetry().clear();
-    let artifact = sample_artifact("sharedx");
+    let artifact = sample_artifact("sharedx").unwrap();
     env.exchange(&dn("cn=Tom"), &artifact, &AppId::new("com"), SimTime::ZERO)
         .unwrap();
 
