@@ -1,0 +1,136 @@
+//! Experiment F3-fed — Figure 3 across environment boundaries.
+//!
+//! Two questions about the federation layer's price:
+//!
+//! 1. **Exchange latency** — the same `exchange` performed locally
+//!    (both applications in one environment) versus remotely (the
+//!    destination lives in a federated peer: trader interworking
+//!    resolution + fabric routing + delivery pump). Expected shape:
+//!    the remote path costs a bounded constant over the local path —
+//!    openness across sites is a toll, not a cliff.
+//! 2. **Gossip convergence** — anti-entropy rounds until N freshly
+//!    seeded environments (ring topology) hold bit-for-bit identical
+//!    knowledge replicas, for N = 2/4/8. Expected shape: rounds grow
+//!    with the ring diameter (≈N/2), per-round cost with N — polynomial
+//!    housekeeping, no broadcast storm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cscw_directory::Dn;
+use cscw_kernel::Timestamp;
+use groupware::{descriptor_for, mapping_for, sample_artifact};
+use mocca::env::AppId;
+use mocca::federation::FederatedEnvironments;
+use mocca::info::{InfoContent, InfoObject, InfoObjectId};
+use mocca::CscwEnvironment;
+
+fn dn(s: &str) -> Dn {
+    s.parse().unwrap()
+}
+
+/// One environment hosting the given population apps.
+fn site(apps: &[&str]) -> CscwEnvironment {
+    let mut env = CscwEnvironment::new();
+    for app in apps {
+        env.register_app(descriptor_for(app).unwrap(), mapping_for(app).unwrap());
+    }
+    env
+}
+
+/// An N-site federation in a bidirectional ring, each site seeded with
+/// one distinct knowledge object.
+fn ring_federation(n: usize) -> FederatedEnvironments {
+    let mut fed = FederatedEnvironments::new();
+    for i in 0..n {
+        // Reuse the five population vocabularies round-robin.
+        let apps = ["sharedx", "colab", "com", "domino", "lens"];
+        fed.federate(format!("env-{i}"), site(&[apps[i % apps.len()]]));
+    }
+    for i in 0..n {
+        fed.link_bidi(&format!("env-{i}"), &format!("env-{}", (i + 1) % n));
+    }
+    for i in 0..n {
+        fed.env_mut(&format!("env-{i}"))
+            .unwrap()
+            .store_object(
+                InfoObject::new(
+                    InfoObjectId::new(format!("doc-{i}")),
+                    "note",
+                    dn("cn=Tom"),
+                    InfoContent::Text(format!("seeded at site {i}")),
+                ),
+                None,
+                Timestamp::ZERO,
+            )
+            .unwrap();
+    }
+    fed
+}
+
+fn bench_exchange_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_federation/exchange");
+    let tom = dn("cn=Tom");
+    let artifact = sample_artifact("sharedx").unwrap();
+
+    // Local: both applications in one environment.
+    let mut local = site(&["sharedx", "com"]);
+    group.bench_function("local", |b| {
+        b.iter(|| {
+            local
+                .exchange(
+                    &tom,
+                    black_box(&artifact),
+                    &AppId::new("com"),
+                    Timestamp::ZERO,
+                )
+                .unwrap()
+        })
+    });
+
+    // Remote: the destination lives in a federated peer; the measured
+    // unit includes resolution, routing and the delivery pump.
+    let mut fed = FederatedEnvironments::new();
+    fed.federate("env-a", site(&["sharedx"]));
+    fed.federate("env-b", site(&["com"]));
+    fed.link_bidi("env-a", "env-b");
+    group.bench_function("remote", |b| {
+        b.iter(|| {
+            fed.env_mut("env-a")
+                .unwrap()
+                .exchange(
+                    &tom,
+                    black_box(&artifact),
+                    &AppId::new("com"),
+                    Timestamp::ZERO,
+                )
+                .unwrap();
+            fed.pump().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_gossip_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_federation/gossip_convergence");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
+            b.iter(|| {
+                // Build + converge: criterion's stub has no batched
+                // setup, so the measured unit is the whole experiment;
+                // the printed rounds figure isolates the gossip part.
+                let mut fed = ring_federation(n);
+                let rounds = fed.gossip_until_quiet(32).unwrap();
+                assert!(fed.converged());
+                rounds
+            })
+        });
+        // Paper-facing shape: rounds to convergence for this N.
+        let mut fed = ring_federation(n);
+        let rounds = fed.gossip_until_quiet(32).unwrap();
+        println!("fig3_federation: {n} sites converge in {rounds} gossip rounds");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange_latency, bench_gossip_convergence);
+criterion_main!(benches);

@@ -15,13 +15,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use cscw_bench::population_env;
 use cscw_directory::Dn;
+use cscw_kernel::Timestamp;
 use groupware::sample_artifact;
 use mocca::env::AppId;
 use odp::{
     Binder, ComputationalObject, InterfaceRef, InterfaceType, InvokerNode, ObjectHost, OdpError,
     OperationSig, Value, ValueKind,
 };
-use simnet::{LinkSpec, Message, Node, NodeCtx, Payload, Sim, SimTime, TopologyBuilder};
+use simnet::{LinkSpec, Message, Node, NodeCtx, Payload, Sim, TopologyBuilder};
 
 fn dn(s: &str) -> Dn {
     s.parse().unwrap()
@@ -131,7 +132,7 @@ fn env_share(env: &mut mocca::CscwEnvironment, n: u64) {
         &dn("cn=Tom"),
         &artifact,
         &AppId::new("com"),
-        SimTime::from_micros(n),
+        Timestamp::from_micros(n),
     )
     .unwrap();
 }

@@ -6,10 +6,10 @@
 //! propagation is bounded by the affected subgraph, not the programme.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cscw_kernel::Timestamp;
 use mocca::activity::{
     Activity, ActivityId, ActivityState, DependencyKind, InterActivityModel, Monitor,
 };
-use simnet::SimTime;
 
 /// A programme of `n` activities arranged as `chains` parallel chains
 /// with occasional cross-links, like a real engineering project.
@@ -20,7 +20,7 @@ fn programme(n: usize, chains: usize) -> InterActivityModel {
         .collect();
     for (i, id) in ids.iter().enumerate() {
         let mut a = Activity::new(id.clone(), format!("activity {i}"));
-        a.deadline = Some(SimTime::from_secs(((i + 1) * 86_400) as u64));
+        a.deadline = Some(Timestamp::from_secs(((i + 1) * 86_400) as u64));
         m.register(a).unwrap();
     }
     // Parallel chains: a_k -> a_{k+chains}.
@@ -59,7 +59,7 @@ fn print_shape() {
             .count();
         let order = m.schedule_order();
         let downstream = m.downstream_of(&ActivityId::from("a0")).len();
-        let report = Monitor::report(&m, SimTime::from_secs(30 * 86_400));
+        let report = Monitor::report(&m, Timestamp::from_secs(30 * 86_400));
         println!(
             "  {n:<12} {edges:<14} {:<14} {downstream:<16} {}",
             order.len(),
@@ -84,7 +84,7 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("monitor_report", n), &n, |b, _| {
             b.iter(|| {
-                Monitor::report(&m, SimTime::from_secs(30 * 86_400))
+                Monitor::report(&m, Timestamp::from_secs(30 * 86_400))
                     .statuses
                     .len()
             });

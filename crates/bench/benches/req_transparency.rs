@@ -13,6 +13,7 @@ use std::collections::BTreeSet;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cscw_directory::Dn;
+use cscw_kernel::Timestamp;
 use mocca::activity::ActivityId;
 use mocca::env::{EnvEvent, EventBus};
 use mocca::info::InfoContent;
@@ -21,7 +22,7 @@ use odp::{
     ComputationalObject, InterfaceRef, InterfaceType, InvokerNode, ObjectHost, OdpError, OpMode,
     OperationSig, TransparencySelection, TransparentInvoker, Value, ValueKind,
 };
-use simnet::{LinkSpec, NodeId, Sim, SimTime, TopologyBuilder};
+use simnet::{LinkSpec, NodeId, Sim, TopologyBuilder};
 
 fn dn(s: &str) -> Dn {
     s.parse().unwrap()
@@ -145,7 +146,7 @@ fn print_shape() {
             bus.publish(EnvEvent {
                 kind: "update".into(),
                 activity: Some(ActivityId::from(format!("act{}", e % 10).as_str())),
-                at: SimTime::ZERO,
+                at: Timestamp::ZERO,
                 payload: InfoContent::Text("x".into()),
             });
         }
@@ -216,7 +217,7 @@ fn bench(c: &mut Criterion) {
                     bus.publish(EnvEvent {
                         kind: "update".into(),
                         activity: Some(ActivityId::from(format!("act{}", e % 10).as_str())),
-                        at: SimTime::ZERO,
+                        at: Timestamp::ZERO,
                         payload: InfoContent::Text("x".into()),
                     })
                 });

@@ -31,6 +31,7 @@ fn layer_of_import(name: &str) -> Option<LayerTag> {
         "cscw_messaging" => LayerTag::Messaging,
         "cscw_directory" => LayerTag::Directory,
         "odp" => LayerTag::Odp,
+        "cscw_federation" => LayerTag::Federation,
         "mocca" => LayerTag::Env,
         "groupware" => LayerTag::App,
         _ => return None,

@@ -25,6 +25,10 @@ pub enum LayerTag {
     Directory,
     /// The ODP engineering layer (trader, binder, transparencies).
     Odp,
+    /// The inter-environment federation layer (trader interworking,
+    /// anti-entropy replication) between the ODP functions and the
+    /// environment.
+    Federation,
     /// The CSCW environment (MOCCA).
     Env,
     /// Groupware applications.
@@ -39,8 +43,9 @@ impl LayerTag {
             LayerTag::Net => 1,
             LayerTag::Messaging | LayerTag::Directory => 2,
             LayerTag::Odp => 3,
-            LayerTag::Env => 4,
-            LayerTag::App => 5,
+            LayerTag::Federation => 4,
+            LayerTag::Env => 5,
+            LayerTag::App => 6,
         }
     }
 
@@ -53,6 +58,7 @@ impl LayerTag {
             LayerTag::Messaging => Some("Messaging"),
             LayerTag::Directory => Some("Directory"),
             LayerTag::Odp => Some("Odp"),
+            LayerTag::Federation => Some("Federation"),
             LayerTag::Env => Some("Env"),
             LayerTag::App => Some("App"),
         }
@@ -105,6 +111,7 @@ fn classify(dir_name: &str) -> (String, CrateRole) {
         "messaging" => ("cscw_messaging", CrateRole::Layer(LayerTag::Messaging)),
         "directory" => ("cscw_directory", CrateRole::Layer(LayerTag::Directory)),
         "odp" => ("odp", CrateRole::Layer(LayerTag::Odp)),
+        "federation" => ("cscw_federation", CrateRole::Layer(LayerTag::Federation)),
         "core" => ("mocca", CrateRole::Layer(LayerTag::Env)),
         "groupware" => ("groupware", CrateRole::Layer(LayerTag::App)),
         "bench" => ("cscw_bench", CrateRole::Tool),
@@ -241,7 +248,8 @@ mod tests {
         assert!(LayerTag::Net.rank() < LayerTag::Messaging.rank());
         assert_eq!(LayerTag::Messaging.rank(), LayerTag::Directory.rank());
         assert!(LayerTag::Directory.rank() < LayerTag::Odp.rank());
-        assert!(LayerTag::Odp.rank() < LayerTag::Env.rank());
+        assert!(LayerTag::Odp.rank() < LayerTag::Federation.rank());
+        assert!(LayerTag::Federation.rank() < LayerTag::Env.rank());
         assert!(LayerTag::Env.rank() < LayerTag::App.rank());
     }
 

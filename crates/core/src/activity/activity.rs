@@ -7,8 +7,8 @@
 //! for monitoring.
 
 use cscw_directory::Dn;
+use cscw_kernel::Timestamp;
 use serde::{Deserialize, Serialize};
-use simnet::SimTime;
 
 use crate::error::MoccaError;
 
@@ -110,7 +110,7 @@ pub struct Activity {
     /// negotiation — see [`crate::activity::negotiation`]).
     pub responsible: Option<Dn>,
     /// Optional deadline.
-    pub deadline: Option<SimTime>,
+    pub deadline: Option<Timestamp>,
     /// Progress 0..=100, reported by members.
     progress: u8,
 }
@@ -219,7 +219,7 @@ impl Activity {
     }
 
     /// True when the deadline has passed without completion.
-    pub fn is_overdue(&self, now: SimTime) -> bool {
+    pub fn is_overdue(&self, now: Timestamp) -> bool {
         match self.deadline {
             Some(d) => now > d && !matches!(self.state, ActivityState::Completed),
             None => false,
@@ -305,13 +305,13 @@ mod tests {
     #[test]
     fn overdue_detection() {
         let mut a = activity();
-        a.deadline = Some(SimTime::from_secs(100));
-        assert!(!a.is_overdue(SimTime::from_secs(50)));
-        assert!(a.is_overdue(SimTime::from_secs(101)));
+        a.deadline = Some(Timestamp::from_secs(100));
+        assert!(!a.is_overdue(Timestamp::from_secs(50)));
+        assert!(a.is_overdue(Timestamp::from_secs(101)));
         a.transition(ActivityState::Active).unwrap();
         a.report_progress(100).unwrap();
         assert!(
-            !a.is_overdue(SimTime::from_secs(101)),
+            !a.is_overdue(Timestamp::from_secs(101)),
             "completed is never overdue"
         );
     }

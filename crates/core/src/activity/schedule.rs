@@ -5,8 +5,8 @@
 //! model: what can start, what is overdue, what a slip would drag with
 //! it.
 
+use cscw_kernel::Timestamp;
 use serde::{Deserialize, Serialize};
-use simnet::SimTime;
 
 use crate::activity::activity::{ActivityId, ActivityState};
 use crate::activity::deps::InterActivityModel;
@@ -32,7 +32,7 @@ pub struct ActivityStatus {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MonitorReport {
     /// When the report was taken.
-    pub at: SimTime,
+    pub at: Timestamp,
     /// Per-activity status in schedule order.
     pub statuses: Vec<ActivityStatus>,
 }
@@ -71,7 +71,7 @@ pub struct Monitor;
 
 impl Monitor {
     /// Takes a report at `now`.
-    pub fn report(model: &InterActivityModel, now: SimTime) -> MonitorReport {
+    pub fn report(model: &InterActivityModel, now: Timestamp) -> MonitorReport {
         let order = model.schedule_order();
         let statuses = order
             .iter()
@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn report_orders_and_flags_startable() {
         let m = model();
-        let report = Monitor::report(&m, SimTime::ZERO);
+        let report = Monitor::report(&m, Timestamp::ZERO);
         assert_eq!(report.statuses.len(), 3);
         assert_eq!(report.statuses[0].id, id("dig"));
         assert!(report.statuses[0].startable);
@@ -134,11 +134,11 @@ mod tests {
         let mut m = model();
         {
             let a = m.activity_mut(&id("dig")).unwrap();
-            a.deadline = Some(SimTime::from_secs(10));
+            a.deadline = Some(Timestamp::from_secs(10));
             a.transition(ActivityState::Active).unwrap();
             a.report_progress(50).unwrap();
         }
-        let report = Monitor::report(&m, SimTime::from_secs(20));
+        let report = Monitor::report(&m, Timestamp::from_secs(20));
         let dig = report.statuses.iter().find(|s| s.id == id("dig")).unwrap();
         assert!(dig.overdue);
         assert_eq!(dig.at_risk_downstream.len(), 2);
@@ -158,7 +158,7 @@ mod tests {
             a.transition(ActivityState::Active).unwrap();
             a.report_progress(60).unwrap();
         }
-        let report = Monitor::report(&m, SimTime::ZERO);
+        let report = Monitor::report(&m, Timestamp::ZERO);
         let mean = report.mean_active_progress().unwrap();
         assert!(
             (mean - 30.0).abs() < 1e-9,
@@ -176,7 +176,7 @@ mod tests {
             a.report_progress(100).unwrap();
         }
         assert_eq!(
-            Monitor::report(&m, SimTime::ZERO).mean_active_progress(),
+            Monitor::report(&m, Timestamp::ZERO).mean_active_progress(),
             None
         );
     }

@@ -12,9 +12,9 @@
 //!   [`cscw_messaging::UserAgent`].
 
 use cscw_directory::Dn;
+use cscw_messaging::net::{Message, Node, NodeCtx, NodeId, Payload, Sim, SimTime};
 use cscw_messaging::{Ipm, OrAddress, SubmitOptions, UserAgent};
 use serde::{Deserialize, Serialize};
-use simnet::{Message, Node, NodeCtx, NodeId, Payload, Sim, SimTime};
 
 /// How a send travelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

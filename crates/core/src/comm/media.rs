@@ -9,8 +9,8 @@
 //! cost.
 
 use cscw_directory::Dn;
+use cscw_messaging::net::Sim;
 use cscw_messaging::{BodyPart, ConversionCost, Heading, Ipm, SubmitOptions, UserAgent};
-use simnet::Sim;
 
 use crate::comm::model::CommunicationModel;
 use crate::error::MoccaError;

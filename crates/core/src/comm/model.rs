@@ -1,9 +1,9 @@
 //! Communicators, contexts, and the exchange ledger.
 
 use cscw_directory::Dn;
+use cscw_kernel::Timestamp;
 use cscw_messaging::OrAddress;
 use serde::{Deserialize, Serialize};
-use simnet::SimTime;
 
 use crate::activity::ActivityId;
 use crate::info::InfoObjectId;
@@ -88,7 +88,7 @@ impl CommContext {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CommEvent {
     /// When.
-    pub at: SimTime,
+    pub at: Timestamp,
     /// Sender.
     pub from: Dn,
     /// Receivers.
@@ -210,7 +210,7 @@ mod tests {
         let mut m = CommunicationModel::new();
         m.open_context(CommContext::new("c1", vec![dn("cn=A"), dn("cn=B")]));
         m.record(CommEvent {
-            at: SimTime::ZERO,
+            at: Timestamp::ZERO,
             from: dn("cn=A"),
             to: vec![dn("cn=B")],
             context: "c1".into(),
@@ -218,7 +218,7 @@ mod tests {
             synchronous: false,
         });
         m.record(CommEvent {
-            at: SimTime::from_secs(1),
+            at: Timestamp::from_secs(1),
             from: dn("cn=B"),
             to: vec![dn("cn=A")],
             context: "c1".into(),

@@ -198,7 +198,7 @@ mod tests {
     use crate::info::{InfoContent, InfoObject};
     use crate::org::{OrgRule, Person, RelationKind, Role, RuleKind};
     use cscw_directory::Dn;
-    use simnet::SimTime;
+    use cscw_kernel::Timestamp;
 
     fn dn(s: &str) -> Dn {
         s.parse().unwrap()
@@ -224,14 +224,14 @@ mod tests {
         env.create_activity(
             &dn("cn=Tom"),
             Activity::new("report".into(), "r"),
-            SimTime::ZERO,
+            Timestamp::ZERO,
         )
         .unwrap();
         env.join_activity(
             &dn("cn=Tom"),
             &"report".into(),
             ActivityRole("editor".into()),
-            SimTime::ZERO,
+            Timestamp::ZERO,
         )
         .unwrap();
         env.store_object(
@@ -242,7 +242,7 @@ mod tests {
                 InfoContent::Text("x".into()),
             ),
             Some("report".into()),
-            SimTime::ZERO,
+            Timestamp::ZERO,
         )
         .unwrap();
         env.comm_mut().open_context(
@@ -250,7 +250,7 @@ mod tests {
                 .in_activity("report".into()),
         );
         env.comm_mut().record(CommEvent {
-            at: SimTime::ZERO,
+            at: Timestamp::ZERO,
             from: dn("cn=Tom"),
             to: vec![dn("cn=Wolfgang")],
             context: "c1".into(),
@@ -306,7 +306,7 @@ mod tests {
                 InfoContent::Text("x".into()),
             ),
             None,
-            SimTime::ZERO,
+            Timestamp::ZERO,
         )
         .unwrap();
         let findings = check_models(&env);
@@ -322,7 +322,7 @@ mod tests {
             CommContext::new("c2", vec![dn("cn=Tom")]).in_activity("vapourware".into()),
         );
         env.comm_mut().record(CommEvent {
-            at: SimTime::ZERO,
+            at: Timestamp::ZERO,
             from: dn("cn=Tom"),
             to: vec![],
             context: "c2".into(),

@@ -21,10 +21,11 @@
 use std::sync::Arc;
 
 use cscw_directory::{Attribute, DirOp, Dn, Entry, Rdn};
+use cscw_federation::{FederationPort, RemoteDelivery};
 use cscw_kernel::Layer;
+use cscw_kernel::Timestamp;
 use cscw_messaging::OrAddress;
 use parking_lot::RwLock;
-use simnet::SimTime;
 
 use crate::activity::{Activity, ActivityId, ActivityRole, InterActivityModel};
 use crate::comm::CommunicationModel;
@@ -77,6 +78,19 @@ fn person_address(dn: &Dn) -> Option<OrAddress> {
     OrAddress::new("ZZ", "mocca", ["users"], name).ok()
 }
 
+/// Deterministic single-line rendering of object content for federation
+/// replica entries (gossip bodies are line-oriented).
+fn render_content(content: &InfoContent) -> String {
+    match content {
+        InfoContent::Text(t) => format!("text:{}", t.replace('\n', " ")),
+        InfoContent::Fields(fields) => {
+            let body: Vec<String> = fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("fields:{}", body.join(";"))
+        }
+        InfoContent::Binary { format, data } => format!("binary:{format}:{} bytes", data.len()),
+    }
+}
+
 /// The assembled open CSCW environment.
 pub struct CscwEnvironment {
     org: Arc<RwLock<OrganisationalModel>>,
@@ -93,6 +107,7 @@ pub struct CscwEnvironment {
     hub: InteropHub,
     bus: EventBus,
     platform: Box<dyn Platform>,
+    federation: Option<Box<dyn FederationPort>>,
     operations: u64,
 }
 
@@ -162,8 +177,34 @@ impl CscwEnvironment {
             hub: InteropHub::new(),
             bus: EventBus::new(),
             platform,
+            federation: None,
             operations: 0,
         }
+    }
+
+    /// Installs a federation port: the environment joins an
+    /// inter-environment federation. Applications already registered
+    /// are advertised immediately; future registrations advertise as
+    /// they happen, and [`exchange`](Self::exchange) falls through to
+    /// federated resolution when the local trader cannot locate the
+    /// destination.
+    pub fn install_federation(&mut self, mut port: Box<dyn FederationPort>) {
+        for descriptor in self.registry.apps() {
+            port.advertise_app(descriptor.id.as_str());
+        }
+        self.emit_env("env.federation_installed", port.domain());
+        self.federation = Some(port);
+    }
+
+    /// The federation domain this environment joined, if any.
+    pub fn federation_domain(&self) -> Option<String> {
+        self.federation.as_ref().map(|p| p.domain())
+    }
+
+    /// The canonical fingerprint of this environment's replicated
+    /// knowledge (None when not federated).
+    pub fn federation_fingerprint(&self) -> Option<String> {
+        self.federation.as_ref().map(|p| p.replica_fingerprint())
     }
 
     fn count_op(&mut self) {
@@ -269,10 +310,19 @@ impl CscwEnvironment {
         let published = self.knowledge.publish(&org)?;
         self.emit_env("env.publish_knowledge", format!("{published} entries"));
         let entries: Vec<Entry> = self.knowledge.dit().iter().cloned().collect();
-        for entry in entries {
-            match self.platform.directory().apply(DirOp::Add(entry)) {
+        for entry in &entries {
+            match self.platform.directory().apply(DirOp::Add(entry.clone())) {
                 Ok(_) | Err(cscw_directory::DirectoryError::EntryExists(_)) => {}
                 Err(e) => return Err(e.into()),
+            }
+        }
+        // Replicate the organisational model into the federation: each
+        // DIT entry becomes a versioned replica entry gossiped to peer
+        // environments (publication is idempotent — unchanged values
+        // do not advance the replica clock).
+        if let Some(port) = self.federation.as_mut() {
+            for entry in &entries {
+                port.publish_entry(&format!("org:{}", entry.dn()), &entry.to_string());
             }
         }
         Ok(published)
@@ -375,7 +425,7 @@ impl CscwEnvironment {
             &app_service_type(),
             odp::InterfaceRef {
                 object: id.as_str().into(),
-                node: simnet::NodeId::from_raw(0),
+                node: cscw_messaging::net::NodeId::from_raw(0),
                 interface: APP_SERVICE_TYPE.into(),
             },
             vec![("app".to_owned(), odp::Value::from(id.as_str()))],
@@ -384,6 +434,11 @@ impl CscwEnvironment {
             // Registration itself succeeded; the app is just not
             // locatable via trading (e.g. the trader node is down).
             self.emit_env("env.app_offer_failed", id.to_string());
+        }
+        // Advertise into the federation so peer environments can
+        // resolve this application through trader interworking.
+        if let Some(port) = self.federation.as_mut() {
+            port.advertise_app(id.as_str());
         }
     }
 
@@ -409,9 +464,20 @@ impl CscwEnvironment {
     /// application's mailbox (Messaging) — each of which becomes Net
     /// traffic on a distributed platform.
     ///
+    /// When the destination application is not registered locally but a
+    /// federation port is installed, the exchange is routed *across
+    /// environments*: the federated trader resolves the hosting domain,
+    /// the artifact is lowered to the common information model and
+    /// delivered to the peer environment, and the caller gets the
+    /// common-form artifact back (the peer raises it natively on its
+    /// side).
+    ///
     /// # Errors
     ///
-    /// * [`MoccaError::UnknownApplication`] — unmapped application.
+    /// * [`MoccaError::UnknownApplication`] — unmapped application
+    ///   (locally, and in the federation when one is joined).
+    /// * [`MoccaError::Federation`] — the federation could not resolve
+    ///   or route (partition, hop limit).
     /// * Repository errors for the shared record.
     /// * Substrate errors when the platform cannot complete the
     ///   lowering (trader unreachable, transfer failed).
@@ -420,7 +486,7 @@ impl CscwEnvironment {
         sharer: &Dn,
         artifact: &NativeArtifact,
         to: &AppId,
-        at: SimTime,
+        at: Timestamp,
     ) -> Result<NativeArtifact, MoccaError> {
         self.count_op();
         self.emit_app(
@@ -429,6 +495,9 @@ impl CscwEnvironment {
         );
         self.emit_env("env.exchange", format!("{} -> {to}", artifact.app));
         let common = self.hub.to_common(artifact)?;
+        if self.registry.app(to).is_none() && self.federation.is_some() {
+            return self.exchange_remote(sharer, artifact, to, common, at);
+        }
         let result = self.hub.exchange(artifact, to)?;
         // Locate the destination application through the trading
         // function (§6.1): the environment imports under its own
@@ -472,6 +541,122 @@ impl CscwEnvironment {
         Ok(result)
     }
 
+    /// Routes an exchange whose destination lives in a peer environment
+    /// through the federation: resolve the hosting domain via trader
+    /// interworking, then hand the common-form artifact to the fabric
+    /// for delivery.
+    fn exchange_remote(
+        &mut self,
+        sharer: &Dn,
+        artifact: &NativeArtifact,
+        to: &AppId,
+        common: std::collections::BTreeMap<String, String>,
+        at: Timestamp,
+    ) -> Result<NativeArtifact, MoccaError> {
+        let Some(port) = self.federation.as_mut() else {
+            // Only reachable if the caller raced an uninstall; classify
+            // as the local miss it would have been.
+            return Err(MoccaError::UnknownApplication(to.to_string()));
+        };
+        let resolution = port.resolve_app(to.as_str(), at)?;
+        let delivery = RemoteDelivery {
+            from_domain: port.domain(),
+            to_domain: resolution.domain.clone(),
+            sharer: sharer.to_string(),
+            from_app: artifact.app.to_string(),
+            to_app: to.to_string(),
+            fields: common.clone(),
+            at,
+        };
+        port.route_exchange(delivery)?;
+        self.emit_env(
+            "env.exchange_remote",
+            format!("{to} @ {}", resolution.domain),
+        );
+        // Record the outbound exchange locally; ids are deterministic
+        // per the operations ledger (the remote path performs no local
+        // conversion to count).
+        let id = InfoObjectId::new(format!("xchg-remote:{}:{}", self.operations, to));
+        self.repository.store(InfoObject::new(
+            id.clone(),
+            "exchanged-artifact-remote",
+            sharer.clone(),
+            InfoContent::Fields(common.clone()),
+        ))?;
+        self.mirror_to_directory(&id, "exchanged-artifact-remote", sharer);
+        self.bus.publish(EnvEvent {
+            kind: "artifact-exchanged".into(),
+            activity: None,
+            at,
+            payload: InfoContent::fields([
+                ("from", artifact.app.to_string()),
+                ("to", to.to_string()),
+                ("object", id.to_string()),
+                ("domain", resolution.domain),
+            ]),
+        });
+        // The caller gets the artifact in the common information model;
+        // the destination environment raises it into the peer's native
+        // format on delivery.
+        Ok(NativeArtifact {
+            app: to.clone(),
+            format: "common".to_owned(),
+            fields: common,
+        })
+    }
+
+    /// Accepts an exchange routed here by a peer environment: raises
+    /// the common-form payload into the destination application's
+    /// native format, records it, and notifies the application's
+    /// mailbox — the inbound half of federated
+    /// [`exchange`](Self::exchange).
+    ///
+    /// # Errors
+    ///
+    /// * [`MoccaError::UnknownApplication`] — the destination is not
+    ///   registered here (stale federation advertisement).
+    /// * Repository errors for the delivered record.
+    pub fn deliver_remote_artifact(
+        &mut self,
+        delivery: &RemoteDelivery,
+    ) -> Result<NativeArtifact, MoccaError> {
+        self.count_op();
+        self.emit_env(
+            "env.deliver_remote",
+            format!("{} <- {}", delivery.to_app, delivery.from_domain),
+        );
+        let to = AppId::new(delivery.to_app.clone());
+        let raised = self.hub.from_common(&to, &delivery.fields)?;
+        let sharer = delivery.sharer.parse::<Dn>().unwrap_or_else(|_| Dn::root());
+        let id = InfoObjectId::new(format!(
+            "xchg-in:{}:{}",
+            self.operations, delivery.from_domain
+        ));
+        self.repository.store(InfoObject::new(
+            id.clone(),
+            "exchanged-artifact-inbound",
+            sharer.clone(),
+            InfoContent::Fields(delivery.fields.clone()),
+        ))?;
+        self.mirror_to_directory(&id, "exchanged-artifact-inbound", &sharer);
+        if let (Some(from), Some(dest)) = (person_address(&sharer), app_address(&to)) {
+            self.platform
+                .transport()
+                .notify(&from, &dest, "artifact-exchanged", id.as_str())?;
+        }
+        self.bus.publish(EnvEvent {
+            kind: "artifact-delivered".into(),
+            activity: None,
+            at: delivery.at,
+            payload: InfoContent::fields([
+                ("from-domain", delivery.from_domain.clone()),
+                ("to", delivery.to_app.clone()),
+                ("object", id.to_string()),
+            ]),
+        });
+        Ok(raised)
+    }
+
     /// Best-effort directory record of a stored object; objects whose
     /// ids cannot form a valid RDN are simply not mirrored, and an
     /// already-present record is left alone.
@@ -500,7 +685,7 @@ impl CscwEnvironment {
         &mut self,
         creator: &Dn,
         activity: Activity,
-        at: SimTime,
+        at: Timestamp,
     ) -> Result<(), MoccaError> {
         self.count_op();
         self.org.read().require(creator, "schedule", "activity")?;
@@ -526,7 +711,7 @@ impl CscwEnvironment {
         person: &Dn,
         id: &ActivityId,
         role: ActivityRole,
-        at: SimTime,
+        at: Timestamp,
     ) -> Result<(), MoccaError> {
         self.count_op();
         let activity = self
@@ -561,15 +746,20 @@ impl CscwEnvironment {
         &mut self,
         object: InfoObject,
         activity: Option<ActivityId>,
-        at: SimTime,
+        at: Timestamp,
     ) -> Result<(), MoccaError> {
         self.count_op();
         let id = object.id.clone();
         let kind = object.kind.clone();
         let owner = object.owner.clone();
         self.emit_env("env.store_object", id.to_string());
+        let rendered = render_content(&object.content);
         self.repository.store(object)?;
         self.mirror_to_directory(&id, &kind, &owner);
+        // Replicate the information-model record into the federation.
+        if let Some(port) = self.federation.as_mut() {
+            port.publish_entry(&format!("info:{id}"), &format!("{kind}:{rendered}"));
+        }
         self.bus.publish(EnvEvent {
             kind: "object-stored".into(),
             activity,
@@ -710,9 +900,10 @@ mod tests {
         let mut e = env();
         let a = Activity::new("report".into(), "Joint report");
         assert!(e
-            .create_activity(&dn("cn=Wolfgang"), a.clone(), SimTime::ZERO)
+            .create_activity(&dn("cn=Wolfgang"), a.clone(), Timestamp::ZERO)
             .is_err_and(|err| matches!(err, MoccaError::AccessDenied { .. })));
-        e.create_activity(&dn("cn=Tom"), a, SimTime::ZERO).unwrap();
+        e.create_activity(&dn("cn=Tom"), a, Timestamp::ZERO)
+            .unwrap();
         assert_eq!(e.activities().len(), 1);
     }
 
@@ -722,21 +913,21 @@ mod tests {
         e.create_activity(
             &dn("cn=Tom"),
             Activity::new("report".into(), "r"),
-            SimTime::ZERO,
+            Timestamp::ZERO,
         )
         .unwrap();
         e.join_activity(
             &dn("cn=Wolfgang"),
             &"report".into(),
             ActivityRole("writer".into()),
-            SimTime::ZERO,
+            Timestamp::ZERO,
         )
         .unwrap();
         // A scoped event reaches the member.
         e.bus_mut().publish(EnvEvent {
             kind: "object-updated".into(),
             activity: Some("report".into()),
-            at: SimTime::ZERO,
+            at: Timestamp::ZERO,
             payload: InfoContent::Text("x".into()),
         });
         let got = e.bus().delivered_to(&dn("cn=Wolfgang"));
@@ -746,7 +937,7 @@ mod tests {
                 &dn("cn=Tom"),
                 &"ghost".into(),
                 ActivityRole("x".into()),
-                SimTime::ZERO
+                Timestamp::ZERO
             )
             .is_err());
     }
@@ -760,7 +951,7 @@ mod tests {
             dn("cn=Tom"),
             InfoContent::fields([("title", "Report"), ("secret", "x")]),
         );
-        e.store_object(obj, None, SimTime::ZERO).unwrap();
+        e.store_object(obj, None, Timestamp::ZERO).unwrap();
         e.views_mut().set_view(
             dn("cn=Tom"),
             "document",
@@ -801,7 +992,7 @@ mod tests {
             [("window_title", "Minutes".to_owned())],
         );
         let got = e
-            .exchange(&dn("cn=Tom"), &artifact, &"com".into(), SimTime::ZERO)
+            .exchange(&dn("cn=Tom"), &artifact, &"com".into(), Timestamp::ZERO)
             .unwrap();
         assert_eq!(
             got.fields.get("subject").map(String::as_str),
@@ -880,14 +1071,14 @@ mod tests {
         e.create_activity(
             &dn("cn=Tom"),
             Activity::new("report".into(), "r"),
-            SimTime::ZERO,
+            Timestamp::ZERO,
         )
         .unwrap();
         e.join_activity(
             &dn("cn=Tom"),
             &"report".into(),
             ActivityRole("editor".into()),
-            SimTime::ZERO,
+            Timestamp::ZERO,
         )
         .unwrap();
         e.expertise_mut()
@@ -914,8 +1105,12 @@ mod tests {
     fn operations_ledger_counts_environment_work() {
         let mut e = env();
         let before = e.operations();
-        e.create_activity(&dn("cn=Tom"), Activity::new("a".into(), "a"), SimTime::ZERO)
-            .unwrap();
+        e.create_activity(
+            &dn("cn=Tom"),
+            Activity::new("a".into(), "a"),
+            Timestamp::ZERO,
+        )
+        .unwrap();
         e.store_object(
             InfoObject::new(
                 "o".into(),
@@ -924,7 +1119,7 @@ mod tests {
                 InfoContent::Text("x".into()),
             ),
             None,
-            SimTime::ZERO,
+            Timestamp::ZERO,
         )
         .unwrap();
         assert_eq!(e.operations(), before + 2);

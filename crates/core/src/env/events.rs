@@ -9,8 +9,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use cscw_directory::Dn;
+use cscw_kernel::Timestamp;
 use serde::{Deserialize, Serialize};
-use simnet::SimTime;
 
 use crate::activity::ActivityId;
 use crate::info::InfoContent;
@@ -24,7 +24,7 @@ pub struct EnvEvent {
     /// The activity it belongs to; `None` for environment-wide events.
     pub activity: Option<ActivityId>,
     /// When it happened.
-    pub at: SimTime,
+    pub at: Timestamp,
     /// Structured payload.
     pub payload: InfoContent,
 }
@@ -138,7 +138,7 @@ mod tests {
         EnvEvent {
             kind: kind.to_owned(),
             activity: activity.map(ActivityId::from),
-            at: SimTime::ZERO,
+            at: Timestamp::ZERO,
             payload: InfoContent::Text(kind.to_owned()),
         }
     }

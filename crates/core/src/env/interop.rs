@@ -148,6 +148,33 @@ impl InteropHub {
         })
     }
 
+    /// Materialises a common-model artifact into `to`'s native format —
+    /// the receiving half of an exchange whose sending half ran in a
+    /// *different* environment (one conversion; the sender already paid
+    /// the other).
+    ///
+    /// # Errors
+    ///
+    /// [`MoccaError::UnknownApplication`] when `to` has no registered
+    /// mapping.
+    pub fn from_common(
+        &mut self,
+        to: &AppId,
+        common: &BTreeMap<String, String>,
+    ) -> Result<NativeArtifact, MoccaError> {
+        let to_mapping = self
+            .mappings
+            .get(to)
+            .ok_or_else(|| MoccaError::UnknownApplication(to.to_string()))?;
+        let native = to_mapping.from_common(common);
+        self.conversions_performed += 1;
+        Ok(NativeArtifact {
+            app: to.clone(),
+            format: format!("{to}-native"),
+            fields: native,
+        })
+    }
+
     /// The common form of an artifact (for storing in the information
     /// repository).
     ///

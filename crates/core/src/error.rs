@@ -55,6 +55,8 @@ pub enum MoccaError {
     Messaging(cscw_messaging::MtsError),
     /// The underlying ODP layer refused an operation.
     Odp(odp::OdpError),
+    /// The federation layer refused an operation.
+    Federation(cscw_federation::FederationError),
 }
 
 impl fmt::Display for MoccaError {
@@ -84,6 +86,7 @@ impl fmt::Display for MoccaError {
             MoccaError::Directory(e) => write!(f, "directory: {e}"),
             MoccaError::Messaging(e) => write!(f, "messaging: {e}"),
             MoccaError::Odp(e) => write!(f, "odp: {e}"),
+            MoccaError::Federation(e) => write!(f, "federation: {e}"),
         }
     }
 }
@@ -94,6 +97,7 @@ impl Error for MoccaError {
             MoccaError::Directory(e) => Some(e),
             MoccaError::Messaging(e) => Some(e),
             MoccaError::Odp(e) => Some(e),
+            MoccaError::Federation(e) => Some(e),
             _ => None,
         }
     }
@@ -107,6 +111,7 @@ impl cscw_kernel::LayerError for MoccaError {
             MoccaError::Directory(e) => e.layer(),
             MoccaError::Messaging(e) => e.layer(),
             MoccaError::Odp(e) => e.layer(),
+            MoccaError::Federation(e) => e.layer(),
             _ => cscw_kernel::Layer::Env,
         }
     }
@@ -127,6 +132,7 @@ impl cscw_kernel::LayerError for MoccaError {
             MoccaError::Directory(e) => e.kind(),
             MoccaError::Messaging(e) => e.kind(),
             MoccaError::Odp(e) => e.kind(),
+            MoccaError::Federation(e) => e.kind(),
         }
     }
 
@@ -135,6 +141,7 @@ impl cscw_kernel::LayerError for MoccaError {
             MoccaError::Directory(e) => e.class(),
             MoccaError::Messaging(e) => e.class(),
             MoccaError::Odp(e) => e.class(),
+            MoccaError::Federation(e) => e.class(),
             _ => cscw_kernel::ErrorClass::Permanent,
         }
     }
@@ -155,6 +162,12 @@ impl From<cscw_messaging::MtsError> for MoccaError {
 impl From<odp::OdpError> for MoccaError {
     fn from(e: odp::OdpError) -> Self {
         MoccaError::Odp(e)
+    }
+}
+
+impl From<cscw_federation::FederationError> for MoccaError {
+    fn from(e: cscw_federation::FederationError) -> Self {
+        MoccaError::Federation(e)
     }
 }
 

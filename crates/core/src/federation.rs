@@ -1,0 +1,294 @@
+//! Federating N environments — the coordinator.
+//!
+//! `cscw-federation` provides the mechanisms (trader interworking,
+//! anti-entropy replication, remote routing); this module provides the
+//! *assembly*: [`FederatedEnvironments`] owns a set of
+//! [`CscwEnvironment`]s and one [`FederationFabric`], wires each
+//! environment to the fabric through its [`FederationPort`], pumps
+//! queued remote deliveries into their destination environments, and
+//! drives anti-entropy gossip rounds over the trader link graph.
+//!
+//! Gossip frames ride the *messaging layer*: each round ships the
+//! digest and delta as [`cscw_messaging::gossip::GossipFrame`]
+//! notifications through the receiving environment's transport port,
+//! so a platform fault (e.g. under a flaky [`ResilientPlatform`]
+//! substrate) degrades gossip for that round instead of silently
+//! bypassing the stack — anti-entropy catches up on the next round.
+//!
+//! [`ResilientPlatform`]: crate::platform::ResilientPlatform
+
+use std::collections::BTreeMap;
+
+use cscw_federation::{FederatedTrader, FederationFabric};
+use cscw_messaging::OrAddress;
+use odp::LinkState;
+
+use crate::env::CscwEnvironment;
+use crate::error::MoccaError;
+
+/// O/R address of a federation domain's gossip mailbox.
+fn domain_address(domain: &str) -> Option<OrAddress> {
+    OrAddress::new("ZZ", "mocca", ["federation"], domain).ok()
+}
+
+/// What one [`gossip_round`](FederatedEnvironments::gossip_round) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GossipRound {
+    /// Links walked (up links only).
+    pub links_walked: usize,
+    /// Links skipped because the receiving environment's transport
+    /// refused the frames (platform fault); retried next round.
+    pub links_degraded: usize,
+    /// Replica updates applied across all receivers.
+    pub updates_applied: usize,
+}
+
+/// N federated environments and the fabric that joins them.
+#[derive(Debug, Default)]
+pub struct FederatedEnvironments {
+    fabric: FederationFabric,
+    envs: BTreeMap<String, CscwEnvironment>,
+}
+
+impl FederatedEnvironments {
+    /// An empty federation with a default fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty federation with a configured trader (hop budget, TTL).
+    pub fn with_trader(trader: FederatedTrader) -> Self {
+        FederatedEnvironments {
+            fabric: FederationFabric::with_trader(trader),
+            envs: BTreeMap::new(),
+        }
+    }
+
+    /// The shared fabric (for inspection: telemetry, fingerprints).
+    pub fn fabric(&self) -> &FederationFabric {
+        &self.fabric
+    }
+
+    /// Joins `env` to the federation as `domain`: the environment gets
+    /// a port onto the fabric and its already-registered applications
+    /// are advertised. Federating the same domain twice replaces the
+    /// previous environment.
+    pub fn federate(&mut self, domain: impl Into<String>, mut env: CscwEnvironment) {
+        let domain = domain.into();
+        let port = self.fabric.join(&domain);
+        env.install_federation(Box::new(port));
+        self.envs.insert(domain, env);
+    }
+
+    /// The federated domains, in name order.
+    pub fn domains(&self) -> Vec<String> {
+        self.envs.keys().cloned().collect()
+    }
+
+    /// A federated environment by domain.
+    pub fn env(&self, domain: &str) -> Option<&CscwEnvironment> {
+        self.envs.get(domain)
+    }
+
+    /// Mutable access to a federated environment.
+    pub fn env_mut(&mut self, domain: &str) -> Option<&mut CscwEnvironment> {
+        self.envs.get_mut(domain)
+    }
+
+    /// Adds a directed trader link between domains.
+    pub fn link(&self, from: &str, to: &str) {
+        self.fabric.link(from, to);
+    }
+
+    /// Links two domains both ways.
+    pub fn link_bidi(&self, a: &str, b: &str) {
+        self.fabric.link_bidi(a, b);
+    }
+
+    /// Sets one directed link's health; `false` when no such link.
+    pub fn set_link_state(&self, from: &str, to: &str, state: LinkState) -> bool {
+        self.fabric.set_link_state(from, to, state)
+    }
+
+    /// Delivers every queued remote exchange into its destination
+    /// environment. Returns how many artifacts were delivered.
+    ///
+    /// # Errors
+    ///
+    /// The first delivery error ([`MoccaError::UnknownApplication`]
+    /// for stale advertisements, repository/transport errors);
+    /// deliveries queued after the failing one remain undelivered.
+    pub fn pump(&mut self) -> Result<usize, MoccaError> {
+        let mut delivered = 0;
+        let domains = self.domains();
+        for domain in domains {
+            let deliveries = self.fabric.take_inbound(&domain);
+            let Some(env) = self.envs.get_mut(&domain) else {
+                continue;
+            };
+            for delivery in deliveries {
+                env.deliver_remote_artifact(&delivery)?;
+                delivered += 1;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// One anti-entropy round: for every *up* link `src → dst`, builds
+    /// `dst`'s digest, answers it with `src`'s delta, ships both frames
+    /// through `dst`'s transport as gossip notifications, and applies
+    /// the delta to `dst`'s replica.
+    ///
+    /// A transport refusal (platform fault on the receiving side)
+    /// degrades that link for this round — the frames are not applied,
+    /// and the next round retries from unchanged watermarks. Down links
+    /// are skipped entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`MoccaError::Federation`] on fabric-level failures (unknown
+    /// domain, undecodable frames) — not on transport refusals.
+    pub fn gossip_round(&mut self) -> Result<GossipRound, MoccaError> {
+        let mut round = GossipRound::default();
+        for (src, dst, state) in self.fabric.links() {
+            if state != LinkState::Up {
+                continue;
+            }
+            if !self.envs.contains_key(&src) || !self.envs.contains_key(&dst) {
+                continue;
+            }
+            round.links_walked += 1;
+            let digest = self.fabric.digest_frame(&dst)?;
+            let delta = self.fabric.delta_frame(&src, &digest)?;
+            // Lower both frames through the receiving environment's
+            // messaging port; a refusal means this link gossips next
+            // round instead.
+            let shipped = (|| {
+                let (from, to) = (domain_address(&src)?, domain_address(&dst)?);
+                let env = self.envs.get_mut(&dst)?;
+                let transport = env.platform_mut().transport();
+                transport
+                    .notify(&from, &to, "federation-gossip", &digest.encode())
+                    .ok()?;
+                transport
+                    .notify(&from, &to, "federation-gossip", &delta.encode())
+                    .ok()
+            })();
+            if shipped.is_none() {
+                round.links_degraded += 1;
+                continue;
+            }
+            round.updates_applied += self.fabric.ingest_delta(&dst, &delta)?;
+        }
+        Ok(round)
+    }
+
+    /// Runs gossip rounds until no round applies an update (converged)
+    /// or `max_rounds` is exhausted. Returns the number of rounds run.
+    ///
+    /// # Errors
+    ///
+    /// As [`gossip_round`](Self::gossip_round).
+    pub fn gossip_until_quiet(&mut self, max_rounds: usize) -> Result<usize, MoccaError> {
+        for n in 1..=max_rounds {
+            if self.gossip_round()?.updates_applied == 0 {
+                return Ok(n);
+            }
+        }
+        Ok(max_rounds)
+    }
+
+    /// Every domain's replica fingerprint, in domain order.
+    pub fn fingerprints(&self) -> BTreeMap<String, String> {
+        self.envs
+            .keys()
+            .map(|d| (d.clone(), self.fabric.replica_fingerprint(d)))
+            .collect()
+    }
+
+    /// Have all replicas converged to the same state?
+    pub fn converged(&self) -> bool {
+        let mut prints = self.fingerprints().into_values();
+        match prints.next() {
+            None => true,
+            Some(first) => prints.all(|p| p == first),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{AppDescriptor, AppId, FormatMapping, NativeArtifact, Quadrant};
+    use cscw_directory::Dn;
+    use cscw_kernel::Timestamp;
+
+    fn env_with_app(app: &str, field: &str) -> CscwEnvironment {
+        let mut env = CscwEnvironment::new();
+        env.register_app(
+            AppDescriptor {
+                id: app.into(),
+                name: app.to_owned(),
+                quadrant: Quadrant::CORRESPONDENCE,
+                native_format: format!("{app}-native"),
+                kinds: vec!["document".into()],
+            },
+            FormatMapping::new([(field, "title")]),
+        );
+        env
+    }
+
+    #[test]
+    fn federated_exchange_crosses_environments() {
+        let mut fed = FederatedEnvironments::new();
+        fed.federate("env-a", env_with_app("sharedx", "subject"));
+        fed.federate("env-b", env_with_app("com", "betreff"));
+        fed.link_bidi("env-a", "env-b");
+
+        let sharer: Dn = "cn=Tom".parse().unwrap();
+        let artifact = NativeArtifact {
+            app: AppId::new("sharedx"),
+            format: "sharedx-native".into(),
+            fields: BTreeMap::from([("subject".to_owned(), "Minutes".to_owned())]),
+        };
+        let out = fed
+            .env_mut("env-a")
+            .unwrap()
+            .exchange(&sharer, &artifact, &AppId::new("com"), Timestamp::ZERO)
+            .expect("federated exchange");
+        assert_eq!(out.format, "common");
+        assert_eq!(fed.pump().unwrap(), 1);
+        // The destination environment raised and recorded the artifact.
+        let env_b = fed.env("env-b").unwrap();
+        assert_eq!(env_b.repository().len(), 1);
+    }
+
+    #[test]
+    fn gossip_converges_and_quiesces() {
+        let mut fed = FederatedEnvironments::new();
+        fed.federate("env-a", env_with_app("a1", "f"));
+        fed.federate("env-b", env_with_app("b1", "f"));
+        fed.federate("env-c", env_with_app("c1", "f"));
+        fed.link_bidi("env-a", "env-b");
+        fed.link_bidi("env-b", "env-c");
+        for (domain, note) in [("env-a", "alpha"), ("env-c", "gamma")] {
+            fed.env_mut(domain)
+                .unwrap()
+                .store_object(
+                    crate::info::InfoObject::new(
+                        crate::info::InfoObjectId::new(format!("doc-{note}")),
+                        "note",
+                        "cn=Tom".parse().unwrap(),
+                        crate::info::InfoContent::Text(note.into()),
+                    ),
+                    None,
+                    Timestamp::ZERO,
+                )
+                .unwrap();
+        }
+        assert!(!fed.converged());
+        let rounds = fed.gossip_until_quiet(8).unwrap();
+        assert!(rounds <= 8);
+        assert!(fed.converged(), "fingerprints: {:?}", fed.fingerprints());
+    }
+}

@@ -53,6 +53,7 @@ pub mod comm;
 pub mod env;
 mod error;
 pub mod expertise;
+pub mod federation;
 pub mod info;
 pub mod org;
 pub mod platform;
@@ -61,6 +62,7 @@ pub mod transparency;
 
 pub use env::CscwEnvironment;
 pub use error::MoccaError;
+pub use federation::{FederatedEnvironments, GossipRound};
 pub use platform::{
     DirectoryPort, LocalPlatform, Platform, ResilientPlatform, SimPlatform, TraderPort,
     TransportPort,

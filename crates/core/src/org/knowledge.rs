@@ -9,7 +9,7 @@
 //! repository rather than through MOCCA's in-memory structures.
 
 use cscw_directory::{Attribute, Dit, Dn, Dua, Entry, Filter, SearchRequest, SearchScope};
-use simnet::Sim;
+use cscw_messaging::net::Sim;
 
 use crate::error::MoccaError;
 use crate::org::model::OrganisationalModel;

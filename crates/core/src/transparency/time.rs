@@ -16,8 +16,8 @@
 //! the paper's Figure 1 reachable from one another.
 
 use cscw_directory::Dn;
+use cscw_messaging::net::{NodeId, Payload, Sim};
 use cscw_messaging::{Ipm, OrAddress, SubmitOptions, UserAgent};
-use simnet::{NodeId, Payload, Sim};
 
 use crate::comm::channel::{SessionHub, SessionPdu};
 use crate::error::MoccaError;

@@ -1,0 +1,154 @@
+//! Per-environment vector clocks — the partial order under which
+//! replicated knowledge versions are compared (time transparency across
+//! environments: causality, not wall clocks).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::FederationError;
+
+/// A vector clock over federation domains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    counts: BTreeMap<String, u64>,
+}
+
+/// How two clocks relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockOrder {
+    /// Identical.
+    Equal,
+    /// Self happened-before other.
+    Before,
+    /// Other happened-before self.
+    After,
+    /// Neither dominates — a genuine conflict.
+    Concurrent,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The component for one domain.
+    pub fn get(&self, domain: &str) -> u64 {
+        self.counts.get(domain).copied().unwrap_or(0)
+    }
+
+    /// Advances one domain's component (a local event there).
+    pub fn tick(&mut self, domain: &str) {
+        *self.counts.entry(domain.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Component-wise maximum (learning another replica's history).
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (domain, n) in &other.counts {
+            let slot = self.counts.entry(domain.clone()).or_insert(0);
+            *slot = (*slot).max(*n);
+        }
+    }
+
+    /// Compares under the happened-before partial order.
+    pub fn compare(&self, other: &VectorClock) -> ClockOrder {
+        let (mut some_less, mut some_greater) = (false, false);
+        let domains = self.counts.keys().chain(other.counts.keys());
+        for d in domains {
+            let (a, b) = (self.get(d), other.get(d));
+            if a < b {
+                some_less = true;
+            }
+            if a > b {
+                some_greater = true;
+            }
+        }
+        match (some_less, some_greater) {
+            (false, false) => ClockOrder::Equal,
+            (true, false) => ClockOrder::Before,
+            (false, true) => ClockOrder::After,
+            (true, true) => ClockOrder::Concurrent,
+        }
+    }
+
+    /// True when `self` strictly dominates (`other` happened-before it).
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        self.compare(other) == ClockOrder::After
+    }
+
+    /// Sum of all components — a deterministic secondary measure for
+    /// conflict tie-breaks (not an ordering by itself).
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Canonical `domain:count` rendering, comma-separated, sorted.
+    pub fn encode(&self) -> String {
+        let parts: Vec<String> = self
+            .counts
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(d, n)| format!("{d}:{n}"))
+            .collect();
+        parts.join(",")
+    }
+
+    /// Parses the [`encode`](Self::encode) form.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::Codec`] on malformed components.
+    pub fn decode(s: &str) -> Result<Self, FederationError> {
+        let mut clock = VectorClock::new();
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (domain, n) = part
+                .rsplit_once(':')
+                .ok_or_else(|| FederationError::Codec(format!("bad clock component: {part}")))?;
+            let n: u64 = n
+                .parse()
+                .map_err(|_| FederationError::Codec(format!("bad clock count: {part}")))?;
+            clock.counts.insert(domain.to_owned(), n);
+        }
+        Ok(clock)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_merge_and_compare() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        assert_eq!(a.compare(&b), ClockOrder::Equal);
+        a.tick("env-a");
+        assert_eq!(a.compare(&b), ClockOrder::After);
+        assert_eq!(b.compare(&a), ClockOrder::Before);
+        b.tick("env-b");
+        assert_eq!(a.compare(&b), ClockOrder::Concurrent);
+        b.merge(&a);
+        assert!(b.dominates(&a));
+        assert_eq!(b.total(), 2);
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let mut c = VectorClock::new();
+        c.tick("env-a");
+        c.tick("env-a");
+        c.tick("env-b");
+        let wire = c.encode();
+        assert_eq!(wire, "env-a:2,env-b:1");
+        assert_eq!(VectorClock::decode(&wire).unwrap(), c);
+        assert_eq!(VectorClock::decode("").unwrap(), VectorClock::new());
+        assert!(VectorClock::decode("nonsense").is_err());
+        assert!(VectorClock::decode("a:x").is_err());
+    }
+}

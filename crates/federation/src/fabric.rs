@@ -1,0 +1,494 @@
+//! The federation fabric: shared state linking N environments.
+//!
+//! The fabric is the engineering object *between* the environments: a
+//! registry of domains (one per environment), the federated trader's
+//! link graph and offer cache, each domain's replicated knowledge
+//! store, and an outbox of remote exchanges awaiting delivery. Each
+//! environment holds a [`DomainPort`] handle onto the shared fabric
+//! and talks to it through the [`FederationPort`] trait — the
+//! environment never sees the other environments, only its port
+//! (organisation transparency across sites).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use cscw_kernel::{Layer, Telemetry, Timestamp};
+use cscw_messaging::gossip::GossipFrame;
+use odp::LinkState;
+use parking_lot::Mutex;
+
+use crate::error::FederationError;
+use crate::replica::{decode_delta, decode_digest, encode_delta, encode_digest, ReplicatedStore};
+use crate::trader::{FederatedTrader, Resolution, ResolutionSource};
+
+/// One remote exchange in flight: an artifact lowered to common-model
+/// fields, addressed across domains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteDelivery {
+    /// The sending environment's domain.
+    pub from_domain: String,
+    /// The destination environment's domain.
+    pub to_domain: String,
+    /// The sharing principal (directory DN, rendered).
+    pub sharer: String,
+    /// The sending application.
+    pub from_app: String,
+    /// The destination application.
+    pub to_app: String,
+    /// The artifact in the common information model.
+    pub fields: BTreeMap<String, String>,
+    /// When the exchange was issued.
+    pub at: Timestamp,
+}
+
+/// The environment-facing surface of the fabric. `CscwEnvironment`
+/// consults it when its local trader cannot locate an exchange
+/// partner, advertises its registered applications into it, and
+/// mirrors shareable knowledge through it.
+pub trait FederationPort: std::fmt::Debug + Send {
+    /// This environment's federation domain.
+    fn domain(&self) -> String;
+
+    /// Advertises a locally registered application to the federation.
+    fn advertise_app(&mut self, app: &str);
+
+    /// Resolves which domain hosts `app` (local, cached, or via a
+    /// hop-limited federated walk).
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::UnknownApplication`] /
+    /// [`FederationError::Partitioned`] as in
+    /// [`FederatedTrader::resolve`].
+    fn resolve_app(&mut self, app: &str, now: Timestamp) -> Result<Resolution, FederationError>;
+
+    /// Queues a remote exchange for delivery into its destination
+    /// domain.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::UnknownDomain`] when the destination domain
+    /// never joined the fabric.
+    fn route_exchange(&mut self, delivery: RemoteDelivery) -> Result<(), FederationError>;
+
+    /// Writes one shareable knowledge entry into this domain's replica
+    /// (to be gossiped to the federation).
+    fn publish_entry(&mut self, key: &str, value: &str);
+
+    /// Canonical fingerprint of this domain's replicated knowledge.
+    fn replica_fingerprint(&self) -> String;
+}
+
+#[derive(Debug, Default)]
+struct DomainState {
+    apps: BTreeSet<String>,
+    replica: ReplicatedStore,
+    inbound: Vec<RemoteDelivery>,
+}
+
+#[derive(Debug)]
+struct FabricInner {
+    domains: BTreeMap<String, DomainState>,
+    trader: FederatedTrader,
+    telemetry: Telemetry,
+}
+
+impl FabricInner {
+    fn advertised(&self) -> BTreeMap<String, BTreeSet<String>> {
+        self.domains
+            .iter()
+            .map(|(d, s)| (d.clone(), s.apps.clone()))
+            .collect()
+    }
+}
+
+/// The shared federation fabric. Cloning shares the underlying state;
+/// [`join`](Self::join) hands out per-environment ports onto it.
+#[derive(Debug, Clone)]
+pub struct FederationFabric {
+    inner: Arc<Mutex<FabricInner>>,
+}
+
+impl Default for FederationFabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FederationFabric {
+    /// An empty fabric with its own telemetry stream.
+    pub fn new() -> Self {
+        Self::with_trader(FederatedTrader::new())
+    }
+
+    /// A fabric with a configured trader (hop budget, TTL).
+    pub fn with_trader(trader: FederatedTrader) -> Self {
+        FederationFabric {
+            inner: Arc::new(Mutex::new(FabricInner {
+                domains: BTreeMap::new(),
+                trader,
+                telemetry: Telemetry::new(),
+            })),
+        }
+    }
+
+    /// Routes the fabric's telemetry onto an existing stream (e.g. a
+    /// platform's), so one render shows the whole stack.
+    pub fn with_telemetry(self, telemetry: Telemetry) -> Self {
+        self.inner.lock().telemetry = telemetry;
+        self
+    }
+
+    /// The fabric's telemetry stream.
+    pub fn telemetry(&self) -> Telemetry {
+        self.inner.lock().telemetry.clone()
+    }
+
+    /// Registers a domain and returns its environment-facing port.
+    /// Joining an existing domain returns a fresh port onto the same
+    /// state.
+    pub fn join(&self, domain: impl Into<String>) -> DomainPort {
+        let domain = domain.into();
+        let mut inner = self.inner.lock();
+        inner
+            .domains
+            .entry(domain.clone())
+            .or_insert_with(|| DomainState {
+                replica: ReplicatedStore::new(domain.clone()),
+                ..Default::default()
+            });
+        inner.telemetry.incr(Layer::Federation, "federation.join");
+        drop(inner);
+        DomainPort {
+            inner: self.inner.clone(),
+            domain,
+        }
+    }
+
+    /// The joined domains, in name order.
+    pub fn domains(&self) -> Vec<String> {
+        self.inner.lock().domains.keys().cloned().collect()
+    }
+
+    /// Adds a directed trader link.
+    pub fn link(&self, from: &str, to: &str) {
+        let mut inner = self.inner.lock();
+        inner.trader.link(from, to);
+        inner.telemetry.incr(Layer::Federation, "federation.link");
+    }
+
+    /// Adds links both ways — the common federation shape.
+    pub fn link_bidi(&self, a: &str, b: &str) {
+        self.link(a, b);
+        self.link(b, a);
+    }
+
+    /// The trader link graph as `(from, to, state)` triples, in
+    /// insertion order — coordinators walk it to schedule gossip.
+    pub fn links(&self) -> Vec<(String, String, LinkState)> {
+        self.inner
+            .lock()
+            .trader
+            .links()
+            .iter()
+            .map(|l| (l.from.clone(), l.to.clone(), l.state))
+            .collect()
+    }
+
+    /// Sets one directed link's health; `false` when no such link.
+    pub fn set_link_state(&self, from: &str, to: &str, state: LinkState) -> bool {
+        let mut inner = self.inner.lock();
+        let found = inner.trader.set_link_state(from, to, state);
+        if found {
+            let name = match state {
+                LinkState::Up => "federation.link.up",
+                LinkState::Down => "federation.link.down",
+            };
+            inner.telemetry.incr(Layer::Federation, name);
+        }
+        found
+    }
+
+    /// Takes (drains) the deliveries queued *into* `domain`.
+    pub fn take_inbound(&self, domain: &str) -> Vec<RemoteDelivery> {
+        let mut inner = self.inner.lock();
+        let taken = inner
+            .domains
+            .get_mut(domain)
+            .map(|s| std::mem::take(&mut s.inbound))
+            .unwrap_or_default();
+        if !taken.is_empty() {
+            inner
+                .telemetry
+                .add(Layer::Federation, "federation.deliver", taken.len() as u64);
+        }
+        taken
+    }
+
+    /// Builds `domain`'s anti-entropy digest frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::UnknownDomain`].
+    pub fn digest_frame(&self, domain: &str) -> Result<GossipFrame, FederationError> {
+        let inner = self.inner.lock();
+        let state = inner
+            .domains
+            .get(domain)
+            .ok_or_else(|| FederationError::UnknownDomain(domain.to_owned()))?;
+        inner
+            .telemetry
+            .incr(Layer::Federation, "federation.gossip.digest");
+        Ok(GossipFrame::digest(
+            domain,
+            encode_digest(&state.replica.digest()),
+        ))
+    }
+
+    /// Answers a digest frame with `domain`'s delta for it.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::UnknownDomain`] / [`FederationError::Codec`].
+    pub fn delta_frame(
+        &self,
+        domain: &str,
+        digest: &GossipFrame,
+    ) -> Result<GossipFrame, FederationError> {
+        let their = decode_digest(&digest.body)?;
+        let inner = self.inner.lock();
+        let state = inner
+            .domains
+            .get(domain)
+            .ok_or_else(|| FederationError::UnknownDomain(domain.to_owned()))?;
+        let delta = state.replica.delta_since(&their);
+        inner.telemetry.add(
+            Layer::Federation,
+            "federation.gossip.delta",
+            delta.len() as u64,
+        );
+        Ok(GossipFrame::delta(domain, encode_delta(&delta)))
+    }
+
+    /// Applies a delta frame to `domain`'s replica; returns how many
+    /// updates applied.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::UnknownDomain`] / [`FederationError::Codec`].
+    pub fn ingest_delta(
+        &self,
+        domain: &str,
+        delta: &GossipFrame,
+    ) -> Result<usize, FederationError> {
+        let updates = decode_delta(&delta.body)?;
+        let mut inner = self.inner.lock();
+        let state = inner
+            .domains
+            .get_mut(domain)
+            .ok_or_else(|| FederationError::UnknownDomain(domain.to_owned()))?;
+        let applied = state.replica.ingest(updates);
+        inner.telemetry.add(
+            Layer::Federation,
+            "federation.gossip.applied",
+            applied as u64,
+        );
+        Ok(applied)
+    }
+
+    /// Expires stale trader cache entries at `now`.
+    pub fn expire_offer_cache(&self, now: Timestamp) {
+        self.inner.lock().trader.expire_cache(now);
+    }
+
+    /// A domain's replica fingerprint (empty string for unknown
+    /// domains).
+    pub fn replica_fingerprint(&self, domain: &str) -> String {
+        self.inner
+            .lock()
+            .domains
+            .get(domain)
+            .map(|s| s.replica.fingerprint())
+            .unwrap_or_default()
+    }
+
+    /// A domain's resolved replica value for `key`.
+    pub fn replica_get(&self, domain: &str, key: &str) -> Option<String> {
+        self.inner
+            .lock()
+            .domains
+            .get(domain)
+            .and_then(|s| s.replica.get(key).map(str::to_owned))
+    }
+}
+
+/// One environment's handle onto the shared fabric.
+#[derive(Debug, Clone)]
+pub struct DomainPort {
+    inner: Arc<Mutex<FabricInner>>,
+    domain: String,
+}
+
+impl FederationPort for DomainPort {
+    fn domain(&self) -> String {
+        self.domain.clone()
+    }
+
+    fn advertise_app(&mut self, app: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.domains.get_mut(&self.domain) {
+            state.apps.insert(app.to_owned());
+        }
+        inner
+            .telemetry
+            .incr(Layer::Federation, "federation.advertise");
+    }
+
+    fn resolve_app(&mut self, app: &str, now: Timestamp) -> Result<Resolution, FederationError> {
+        let mut inner = self.inner.lock();
+        let advertised = inner.advertised();
+        let outcome = inner.trader.resolve(&self.domain, app, &advertised, now);
+        let name = match &outcome {
+            Ok(r) => match r.source {
+                ResolutionSource::Local => "federation.resolve.local",
+                ResolutionSource::Cache => "federation.resolve.cache",
+                ResolutionSource::Federated => "federation.resolve.federated",
+            },
+            Err(FederationError::Partitioned(_)) => "federation.resolve.partitioned",
+            Err(_) => "federation.resolve.miss",
+        };
+        inner.telemetry.incr(Layer::Federation, name);
+        outcome
+    }
+
+    fn route_exchange(&mut self, delivery: RemoteDelivery) -> Result<(), FederationError> {
+        let mut inner = self.inner.lock();
+        let to = delivery.to_domain.clone();
+        let Some(state) = inner.domains.get_mut(&to) else {
+            return Err(FederationError::UnknownDomain(to));
+        };
+        state.inbound.push(delivery);
+        inner.telemetry.incr(Layer::Federation, "federation.route");
+        Ok(())
+    }
+
+    fn publish_entry(&mut self, key: &str, value: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.domains.get_mut(&self.domain) {
+            // Re-publishing an identical value is a no-op: idempotent
+            // publication keeps gossip deltas from growing on every
+            // call.
+            if state.replica.get(key) == Some(value) {
+                return;
+            }
+            state.replica.put(key, value);
+        }
+        inner
+            .telemetry
+            .incr(Layer::Federation, "federation.publish");
+    }
+
+    fn replica_fingerprint(&self) -> String {
+        self.inner
+            .lock()
+            .domains
+            .get(&self.domain)
+            .map(|s| s.replica.fingerprint())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_advertise_resolve_and_route() {
+        let fabric = FederationFabric::new();
+        let mut a = fabric.join("env-a");
+        let mut b = fabric.join("env-b");
+        fabric.link_bidi("env-a", "env-b");
+        b.advertise_app("com");
+        let r = a.resolve_app("com", Timestamp::ZERO).unwrap();
+        assert_eq!(r.domain, "env-b");
+        a.route_exchange(RemoteDelivery {
+            from_domain: "env-a".into(),
+            to_domain: "env-b".into(),
+            sharer: "cn=Tom".into(),
+            from_app: "sharedx".into(),
+            to_app: "com".into(),
+            fields: BTreeMap::from([("title".to_owned(), "Minutes".to_owned())]),
+            at: Timestamp::ZERO,
+        })
+        .unwrap();
+        let inbound = fabric.take_inbound("env-b");
+        assert_eq!(inbound.len(), 1);
+        assert_eq!(inbound[0].to_app, "com");
+        assert!(fabric.take_inbound("env-b").is_empty(), "drained");
+        let t = fabric.telemetry();
+        assert_eq!(t.counter(Layer::Federation, "federation.route"), 1);
+        assert_eq!(
+            t.counter(Layer::Federation, "federation.resolve.federated"),
+            1
+        );
+    }
+
+    #[test]
+    fn routing_to_unknown_domain_fails() {
+        let fabric = FederationFabric::new();
+        let mut a = fabric.join("env-a");
+        let err = a
+            .route_exchange(RemoteDelivery {
+                from_domain: "env-a".into(),
+                to_domain: "ghost".into(),
+                sharer: "cn=Tom".into(),
+                from_app: "x".into(),
+                to_app: "y".into(),
+                fields: BTreeMap::new(),
+                at: Timestamp::ZERO,
+            })
+            .unwrap_err();
+        assert!(matches!(err, FederationError::UnknownDomain(_)));
+    }
+
+    #[test]
+    fn gossip_frames_converge_replicas() {
+        let fabric = FederationFabric::new();
+        let mut a = fabric.join("env-a");
+        let mut b = fabric.join("env-b");
+        a.publish_entry("org:cn=Tom", "person Tom");
+        b.publish_entry("org:cn=Wolfgang", "person Wolfgang");
+        a.publish_entry("org:cn=Tom", "person Tom"); // idempotent
+        for _ in 0..2 {
+            for (src, dst) in [("env-a", "env-b"), ("env-b", "env-a")] {
+                let digest = fabric.digest_frame(dst).unwrap();
+                let delta = fabric.delta_frame(src, &digest).unwrap();
+                fabric.ingest_delta(dst, &delta).unwrap();
+            }
+        }
+        let fa = a.replica_fingerprint();
+        assert!(!fa.is_empty());
+        assert_eq!(fa, b.replica_fingerprint());
+        assert_eq!(
+            fabric.replica_get("env-b", "org:cn=Tom").as_deref(),
+            Some("person Tom")
+        );
+    }
+
+    #[test]
+    fn frames_survive_the_wire_codec() {
+        let fabric = FederationFabric::new();
+        let mut a = fabric.join("env-a");
+        fabric.join("env-b");
+        a.publish_entry("k", "v|with\nhostile\x1echars");
+        let digest = fabric.digest_frame("env-b").unwrap();
+        let digest = GossipFrame::decode(&digest.encode()).unwrap();
+        let delta = fabric.delta_frame("env-a", &digest).unwrap();
+        let delta = GossipFrame::decode(&delta.encode()).unwrap();
+        assert_eq!(fabric.ingest_delta("env-b", &delta).unwrap(), 1);
+        assert_eq!(
+            fabric.replica_get("env-b", "k").as_deref(),
+            Some("v|with\nhostile\x1echars")
+        );
+    }
+}

@@ -1,0 +1,425 @@
+//! Anti-entropy replication of environment knowledge.
+//!
+//! Each federated environment keeps a [`ReplicatedStore`] mirroring the
+//! shareable slice of its Information and Organisational models as
+//! versioned key→value entries. Replication is pull-based anti-entropy:
+//! a replica sends its *digest* (per-origin applied watermarks), the
+//! peer answers with the *delta* (every update the digest lacks, in
+//! per-origin sequence order), and ingestion applies updates under
+//! causal per-origin FIFO with deterministic conflict resolution — so
+//! all replicas converge to bit-for-bit identical state regardless of
+//! exchange order.
+
+use std::collections::BTreeMap;
+
+use crate::clock::VectorClock;
+use crate::error::FederationError;
+
+/// One versioned update to a replicated key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplEntry {
+    /// Namespaced key (`org:…`, `info:…`).
+    pub key: String,
+    /// Canonical value rendering.
+    pub value: String,
+    /// Version vector at write time.
+    pub clock: VectorClock,
+    /// The environment that wrote this version.
+    pub origin: String,
+    /// Gap-free per-origin sequence number (1-based).
+    pub seq: u64,
+}
+
+/// Escapes the codec's structural characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\x1e' => out.push_str("%1E"),
+            '\x1f' => out.push_str("%1F"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, FederationError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let code: String = chars.by_ref().take(2).collect();
+        match code.as_str() {
+            "25" => out.push('%'),
+            "1E" => out.push('\x1e'),
+            "1F" => out.push('\x1f'),
+            other => {
+                return Err(FederationError::Codec(format!("bad escape: %{other}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl ReplEntry {
+    /// Encodes to one record: fields joined by the unit separator.
+    pub fn encode(&self) -> String {
+        [
+            escape(&self.key),
+            escape(&self.value),
+            self.clock.encode(),
+            escape(&self.origin),
+            self.seq.to_string(),
+        ]
+        .join("\x1f")
+    }
+
+    /// Decodes one record.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::Codec`] on wrong arity or malformed fields.
+    pub fn decode(record: &str) -> Result<Self, FederationError> {
+        let fields: Vec<&str> = record.split('\x1f').collect();
+        let [key, value, clock, origin, seq] = fields.as_slice() else {
+            return Err(FederationError::Codec(format!(
+                "entry has {} fields, want 5",
+                fields.len()
+            )));
+        };
+        Ok(ReplEntry {
+            key: unescape(key)?,
+            value: unescape(value)?,
+            clock: VectorClock::decode(clock)?,
+            origin: unescape(origin)?,
+            seq: seq
+                .parse()
+                .map_err(|_| FederationError::Codec(format!("bad seq: {seq}")))?,
+        })
+    }
+}
+
+/// Encodes a delta (entry list) as one frame body.
+pub fn encode_delta(entries: &[ReplEntry]) -> String {
+    entries
+        .iter()
+        .map(ReplEntry::encode)
+        .collect::<Vec<_>>()
+        .join("\x1e")
+}
+
+/// Decodes a delta frame body.
+///
+/// # Errors
+///
+/// [`FederationError::Codec`] from any malformed record.
+pub fn decode_delta(body: &str) -> Result<Vec<ReplEntry>, FederationError> {
+    body.split('\x1e')
+        .filter(|r| !r.is_empty())
+        .map(ReplEntry::decode)
+        .collect()
+}
+
+/// Encodes a digest (per-origin watermarks) as one frame body.
+pub fn encode_digest(digest: &BTreeMap<String, u64>) -> String {
+    digest
+        .iter()
+        .map(|(origin, seq)| format!("{}\x1f{}", escape(origin), seq))
+        .collect::<Vec<_>>()
+        .join("\x1e")
+}
+
+/// Decodes a digest frame body.
+///
+/// # Errors
+///
+/// [`FederationError::Codec`] on malformed records.
+pub fn decode_digest(body: &str) -> Result<BTreeMap<String, u64>, FederationError> {
+    let mut digest = BTreeMap::new();
+    for record in body.split('\x1e').filter(|r| !r.is_empty()) {
+        let (origin, seq) = record
+            .split_once('\x1f')
+            .ok_or_else(|| FederationError::Codec("digest record missing separator".into()))?;
+        let seq: u64 = seq
+            .parse()
+            .map_err(|_| FederationError::Codec(format!("bad digest seq: {seq}")))?;
+        digest.insert(unescape(origin)?, seq);
+    }
+    Ok(digest)
+}
+
+/// A replica of the federated knowledge state for one environment.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicatedStore {
+    domain: String,
+    /// Resolved current value per key.
+    state: BTreeMap<String, ReplEntry>,
+    /// Gap-free update log per origin (index i holds seq i+1).
+    logs: BTreeMap<String, Vec<ReplEntry>>,
+    /// Highest contiguously applied seq per origin.
+    applied: BTreeMap<String, u64>,
+    /// Out-of-causal-order updates buffered until their gap fills.
+    pending: BTreeMap<String, BTreeMap<u64, ReplEntry>>,
+    /// This replica's own clock (ticked on local writes, merged on
+    /// ingestion).
+    clock: VectorClock,
+}
+
+impl ReplicatedStore {
+    /// A fresh replica owned by `domain`.
+    pub fn new(domain: impl Into<String>) -> Self {
+        ReplicatedStore {
+            domain: domain.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The owning domain.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// Number of resolved keys.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True when nothing has replicated yet.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// The resolved value for a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.state.get(key).map(|e| e.value.as_str())
+    }
+
+    /// Resolved entries in key order.
+    pub fn entries(&self) -> impl Iterator<Item = &ReplEntry> {
+        self.state.values()
+    }
+
+    /// Writes locally: ticks this domain's clock component, appends to
+    /// its own log and applies immediately.
+    pub fn put(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.clock.tick(&self.domain);
+        let log = self.logs.entry(self.domain.clone()).or_default();
+        let entry = ReplEntry {
+            key: key.into(),
+            value: value.into(),
+            clock: self.clock.clone(),
+            origin: self.domain.clone(),
+            seq: log.len() as u64 + 1,
+        };
+        log.push(entry.clone());
+        self.applied.insert(self.domain.clone(), entry.seq);
+        self.resolve(entry);
+    }
+
+    /// The digest: per-origin applied watermarks.
+    pub fn digest(&self) -> BTreeMap<String, u64> {
+        self.applied.clone()
+    }
+
+    /// Every update a replica at `their` digest is missing, per-origin
+    /// sequence order — gap-free because origin logs are gap-free.
+    pub fn delta_since(&self, their: &BTreeMap<String, u64>) -> Vec<ReplEntry> {
+        let mut delta = Vec::new();
+        for (origin, log) in &self.logs {
+            let have = their.get(origin).copied().unwrap_or(0) as usize;
+            if have < log.len() {
+                delta.extend(log[have..].iter().cloned());
+            }
+        }
+        delta
+    }
+
+    /// Ingests updates from a peer under causal per-origin FIFO: an
+    /// update applies only once every earlier update from its origin
+    /// has applied; later arrivals buffer until the gap fills.
+    ///
+    /// Returns how many updates were *applied* (buffered ones count
+    /// when their gap fills).
+    pub fn ingest(&mut self, updates: Vec<ReplEntry>) -> usize {
+        let mut applied_count = 0;
+        for update in updates {
+            if update.origin == self.domain {
+                continue; // own history is authoritative locally
+            }
+            self.pending
+                .entry(update.origin.clone())
+                .or_default()
+                .insert(update.seq, update);
+        }
+        // Drain every origin's pending run that now continues its log.
+        let origins: Vec<String> = self.pending.keys().cloned().collect();
+        for origin in origins {
+            loop {
+                let next_seq = self.applied.get(&origin).copied().unwrap_or(0) + 1;
+                let Some(entry) = self
+                    .pending
+                    .get_mut(&origin)
+                    .and_then(|buf| buf.remove(&next_seq))
+                else {
+                    break;
+                };
+                self.logs
+                    .entry(origin.clone())
+                    .or_default()
+                    .push(entry.clone());
+                self.applied.insert(origin.clone(), next_seq);
+                self.clock.merge(&entry.clock);
+                self.resolve(entry);
+                applied_count += 1;
+            }
+        }
+        applied_count
+    }
+
+    /// Conflict resolution: the surviving version is the maximum under
+    /// a total order on immutable version metadata — clock total, then
+    /// origin, then sequence, then value. Strict clock dominance implies
+    /// a strictly larger total, so causally-later versions always win;
+    /// concurrent versions fall to the deterministic tie-break. A pure
+    /// max over a total order makes the fold commutative, associative
+    /// and idempotent: replicas converge regardless of apply order.
+    fn resolve(&mut self, incoming: ReplEntry) {
+        match self.state.get(&incoming.key) {
+            Some(current) if rank(current) >= rank(&incoming) => {}
+            _ => {
+                self.state.insert(incoming.key.clone(), incoming);
+            }
+        }
+    }
+
+    /// Canonical rendering of the resolved state — replicas that have
+    /// converged produce bit-for-bit identical fingerprints.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for entry in self.state.values() {
+            out.push_str(&format!(
+                "{}={} @{} by {}\n",
+                entry.key,
+                entry.value,
+                entry.clock.encode(),
+                entry.origin
+            ));
+        }
+        out
+    }
+}
+
+/// The total order resolution maximises over. Built only from fields
+/// that never change after a version is written, so every replica ranks
+/// the same pair identically no matter what it has seen in between.
+fn rank(e: &ReplEntry) -> (u64, &str, u64, &str) {
+    (e.clock.total(), &e.origin, e.seq, &e.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sync(from: &ReplicatedStore, to: &mut ReplicatedStore) -> usize {
+        to.ingest(from.delta_since(&to.digest()))
+    }
+
+    #[test]
+    fn digest_delta_round_trip_converges_two_replicas() {
+        let mut a = ReplicatedStore::new("env-a");
+        let mut b = ReplicatedStore::new("env-b");
+        a.put("org:cn=Tom", "person Tom");
+        a.put("info:doc1", "minutes v1");
+        b.put("org:cn=Wolfgang", "person Wolfgang");
+        assert_eq!(sync(&a, &mut b), 2);
+        assert_eq!(sync(&b, &mut a), 1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.get("info:doc1"), Some("minutes v1"));
+        // Already-synced: empty deltas.
+        assert!(a.delta_since(&b.digest()).is_empty());
+    }
+
+    #[test]
+    fn causal_fifo_buffers_gaps() {
+        let mut a = ReplicatedStore::new("env-a");
+        a.put("k1", "v1");
+        a.put("k1", "v2");
+        a.put("k2", "x");
+        let delta = a.delta_since(&BTreeMap::new());
+        let mut b = ReplicatedStore::new("env-b");
+        // Deliver out of order: seq 3 and 2 first — nothing applies.
+        assert_eq!(b.ingest(vec![delta[2].clone()]), 0);
+        assert_eq!(b.ingest(vec![delta[1].clone()]), 0);
+        assert!(b.is_empty());
+        // The gap fills: all three apply, in causal order.
+        assert_eq!(b.ingest(vec![delta[0].clone()]), 3);
+        assert_eq!(b.get("k1"), Some("v2"));
+        assert_eq!(b.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn concurrent_writes_resolve_identically_both_ways() {
+        let mut a = ReplicatedStore::new("env-a");
+        let mut b = ReplicatedStore::new("env-b");
+        a.put("shared", "from-a");
+        b.put("shared", "from-b");
+        // Exchange in opposite orders on each side.
+        let da = a.delta_since(&BTreeMap::new());
+        let db = b.delta_since(&BTreeMap::new());
+        a.ingest(db);
+        b.ingest(da);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "conflict resolution must be order-independent"
+        );
+        assert_eq!(a.get("shared"), b.get("shared"));
+    }
+
+    #[test]
+    fn resolved_conflicts_stay_resolved_after_further_sync() {
+        let mut a = ReplicatedStore::new("env-a");
+        let mut b = ReplicatedStore::new("env-b");
+        let mut c = ReplicatedStore::new("env-c");
+        a.put("k", "a1");
+        b.put("k", "b1");
+        sync(&a, &mut c);
+        sync(&b, &mut c);
+        sync(&a, &mut b);
+        sync(&b, &mut a);
+        sync(&c, &mut a);
+        sync(&c, &mut b);
+        sync(&a, &mut c);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(b.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn entry_and_frame_codecs_round_trip() {
+        let mut clock = VectorClock::new();
+        clock.tick("env-a");
+        let entry = ReplEntry {
+            key: "info:weird\x1fkey%".into(),
+            value: "line1\nline2\x1e".into(),
+            clock,
+            origin: "env-a".into(),
+            seq: 7,
+        };
+        let decoded = ReplEntry::decode(&entry.encode()).unwrap();
+        assert_eq!(decoded, entry);
+
+        let body = encode_delta(std::slice::from_ref(&entry));
+        assert_eq!(decode_delta(&body).unwrap(), vec![entry]);
+        assert!(decode_delta("garbage").is_err());
+
+        let digest = BTreeMap::from([("env-a".to_owned(), 3u64), ("env-b".to_owned(), 9)]);
+        assert_eq!(decode_digest(&encode_digest(&digest)).unwrap(), digest);
+        assert!(decode_digest("bad").is_err());
+        assert_eq!(decode_digest("").unwrap(), BTreeMap::new());
+    }
+}

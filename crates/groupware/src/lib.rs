@@ -15,7 +15,9 @@
 //! built directly on the environment's tailoring rules, and [`closed`],
 //! the Figure 2 / Figure 3 experimental population: five native
 //! vocabularies, per-app common-model mappings, and composed pairwise
-//! adapters for the closed-world baseline.
+//! adapters for the closed-world baseline. [`sites`] restages the
+//! population across a *two-site federation* of environments
+//! (trader interworking + anti-entropy knowledge replication).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ mod error;
 pub mod lens_mail;
 pub mod meeting_room;
 pub mod procedure;
+pub mod sites;
 
 pub use bbs::{BbsClient, BbsEntry, BbsServer};
 pub use closed::{
@@ -38,3 +41,6 @@ pub use error::GroupwareError;
 pub use lens_mail::{FiledMessage, LensMailbox, MessageTemplate};
 pub use meeting_room::{BoardItem, MeetingPhase, MeetingRoom};
 pub use procedure::{Procedure, ProcedureStep, StepOutcome};
+pub use sites::{
+    cross_site_demo, site_environment, two_site_federation, CrossSiteReport, SITE_ASYNC, SITE_SYNC,
+};

@@ -26,6 +26,9 @@ pub enum Layer {
     Messaging,
     /// The ODP engineering layer: trader, binder, transparencies.
     Odp,
+    /// The inter-environment federation layer: trader interworking,
+    /// anti-entropy knowledge replication, remote exchange routing.
+    Federation,
     /// The CSCW environment (MOCCA): sharing, exchange, org knowledge.
     Env,
     /// Applications (groupware tools) above the environment.
@@ -40,20 +43,24 @@ impl Layer {
             Layer::Directory => "directory",
             Layer::Messaging => "messaging",
             Layer::Odp => "odp",
+            Layer::Federation => "federation",
             Layer::Env => "env",
             Layer::App => "app",
         }
     }
 
-    /// Position in the Figure-4 stack, top (App = 0) to bottom (Net = 4).
-    /// Directory and Messaging are peers at the same depth.
+    /// Position in the Figure-4 stack, top (App = 0) to bottom (Net = 5).
+    /// Directory and Messaging are peers at the same depth; the
+    /// federation layer sits between the environment and the ODP
+    /// functions it interworks.
     pub fn depth(self) -> u8 {
         match self {
             Layer::App => 0,
             Layer::Env => 1,
-            Layer::Odp => 2,
-            Layer::Directory | Layer::Messaging => 3,
-            Layer::Net => 4,
+            Layer::Federation => 2,
+            Layer::Odp => 3,
+            Layer::Directory | Layer::Messaging => 4,
+            Layer::Net => 5,
         }
     }
 }
@@ -355,7 +362,8 @@ mod tests {
     #[test]
     fn depth_orders_the_figure_4_stack() {
         assert!(Layer::App.depth() < Layer::Env.depth());
-        assert!(Layer::Env.depth() < Layer::Odp.depth());
+        assert!(Layer::Env.depth() < Layer::Federation.depth());
+        assert!(Layer::Federation.depth() < Layer::Odp.depth());
         assert!(Layer::Odp.depth() < Layer::Messaging.depth());
         assert_eq!(Layer::Messaging.depth(), Layer::Directory.depth());
         assert!(Layer::Messaging.depth() < Layer::Net.depth());

@@ -1,0 +1,196 @@
+//! Anti-entropy gossip framing over the message transfer service.
+//!
+//! The federation layer replicates knowledge between environments by
+//! periodic digest exchange and delta sync. The *content* of digests
+//! and deltas belongs to the federation layer; what belongs here is the
+//! wire discipline: a [`GossipFrame`] that rides any text-bodied
+//! transport (MTS notifications, hosted nodes) with a hand-rolled,
+//! self-describing codec — the vendored serde is a stub, so frames are
+//! encoded by construction rather than derivation.
+//!
+//! The codec is versioned (`gossip/1`) and splits on the first three
+//! `|` separators only, so frame bodies may contain arbitrary text
+//! (including `|`) without escaping.
+
+use std::fmt;
+
+/// What a gossip frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A compact summary of the sender's applied state (per-origin
+    /// sequence watermarks); solicits missing updates.
+    Digest,
+    /// Updates the receiver's digest showed it was missing.
+    Delta,
+}
+
+impl FrameKind {
+    fn tag(self) -> &'static str {
+        match self {
+            FrameKind::Digest => "digest",
+            FrameKind::Delta => "delta",
+        }
+    }
+}
+
+/// One anti-entropy exchange unit: kind + originating domain + opaque
+/// body, with a stable textual encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipFrame {
+    /// Digest or delta.
+    pub kind: FrameKind,
+    /// The federation domain that produced the frame.
+    pub origin: String,
+    /// Layer-above payload (digest watermarks, serialized updates).
+    pub body: String,
+}
+
+/// Why a wire string failed to decode as a gossip frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GossipCodecError {
+    /// Missing or unsupported version tag.
+    BadVersion(String),
+    /// Unknown frame kind tag.
+    BadKind(String),
+    /// Fewer separators than the frame grammar requires.
+    Truncated,
+    /// The origin field was empty or contained a separator.
+    BadOrigin(String),
+}
+
+impl fmt::Display for GossipCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GossipCodecError::BadVersion(v) => write!(f, "unsupported gossip version: {v}"),
+            GossipCodecError::BadKind(k) => write!(f, "unknown gossip frame kind: {k}"),
+            GossipCodecError::Truncated => write!(f, "truncated gossip frame"),
+            GossipCodecError::BadOrigin(o) => write!(f, "bad gossip origin: {o}"),
+        }
+    }
+}
+
+impl std::error::Error for GossipCodecError {}
+
+impl cscw_kernel::LayerError for GossipCodecError {
+    fn layer(&self) -> cscw_kernel::Layer {
+        cscw_kernel::Layer::Messaging
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            GossipCodecError::BadVersion(_) => "bad_version",
+            GossipCodecError::BadKind(_) => "bad_kind",
+            GossipCodecError::Truncated => "truncated",
+            GossipCodecError::BadOrigin(_) => "bad_origin",
+        }
+    }
+
+    // A frame that fails to decode will fail identically on retry:
+    // every variant keeps the default Permanent classification.
+}
+
+impl GossipFrame {
+    /// Builds a digest frame.
+    pub fn digest(origin: impl Into<String>, body: impl Into<String>) -> Self {
+        GossipFrame {
+            kind: FrameKind::Digest,
+            origin: origin.into(),
+            body: body.into(),
+        }
+    }
+
+    /// Builds a delta frame.
+    pub fn delta(origin: impl Into<String>, body: impl Into<String>) -> Self {
+        GossipFrame {
+            kind: FrameKind::Delta,
+            origin: origin.into(),
+            body: body.into(),
+        }
+    }
+
+    /// Encodes to the wire string: `gossip/1|<kind>|<origin>|<body>`.
+    pub fn encode(&self) -> String {
+        format!("gossip/1|{}|{}|{}", self.kind.tag(), self.origin, self.body)
+    }
+
+    /// Decodes a wire string.
+    ///
+    /// # Errors
+    ///
+    /// [`GossipCodecError`] describing the first grammar violation.
+    pub fn decode(wire: &str) -> Result<Self, GossipCodecError> {
+        let mut parts = wire.splitn(4, '|');
+        let version = parts.next().unwrap_or_default();
+        if version != "gossip/1" {
+            return Err(GossipCodecError::BadVersion(version.to_owned()));
+        }
+        let kind = match parts.next() {
+            Some("digest") => FrameKind::Digest,
+            Some("delta") => FrameKind::Delta,
+            Some(other) => return Err(GossipCodecError::BadKind(other.to_owned())),
+            None => return Err(GossipCodecError::Truncated),
+        };
+        let origin = parts.next().ok_or(GossipCodecError::Truncated)?;
+        if origin.is_empty() {
+            return Err(GossipCodecError::BadOrigin(origin.to_owned()));
+        }
+        let body = parts.next().ok_or(GossipCodecError::Truncated)?;
+        Ok(GossipFrame {
+            kind,
+            origin: origin.to_owned(),
+            body: body.to_owned(),
+        })
+    }
+
+    /// Is this wire string a gossip frame at all? Cheap dispatch test
+    /// for transports that multiplex gossip with ordinary notifications.
+    pub fn is_gossip(wire: &str) -> bool {
+        wire.starts_with("gossip/1|")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in [
+            GossipFrame::digest("env-a", "a=3;b=7"),
+            GossipFrame::delta("env-b", "entry|with|pipes\nand newlines"),
+            GossipFrame::digest("env-c", ""),
+        ] {
+            let wire = frame.encode();
+            assert!(GossipFrame::is_gossip(&wire));
+            assert_eq!(GossipFrame::decode(&wire).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn bodies_keep_separators_verbatim() {
+        let frame = GossipFrame::delta("env-a", "x|y|z");
+        let decoded = GossipFrame::decode(&frame.encode()).unwrap();
+        assert_eq!(decoded.body, "x|y|z");
+    }
+
+    #[test]
+    fn malformed_frames_are_classified() {
+        assert!(matches!(
+            GossipFrame::decode("gossip/2|digest|a|b"),
+            Err(GossipCodecError::BadVersion(_))
+        ));
+        assert!(matches!(
+            GossipFrame::decode("gossip/1|rumour|a|b"),
+            Err(GossipCodecError::BadKind(_))
+        ));
+        assert!(matches!(
+            GossipFrame::decode("gossip/1|digest"),
+            Err(GossipCodecError::Truncated)
+        ));
+        assert!(matches!(
+            GossipFrame::decode("gossip/1|digest||body"),
+            Err(GossipCodecError::BadOrigin(_))
+        ));
+        assert!(!GossipFrame::is_gossip("ordinary notification"));
+    }
+}

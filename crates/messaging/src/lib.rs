@@ -37,6 +37,7 @@ mod address;
 mod content;
 mod envelope;
 mod error;
+pub mod gossip;
 pub mod mta;
 pub mod net;
 mod report;
@@ -47,6 +48,7 @@ pub use address::OrAddress;
 pub use content::{BodyPart, ConversionCost, FaxImage, Heading, Importance, Ipm, PaperDocument};
 pub use envelope::{Envelope, Priority, TraceHop};
 pub use error::MtsError;
+pub use gossip::{FrameKind, GossipCodecError, GossipFrame};
 pub use mta::{MtaNode, MtsPdu, SubmitOptions, UserAgent, MAX_HOPS};
 pub use report::{DeliveryOutcome, DeliveryReport, NonDeliveryReason, ReceiptNotification};
 pub use routing::RoutingTable;

@@ -7,7 +7,7 @@
 //! then counts the per-layer work it does — the observable cost of the
 //! engineering structure that the F4 bench reports.
 
-use simnet::{NodeId, Sim};
+use cscw_messaging::net::{NodeId, Sim};
 
 use crate::error::OdpError;
 use crate::interface::InterfaceType;

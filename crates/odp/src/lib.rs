@@ -49,8 +49,8 @@ pub use object::{
     ComputationalObject, InterfaceRef, Invoker, InvokerNode, ObjectHost, ObjectId, OdpPdu,
 };
 pub use trader::{
-    Constraint, ImportRequest, OfferId, Preference, ServiceOffer, Trader, TraderFederation,
-    TradingPolicy,
+    Constraint, ImportRequest, LinkState, OfferId, Preference, QueryScope, ServiceOffer, Trader,
+    TraderFederation, TraderLink, TradingPolicy,
 };
 pub use trader_node::{RemoteTrader, TraderClientNode, TraderNode, TraderPdu};
 pub use transparency::{

@@ -8,8 +8,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use cscw_messaging::net::{Message, Node, NodeCtx, NodeId, Payload, Sim};
 use serde::{Deserialize, Serialize};
-use simnet::{Message, Node, NodeCtx, NodeId, Payload, Sim};
 
 use crate::error::OdpError;
 use crate::interface::InterfaceType;

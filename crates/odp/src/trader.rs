@@ -493,6 +493,101 @@ impl TraderFederation {
     }
 }
 
+/// Health of a trader-interworking link. Links degrade under platform
+/// faults and heal afterwards; a down link removes its target domain
+/// from federated query propagation without unlinking it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Queries propagate across the link.
+    Up,
+    /// The link is partitioned; queries fall back to local-only matches.
+    Down,
+}
+
+/// A directed interworking link between two trading *domains* — ODP's
+/// "linked traders". The federation layer owns a set of these; the odp
+/// crate owns the vocabulary so both ends speak the same types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraderLink {
+    /// The querying domain.
+    pub from: String,
+    /// The domain unmatched queries are forwarded to.
+    pub to: String,
+    /// Current link health.
+    pub state: LinkState,
+}
+
+impl TraderLink {
+    /// Creates an up link.
+    pub fn new(from: impl Into<String>, to: impl Into<String>) -> Self {
+        TraderLink {
+            from: from.into(),
+            to: to.into(),
+            state: LinkState::Up,
+        }
+    }
+
+    /// True when queries may cross.
+    pub fn is_up(&self) -> bool {
+        self.state == LinkState::Up
+    }
+}
+
+/// Scope control for one federated query: a hop budget plus the set of
+/// domains already consulted. Together they guarantee termination on
+/// arbitrary link graphs — cycles are cut by the visited set, long
+/// chains by the hop budget.
+#[derive(Debug, Clone)]
+pub struct QueryScope {
+    hops_left: u8,
+    visited: Vec<String>,
+}
+
+impl QueryScope {
+    /// A scope allowing at most `hops` link traversals beyond the
+    /// originating domain.
+    pub fn with_hop_limit(hops: u8) -> Self {
+        QueryScope {
+            hops_left: hops,
+            visited: Vec::new(),
+        }
+    }
+
+    /// Remaining hop budget.
+    pub fn hops_left(&self) -> u8 {
+        self.hops_left
+    }
+
+    /// Domains consulted so far, in visit order.
+    pub fn visited(&self) -> &[String] {
+        &self.visited
+    }
+
+    /// Records entry into `domain`.
+    ///
+    /// # Errors
+    ///
+    /// [`OdpError::FederationLoop`] when the domain was already
+    /// consulted within this query — the loop-suppression guarantee.
+    pub fn enter(&mut self, domain: &str) -> Result<(), OdpError> {
+        if self.visited.iter().any(|d| d == domain) {
+            return Err(OdpError::FederationLoop);
+        }
+        self.visited.push(domain.to_owned());
+        Ok(())
+    }
+
+    /// Consumes one hop of budget; `false` (budget exhausted) means the
+    /// query must not be forwarded any further.
+    pub fn descend(&mut self) -> bool {
+        if self.hops_left == 0 {
+            return false;
+        }
+        self.hops_left -= 1;
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,5 +817,25 @@ mod tests {
         assert!(fed
             .import_federated("ghost", &ImportRequest::any("printer"))
             .is_err());
+    }
+
+    #[test]
+    fn query_scope_cuts_loops_and_exhausts_hops() {
+        let mut scope = QueryScope::with_hop_limit(2);
+        scope.enter("a").unwrap();
+        scope.enter("b").unwrap();
+        assert!(matches!(scope.enter("a"), Err(OdpError::FederationLoop)));
+        assert_eq!(scope.visited(), ["a", "b"]);
+        assert!(scope.descend());
+        assert!(scope.descend());
+        assert!(!scope.descend(), "hop budget exhausted");
+    }
+
+    #[test]
+    fn trader_links_report_health() {
+        let mut link = TraderLink::new("a", "b");
+        assert!(link.is_up());
+        link.state = LinkState::Down;
+        assert!(!link.is_up());
     }
 }

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use cscw_kernel::Layer;
-use simnet::{Message, Node, NodeCtx, NodeId, Payload, Sim};
+use cscw_messaging::net::{Message, Node, NodeCtx, NodeId, Payload, Sim};
 
 use crate::error::OdpError;
 use crate::interface::InterfaceType;

@@ -23,8 +23,8 @@
 
 use std::collections::BTreeMap;
 
+use cscw_messaging::net::{NodeId, Sim};
 use serde::{Deserialize, Serialize};
-use simnet::{NodeId, Sim};
 
 use crate::error::OdpError;
 use crate::object::{InterfaceRef, Invoker, ObjectHost, ObjectId};

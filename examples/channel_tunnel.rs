@@ -11,13 +11,14 @@
 //! Run with: `cargo run --example channel_tunnel`
 
 use open_cscw::directory::Dn;
+use open_cscw::kernel::Timestamp;
 use open_cscw::messaging::{Ipm, MtaNode, OrAddress, SubmitOptions, UserAgent};
 use open_cscw::mocca::activity::{
     Activity, ActivityRole, ActivityState, DependencyKind, Monitor, Negotiation, NegotiationSubject,
 };
 use open_cscw::mocca::org::{OrgRule, Person, RelationKind, Role, RuleKind};
 use open_cscw::mocca::CscwEnvironment;
-use open_cscw::simnet::{LinkSpec, Sim, SimTime, TopologyBuilder};
+use open_cscw::simnet::{LinkSpec, Sim, TopologyBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- the two organisations and their people --------------------------
@@ -59,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- the programme of inter-related activities ------------------------
-    let t0 = SimTime::ZERO;
+    let t0 = Timestamp::ZERO;
     for (id, name, deadline_days) in [
         ("site-interviews", "Interviews at the boring sites", 10u64),
         (
@@ -71,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("monitoring", "Continuous progress monitoring", 365),
     ] {
         let mut a = Activity::new(id.into(), name);
-        a.deadline = Some(SimTime::from_secs(deadline_days * 86_400));
+        a.deadline = Some(Timestamp::from_secs(deadline_days * 86_400));
         env.create_activity(&alice, a, t0)?;
     }
     let acts = env.activities_mut();
@@ -184,7 +185,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.transition(ActivityState::Active)?;
         report.report_progress(10)?;
     }
-    let eleven_days = SimTime::from_secs(11 * 86_400);
+    let eleven_days = Timestamp::from_secs(11 * 86_400);
     let report = Monitor::report(env.activities(), eleven_days);
     println!("== monitoring at day 11:");
     for status in &report.statuses {

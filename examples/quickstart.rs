@@ -5,11 +5,11 @@
 //! Run with: `cargo run --example quickstart`
 
 use open_cscw::groupware;
+use open_cscw::kernel::Timestamp;
 use open_cscw::mocca::activity::{Activity, ActivityRole};
 use open_cscw::mocca::env::AppId;
 use open_cscw::mocca::org::{OrgRule, Person, RelationKind, Role, RuleKind};
 use open_cscw::mocca::CscwEnvironment;
-use open_cscw::simnet::SimTime;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An environment with the paper's defaults: all four CSCW
@@ -42,13 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     env.create_activity(
         &tom,
         Activity::new("joint-paper".into(), "Write the ICDCS paper"),
-        SimTime::ZERO,
+        Timestamp::ZERO,
     )?;
     env.join_activity(
         &wolfgang,
         &"joint-paper".into(),
         ActivityRole("author".into()),
-        SimTime::ZERO,
+        Timestamp::ZERO,
     )?;
     println!("activity created with {} member(s)", {
         env.activities()
@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let sketch = groupware::sample_artifact("sharedx")?;
-    let as_com = env.exchange(&tom, &sketch, &AppId::new("com"), SimTime::ZERO)?;
+    let as_com = env.exchange(&tom, &sketch, &AppId::new("com"), Timestamp::ZERO)?;
     println!("Shared X artifact arrived in COM vocabulary:");
     for (k, v) in &as_com.fields {
         println!("  {k} = {v}");

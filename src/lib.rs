@@ -14,6 +14,9 @@
 //! - [`messaging`] — X.400-style message transfer system.
 //! - [`odp`] — ODP engineering substrate (trader, binder, transparencies,
 //!   viewpoints).
+//! - [`federation`] — inter-environment federation (trader
+//!   interworking, anti-entropy knowledge replication, remote exchange
+//!   routing).
 //! - [`mocca`] — the CSCW environment itself (the paper's contribution).
 //! - [`groupware`] — example groupware applications covering the
 //!   time–space matrix.
@@ -22,6 +25,7 @@
 //! inventory and per-experiment index.
 
 pub use cscw_directory as directory;
+pub use cscw_federation as federation;
 pub use cscw_kernel as kernel;
 pub use cscw_messaging as messaging;
 pub use groupware;

@@ -159,7 +159,7 @@ impl Storm {
         let degraded_before = self.degraded_total();
         self.exchanges += 1;
         let artifact = sample_artifact("sharedx").unwrap();
-        let at = self.sim_platform().sim().now();
+        let at = self.sim_platform().sim().now().into();
         match self
             .env
             .exchange(&dn("cn=Tom"), &artifact, &AppId::new("com"), at)

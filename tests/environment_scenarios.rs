@@ -6,13 +6,13 @@ use open_cscw::directory::Dn;
 use open_cscw::groupware::{
     descriptor_for, direct_adapter, mapping_for, sample_artifact, APP_POPULATION,
 };
+use open_cscw::kernel::Timestamp;
 use open_cscw::mocca::activity::{Activity, ActivityRole};
 use open_cscw::mocca::env::{AppId, EnvEvent};
 use open_cscw::mocca::info::{AccessRight, InfoContent, InfoObject};
 use open_cscw::mocca::org::{OrgRule, Person, RelationKind, Role, RuleKind};
 use open_cscw::mocca::transparency::{CscwTransparencySelection, View};
 use open_cscw::mocca::{CscwEnvironment, LocalPlatform, MoccaError, SimPlatform};
-use open_cscw::simnet::SimTime;
 
 fn dn(s: &str) -> Dn {
     s.parse().unwrap()
@@ -68,7 +68,7 @@ fn whole_population_interoperates_with_one_registration_each_scenario(mut env: C
                 continue;
             }
             let artifact = sample_artifact(from).unwrap();
-            let out = env.exchange(&dn("cn=Tom"), &artifact, &AppId::new(to), SimTime::ZERO);
+            let out = env.exchange(&dn("cn=Tom"), &artifact, &AppId::new(to), Timestamp::ZERO);
             assert!(out.is_ok(), "{from}->{to} failed: {:?}", out.err());
             exchanges += 1;
         }
@@ -111,7 +111,7 @@ fn closed_world_partial_wiring_fails_where_hub_succeeds_scenario(mut env: CscwEn
             &dn("cn=Tom"),
             &sample_artifact("com").unwrap(),
             &AppId::new("sharedx"),
-            SimTime::ZERO
+            Timestamp::ZERO
         )
         .is_ok());
 }
@@ -127,20 +127,20 @@ fn activity_transparency_ablation_changes_disturbance_not_relevance_scenario(
     env.create_activity(
         &dn("cn=Tom"),
         Activity::new("report".into(), "r"),
-        SimTime::ZERO,
+        Timestamp::ZERO,
     )
     .unwrap();
     env.create_activity(
         &dn("cn=Tom"),
         Activity::new("boring".into(), "b"),
-        SimTime::ZERO,
+        Timestamp::ZERO,
     )
     .unwrap();
     env.join_activity(
         &dn("cn=Wolfgang"),
         &"report".into(),
         ActivityRole("w".into()),
-        SimTime::ZERO,
+        Timestamp::ZERO,
     )
     .unwrap();
 
@@ -148,7 +148,7 @@ fn activity_transparency_ablation_changes_disturbance_not_relevance_scenario(
     let make_event = |kind: &str, act: &str| EnvEvent {
         kind: kind.to_owned(),
         activity: Some(act.into()),
-        at: SimTime::ZERO,
+        at: Timestamp::ZERO,
         payload: InfoContent::Text(kind.to_owned()),
     };
     env.bus_mut().publish(make_event("e1", "report"));
@@ -182,7 +182,7 @@ fn view_transparency_ablation_controls_personal_views_scenario(mut env: CscwEnvi
             InfoContent::fields([("title", "Report"), ("budget", "classified")]),
         ),
         None,
-        SimTime::ZERO,
+        Timestamp::ZERO,
     )
     .unwrap();
     env.repository_mut()
@@ -313,7 +313,7 @@ fn non_cscw_application_scenario(mut env: CscwEnvironment) {
         ],
     );
     let as_com = env
-        .exchange(&dn("cn=Tom"), &doc, &AppId::new("com"), SimTime::ZERO)
+        .exchange(&dn("cn=Tom"), &doc, &AppId::new("com"), Timestamp::ZERO)
         .unwrap();
     assert_eq!(
         as_com.fields.get("subject").map(String::as_str),

@@ -6,11 +6,12 @@
 
 use open_cscw::directory::Dn;
 use open_cscw::groupware::{descriptor_for, mapping_for, MeetingRoom};
+use open_cscw::kernel::Timestamp;
 use open_cscw::messaging::{MtaNode, OrAddress, UserAgent};
 use open_cscw::mocca::env::{AppId, NativeArtifact};
 use open_cscw::mocca::tailor::{EventPattern, RuleAction, TailorRule};
 use open_cscw::mocca::CscwEnvironment;
-use open_cscw::simnet::{LinkSpec, Sim, SimTime, TopologyBuilder};
+use open_cscw::simnet::{LinkSpec, Sim, TopologyBuilder};
 
 fn dn(s: &str) -> Dn {
     s.parse().unwrap()
@@ -52,7 +53,7 @@ fn meeting_minutes_reach_the_conferencing_system_via_the_hub() {
 
     // The hub hands them to the different-time/different-place world.
     let as_com = env
-        .exchange(&dn("cn=Tom"), &minutes, &AppId::new("com"), SimTime::ZERO)
+        .exchange(&dn("cn=Tom"), &minutes, &AppId::new("com"), Timestamp::ZERO)
         .unwrap();
     assert_eq!(
         as_com.fields.get("subject").map(String::as_str),

@@ -9,11 +9,11 @@
 //! layer, appearing top-down in order.
 
 use open_cscw::kernel::Layer;
+use open_cscw::kernel::Timestamp;
 use open_cscw::messaging::OrAddress;
 use open_cscw::mocca::env::AppId;
 use open_cscw::mocca::org::{Person, Role};
 use open_cscw::mocca::{CscwEnvironment, SimPlatform};
-use open_cscw::simnet::SimTime;
 
 use open_cscw::directory::Dn;
 use open_cscw::groupware::{descriptor_for, mapping_for, sample_artifact};
@@ -43,8 +43,13 @@ fn one_exchange_touches_every_layer_of_the_figure4_stack() {
     env.telemetry().clear();
 
     let artifact = sample_artifact("sharedx").unwrap();
-    env.exchange(&dn("cn=Tom"), &artifact, &AppId::new("com"), SimTime::ZERO)
-        .unwrap();
+    env.exchange(
+        &dn("cn=Tom"),
+        &artifact,
+        &AppId::new("com"),
+        Timestamp::ZERO,
+    )
+    .unwrap();
 
     let telemetry = env.telemetry().clone();
     let layers = telemetry.layers_seen();
@@ -107,8 +112,13 @@ fn local_platform_stays_off_the_network() {
     }
     env.telemetry().clear();
     let artifact = sample_artifact("sharedx").unwrap();
-    env.exchange(&dn("cn=Tom"), &artifact, &AppId::new("com"), SimTime::ZERO)
-        .unwrap();
+    env.exchange(
+        &dn("cn=Tom"),
+        &artifact,
+        &AppId::new("com"),
+        Timestamp::ZERO,
+    )
+    .unwrap();
 
     let layers = env.telemetry().layers_seen();
     assert!(
