@@ -1,0 +1,146 @@
+//! Experiment FS — federation scaling under the event-driven runtime.
+//!
+//! Sweeps N ∈ {8, 32, 64, 128} sites over four link-graph families
+//! (ring, star, seeded-random, partitioned-islands-that-heal), seeds
+//! 1–3, converging each cell with `run_until_converged` — no
+//! hand-cranked `gossip_round`/`pump` anywhere. Also measures the
+//! local-vs-remote exchange latency toll from experiment F3-fed.
+//!
+//! Writes the machine-readable sweep to `BENCH_fed_scale.json` at the
+//! workspace root and prints the paper-facing table to stdout.
+//! `--smoke` restricts the sweep to the 32-site column, seed 1 (the CI
+//! `federation-scale` job).
+
+use std::time::Instant;
+
+use cscw_bench::fed_scale::{self, SHAPES, SITE_COUNTS};
+use cscw_directory::Dn;
+use cscw_federation::RuntimeConfig;
+use cscw_kernel::Timestamp;
+use groupware::{descriptor_for, mapping_for, sample_artifact};
+use mocca::env::AppId;
+use mocca::federation::FederatedEnvironments;
+use mocca::CscwEnvironment;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+const LATENCY_ITERS: u32 = 200;
+
+fn site(apps: &[&str]) -> CscwEnvironment {
+    let mut env = CscwEnvironment::new();
+    for app in apps {
+        env.register_app(
+            descriptor_for(app).expect("population app"),
+            mapping_for(app).expect("population mapping"),
+        );
+    }
+    env
+}
+
+/// Wall-clock micros per local exchange and per remote
+/// (resolve + route + pump) exchange.
+fn exchange_latency() -> (u64, u64) {
+    let tom: Dn = "cn=Tom".parse().expect("fixture dn");
+    let artifact = sample_artifact("sharedx").expect("fixture artifact");
+
+    let mut local = site(&["sharedx", "com"]);
+    let start = Instant::now();
+    for _ in 0..LATENCY_ITERS {
+        local
+            .exchange(&tom, &artifact, &AppId::new("com"), Timestamp::ZERO)
+            .expect("local exchange");
+    }
+    let local_micros = start.elapsed().as_micros() as u64 / u64::from(LATENCY_ITERS);
+
+    let mut fed = FederatedEnvironments::new();
+    fed.federate("env-a", site(&["sharedx"]));
+    fed.federate("env-b", site(&["com"]));
+    fed.link_bidi("env-a", "env-b");
+    let start = Instant::now();
+    for _ in 0..LATENCY_ITERS {
+        fed.env_mut("env-a")
+            .expect("env-a")
+            .exchange(&tom, &artifact, &AppId::new("com"), Timestamp::ZERO)
+            .expect("remote exchange");
+        fed.pump().expect("pump");
+    }
+    let remote_micros = start.elapsed().as_micros() as u64 / u64::from(LATENCY_ITERS);
+    (local_micros, remote_micros)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (counts, seeds): (&[usize], &[u64]) = if smoke {
+        (&[32], &[1])
+    } else {
+        (&SITE_COUNTS, &SEEDS)
+    };
+
+    let mut cells = Vec::new();
+    println!("fed_scale: shape    sites seed rounds  sim_ms   KiB-on-wire wall-ms");
+    for &shape in &SHAPES {
+        let mut fingerprints: Vec<(usize, String)> = Vec::new();
+        for &n in counts {
+            for &seed in seeds {
+                let start = Instant::now();
+                let r = fed_scale::run(shape, n, seed).expect("scale cell");
+                let wall_micros = start.elapsed().as_micros() as u64;
+                assert!(r.converged, "cell must converge: {r:?}");
+                // Bit-for-bit determinism across seeds: the converged
+                // state is the same no matter the schedule's phases.
+                if let Some((_, fp)) = fingerprints.iter().find(|(m, _)| *m == n) {
+                    assert_eq!(*fp, r.fingerprint, "{} n={n}", shape.name());
+                } else {
+                    fingerprints.push((n, r.fingerprint.clone()));
+                }
+                println!(
+                    "fed_scale: {:8} {:5} {:4} {:6} {:7} {:11} {:7}",
+                    r.shape,
+                    r.sites,
+                    r.seed,
+                    r.rounds,
+                    r.sim_micros / 1_000,
+                    r.bytes_on_wire / 1024,
+                    wall_micros / 1_000,
+                );
+                cells.push(format!(
+                    "{},\"wall_micros\":{}}}",
+                    r.to_json().trim_end_matches('}'),
+                    wall_micros
+                ));
+            }
+        }
+    }
+
+    let (local_micros, remote_micros) = exchange_latency();
+    println!(
+        "fed_scale: exchange latency local {local_micros} us, remote {remote_micros} us \
+         ({LATENCY_ITERS} iterations)"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"fed_scale\",\n",
+            "  \"generated_by\": \"cargo bench -p cscw-bench --bench fed_scale\",\n",
+            "  \"smoke\": {},\n",
+            "  \"gossip_period_micros\": {},\n",
+            "  \"seeds\": [1, 2, 3],\n",
+            "  \"exchange_latency\": {{\"local_wall_micros\": {}, ",
+            "\"remote_wall_micros\": {}, \"iterations\": {}}},\n",
+            "  \"cells\": [\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        smoke,
+        RuntimeConfig::seeded(1).gossip_period_micros,
+        local_micros,
+        remote_micros,
+        LATENCY_ITERS,
+        cells.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fed_scale.json");
+    std::fs::write(path, json).expect("write BENCH_fed_scale.json");
+    println!(
+        "fed_scale: wrote {} cells to BENCH_fed_scale.json",
+        cells.len()
+    );
+}

@@ -1,0 +1,247 @@
+//! N-site federation scaling — the event-driven runtime under load.
+//!
+//! Builders and the measured experiment behind `BENCH_fed_scale.json`:
+//! N ∈ {8, 32, 64, 128} sites on four link-graph families (ring, star,
+//! seeded-random, partitioned-islands-that-heal), each converged with
+//! [`FederatedEnvironments::run_until_converged`] — no hand-cranked
+//! `pump` / `gossip_round` anywhere. Everything is deterministic per
+//! `(shape, n, seed)`: the random graph's edges, every site's jittered
+//! gossip phase, the islands' scheduled heal, and therefore the
+//! convergence instant and the bytes shipped.
+
+use cscw_directory::Dn;
+use cscw_federation::RuntimeConfig;
+use cscw_kernel::Timestamp;
+use mocca::federation::{ConvergenceReport, FederatedEnvironments};
+use mocca::info::{InfoContent, InfoObject, InfoObjectId};
+use mocca::{CscwEnvironment, MoccaError};
+use odp::LinkState;
+use simnet::shapes;
+
+/// When scheduled island bridges heal (2 simulated seconds).
+pub const ISLANDS_HEAL_AT_MICROS: u64 = 2_000_000;
+
+/// Simulated-time budget for a convergence run (2 simulated minutes —
+/// a 128-site ring needs ~64 gossip periods of 250 ms).
+pub const MAX_SIM_MICROS: u64 = 120_000_000;
+
+/// A federation link-graph family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Bidirectional ring: diameter N/2, two links per site.
+    Ring,
+    /// Hub-and-spokes: diameter 2, the hub carries everything.
+    Star,
+    /// Random connected graph (spanning tree + extra chords), seeded.
+    Random,
+    /// Internally-ringed islands whose bridges start partitioned and
+    /// heal at a scheduled instant ([`ISLANDS_HEAL_AT_MICROS`]).
+    Islands,
+}
+
+/// Every shape the scaling experiment sweeps.
+pub const SHAPES: [Shape; 4] = [Shape::Ring, Shape::Star, Shape::Random, Shape::Islands];
+
+/// Site counts the scaling experiment sweeps.
+pub const SITE_COUNTS: [usize; 4] = [8, 32, 64, 128];
+
+impl Shape {
+    /// Stable name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Ring => "ring",
+            Shape::Star => "star",
+            Shape::Random => "random",
+            Shape::Islands => "islands",
+        }
+    }
+}
+
+fn domain(i: usize) -> String {
+    format!("site-{i:03}")
+}
+
+fn island_count(n: usize) -> usize {
+    (n / 16).max(2)
+}
+
+/// An N-site federation on `shape`, each site seeded with one distinct
+/// knowledge object. Island bridges start `Down` with their heal
+/// scheduled on the runtime (started under `seed`), so the whole
+/// scenario — including the partition's repair — is event-driven.
+///
+/// # Errors
+///
+/// [`MoccaError`] if a fixture name fails to parse or a seeded object
+/// cannot be stored.
+pub fn build(shape: Shape, n: usize, seed: u64) -> Result<FederatedEnvironments, MoccaError> {
+    let mut fed = FederatedEnvironments::new();
+    for i in 0..n {
+        fed.federate(domain(i), CscwEnvironment::new());
+    }
+    let edges = match shape {
+        Shape::Ring => shapes::ring(n),
+        Shape::Star => shapes::star(n),
+        Shape::Random => shapes::random(n, n / 4, seed),
+        Shape::Islands => {
+            let isl = shapes::islands(island_count(n), n / island_count(n));
+            // Intra-island rings come up immediately; bridges start
+            // partitioned and heal at a scheduled runtime event.
+            for (a, b) in &isl.intra {
+                fed.link_bidi(&domain(*a), &domain(*b));
+            }
+            fed.start_runtime(RuntimeConfig::seeded(seed));
+            for (a, b) in &isl.bridges {
+                let (da, db) = (domain(*a), domain(*b));
+                fed.link_bidi(&da, &db);
+                fed.set_link_state(&da, &db, LinkState::Down);
+                fed.set_link_state(&db, &da, LinkState::Down);
+                let heal = Timestamp::from_micros(ISLANDS_HEAL_AT_MICROS);
+                fed.schedule_link_change(heal, &da, &db, LinkState::Up);
+                fed.schedule_link_change(heal, &db, &da, LinkState::Up);
+            }
+            Vec::new()
+        }
+    };
+    for (a, b) in edges {
+        fed.link_bidi(&domain(a), &domain(b));
+    }
+    let author: Dn = "cn=Scale".parse()?;
+    for i in 0..n {
+        if let Some(env) = fed.env_mut(&domain(i)) {
+            env.store_object(
+                InfoObject::new(
+                    InfoObjectId::new(format!("doc-{i:03}")),
+                    "note",
+                    author.clone(),
+                    InfoContent::Text(format!("seeded at site {i}")),
+                ),
+                None,
+                Timestamp::ZERO,
+            )?;
+        }
+    }
+    Ok(fed)
+}
+
+/// One measured cell of the scaling sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleResult {
+    /// Link-graph family name.
+    pub shape: &'static str,
+    /// Number of federated sites.
+    pub sites: usize,
+    /// Seed the run derived all phases and graphs from.
+    pub seed: u64,
+    /// Whether every replica converged within [`MAX_SIM_MICROS`].
+    pub converged: bool,
+    /// Simulated microseconds to convergence.
+    pub sim_micros: u64,
+    /// Gossip periods elapsed (convergence rounds).
+    pub rounds: u64,
+    /// Gossip pulses handled.
+    pub gossip_pulses: usize,
+    /// Replica updates applied across all receivers.
+    pub updates_applied: usize,
+    /// Encoded gossip-frame bytes shipped over transports.
+    pub bytes_on_wire: u64,
+    /// Hex digest of the converged replica fingerprint (identical
+    /// across seeds; the raw fingerprint is multi-line text).
+    pub fingerprint: String,
+}
+
+/// FNV-1a 64-bit — a stable, dependency-free digest for fingerprints.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Builds and converges one `(shape, n, seed)` cell.
+///
+/// # Errors
+///
+/// As [`build`]; also any delivery error during the run.
+pub fn run(shape: Shape, n: usize, seed: u64) -> Result<ScaleResult, MoccaError> {
+    let mut fed = build(shape, n, seed)?;
+    let report: ConvergenceReport = fed.run_until_converged(seed, MAX_SIM_MICROS)?;
+    let gossip_period = RuntimeConfig::seeded(seed).gossip_period_micros;
+    Ok(ScaleResult {
+        shape: shape.name(),
+        sites: n,
+        seed,
+        converged: report.converged,
+        sim_micros: report.sim_micros,
+        rounds: report.sim_micros / gossip_period,
+        gossip_pulses: report.activity.gossip_pulses,
+        updates_applied: report.activity.updates_applied,
+        bytes_on_wire: report.activity.bytes_on_wire,
+        fingerprint: format!(
+            "{:016x}",
+            fnv1a(&fed.fingerprints().into_values().next().unwrap_or_default())
+        ),
+    })
+}
+
+impl ScaleResult {
+    /// The cell as one JSON object (hand-rolled: every field is a
+    /// number, bool or identifier-safe string).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"shape\":\"{}\",\"sites\":{},\"seed\":{},",
+                "\"converged\":{},\"sim_micros\":{},\"rounds\":{},",
+                "\"gossip_pulses\":{},\"updates_applied\":{},",
+                "\"bytes_on_wire\":{},\"fingerprint\":\"{}\"}}"
+            ),
+            self.shape,
+            self.sites,
+            self.seed,
+            self.converged,
+            self.sim_micros,
+            self.rounds,
+            self.gossip_pulses,
+            self.updates_applied,
+            self.bytes_on_wire,
+            self.fingerprint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_cell_converges_and_replays_per_seed() {
+        let a = run(Shape::Ring, 8, 1).expect("run");
+        assert!(a.converged);
+        assert!(a.bytes_on_wire > 0);
+        let b = run(Shape::Ring, 8, 1).expect("run");
+        assert_eq!(a, b, "same cell must replay bit-for-bit");
+        let c = run(Shape::Ring, 8, 2).expect("run");
+        assert_eq!(a.fingerprint, c.fingerprint, "state is seed-independent");
+    }
+
+    #[test]
+    fn islands_heal_then_converge() {
+        let r = run(Shape::Islands, 8, 1).expect("run");
+        assert!(r.converged);
+        assert!(
+            r.sim_micros > ISLANDS_HEAL_AT_MICROS,
+            "cannot converge before the bridges heal: {r:?}"
+        );
+    }
+
+    #[test]
+    fn json_cell_is_wellformed() {
+        let r = run(Shape::Star, 8, 1).expect("run");
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"shape\":\"star\""));
+        assert!(json.contains("\"converged\":true"));
+    }
+}

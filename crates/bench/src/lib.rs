@@ -12,6 +12,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fed_scale;
+
 use cscw_directory::{Attribute, DirectoryError, Dit, Entry};
 use cscw_messaging::{MtaNode, MtsError, OrAddress, UserAgent};
 use groupware::{descriptor_for, mapping_for, GroupwareError};

@@ -296,9 +296,33 @@ impl FederationFabric {
         Ok(applied)
     }
 
-    /// Expires stale trader cache entries at `now`.
-    pub fn expire_offer_cache(&self, now: Timestamp) {
-        self.inner.lock().trader.expire_cache(now);
+    /// Expires stale trader cache entries at `now`; returns how many
+    /// were dropped.
+    pub fn expire_offer_cache(&self, now: Timestamp) -> usize {
+        let mut inner = self.inner.lock();
+        let expired = inner.trader.expire_cache(now);
+        if expired > 0 {
+            inner
+                .telemetry
+                .add(Layer::Federation, "federation.ttl.expired", expired as u64);
+        }
+        expired
+    }
+
+    /// Remote offers currently cached by the federated trader (fresh
+    /// or stale).
+    pub fn offer_cache_len(&self) -> usize {
+        self.inner.lock().trader.cache_len()
+    }
+
+    /// Total deliveries queued but not yet pumped, across all domains.
+    pub fn pending_inbound(&self) -> usize {
+        self.inner
+            .lock()
+            .domains
+            .values()
+            .map(|s| s.inbound.len())
+            .sum()
     }
 
     /// A domain's replica fingerprint (empty string for unknown

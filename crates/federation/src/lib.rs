@@ -22,6 +22,12 @@
 //!   routes the artifact (lowered to the common information model) to
 //!   the hosting environment.
 //!
+//! All three are *driven* by a fourth piece, the event-driven
+//! [`FederationRuntime`]: gossip rounds, offer-TTL expiry and delivery
+//! pumping are scheduled events on the kernel's deterministic queue,
+//! one jittered periodic timer set per site, so federations of 100+
+//! sites run without any hand-cranked coordinator loop.
+//!
 //! In the Figure-4 stack the federation layer sits between the ODP
 //! functions and the environment: it is built *from* odp + messaging
 //! vocabulary and consumed *by* the environment through the
@@ -34,10 +40,12 @@ pub mod clock;
 pub mod error;
 pub mod fabric;
 pub mod replica;
+pub mod runtime;
 pub mod trader;
 
 pub use clock::{ClockOrder, VectorClock};
 pub use error::FederationError;
 pub use fabric::{DomainPort, FederationFabric, FederationPort, RemoteDelivery};
 pub use replica::{ReplEntry, ReplicatedStore};
+pub use runtime::{FedEvent, FederationRuntime, Pulse, RuntimeConfig};
 pub use trader::{FederatedTrader, Resolution, ResolutionSource, DEFAULT_HOP_LIMIT};

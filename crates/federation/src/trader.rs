@@ -122,11 +122,14 @@ impl FederatedTrader {
         self.cache.len()
     }
 
-    /// Drops cache entries older than the TTL at `now`.
-    pub fn expire_cache(&mut self, now: Timestamp) {
+    /// Drops cache entries older than the TTL at `now`; returns how
+    /// many were dropped.
+    pub fn expire_cache(&mut self, now: Timestamp) -> usize {
         let ttl = self.ttl_micros;
+        let before = self.cache.len();
         self.cache
             .retain(|_, slot| now.micros_since(slot.cached_at) < ttl);
+        before - self.cache.len()
     }
 
     /// Resolves the domain advertising `app`, querying `advertised`
@@ -269,7 +272,8 @@ mod tests {
             .resolve("a", "com", &advertised, Timestamp::from_micros(200))
             .unwrap_err();
         assert!(matches!(err, FederationError::Partitioned(_)));
-        t.expire_cache(Timestamp::from_micros(200));
+        // The stale resolve above already evicted the entry.
+        assert_eq!(t.expire_cache(Timestamp::from_micros(200)), 0);
         assert_eq!(t.cache_len(), 0);
     }
 

@@ -20,6 +20,11 @@
 //!   failure-transparency policy mechanics platforms apply at their
 //!   port boundaries; jitter comes from [`SeededRng`], so resilience
 //!   never costs reproducibility.
+//! * [`EventQueue`] / [`Periodic`] — the deterministic discrete-event
+//!   scheduling core (time-ordered events, recurring schedules with
+//!   seeded jittered phases). `simnet` drives its network model with
+//!   it; the federation layer drives gossip, TTL expiry and delivery
+//!   pumping with it.
 //!
 //! The kernel sits **below** `simnet`: it knows nothing about nodes,
 //! topologies or simulated time types. [`Timestamp`] is the shared
@@ -33,6 +38,7 @@ mod clock;
 mod error;
 mod resilience;
 mod rng;
+mod sched;
 mod telemetry;
 mod time;
 
@@ -40,5 +46,6 @@ pub use clock::{Clock, ManualClock, WallClock};
 pub use error::{ErrorClass, KernelError, LayerError};
 pub use resilience::{BreakerState, CircuitBreaker, Deadline, RetryPolicy};
 pub use rng::SeededRng;
+pub use sched::{EventQueue, Periodic};
 pub use telemetry::{HistogramSummary, Layer, Telemetry, TelemetryEvent};
 pub use time::Timestamp;

@@ -1,0 +1,298 @@
+//! Deterministic event scheduling — the substrate's discrete-event core.
+//!
+//! This module generalises the `Event`/`BinaryHeap` machinery that grew
+//! inside `simnet`'s event loop into a reusable scheduler any layer can
+//! build on: a time-ordered [`EventQueue`] with strict `(time, sequence)`
+//! ordering, and [`Periodic`] descriptors for recurring events with
+//! seeded, jittered phases. `simnet` drives its network model with it;
+//! the federation layer drives anti-entropy gossip, offer-TTL expiry and
+//! delivery pumping with it — each site behaves like an autonomous
+//! RM-ODP engineering-viewpoint channel that *reacts* to scheduled
+//! events instead of waiting for a coordinator to hand-crank it.
+//!
+//! Determinism contract: events pop in `(at, seq)` order where `seq` is
+//! the enqueue sequence, so two runs that schedule the same events in
+//! the same order replay identically. All jitter flows from
+//! [`SeededRng`](crate::SeededRng), never from wall time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::rng::SeededRng;
+use crate::time::Timestamp;
+
+struct Scheduled<E> {
+    at: Timestamp,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    // BinaryHeap is a max-heap; invert so the earliest event pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events scheduled for the same instant pop in the order they were
+/// scheduled. The queue tracks the time of the last popped event as its
+/// notion of *now*; time never runs backwards (events scheduled in the
+/// past fire "now").
+///
+/// # Examples
+///
+/// ```
+/// use cscw_kernel::{EventQueue, Timestamp};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(Timestamp::from_millis(5), "later");
+/// q.schedule(Timestamp::from_millis(1), "sooner");
+/// assert_eq!(q.pop(), Some((Timestamp::from_millis(1), "sooner")));
+/// assert_eq!(q.pop(), Some((Timestamp::from_millis(5), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Timestamp,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Timestamp::ZERO,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`. An `at` earlier than
+    /// the current time is clamped to *now* (events cannot fire in the
+    /// past).
+    pub fn schedule(&mut self, at: Timestamp, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            at: at.max(self.now),
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` `delay_micros` after the queue's current time.
+    pub fn schedule_after(&mut self, delay_micros: u64, event: E) {
+        self.schedule(self.now + delay_micros, event);
+    }
+
+    /// Pops the earliest event, advancing the queue's clock to it.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "time must not run backwards");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_at(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// The queue's current time: the time of the last popped event.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Advances the clock to `at` without popping (no-op when `at` is
+    /// in the past).
+    pub fn advance_to(&mut self, at: Timestamp) {
+        self.now = self.now.max(at);
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+/// A recurring schedule: a fixed period plus a per-instance phase
+/// offset, so N peers on the same period do not all fire at the same
+/// instant (the thundering-herd shape a central coordinator produces).
+///
+/// The phase is drawn deterministically from a seed and an index:
+/// identical `(seed, index)` pairs always produce the same phase, so
+/// whole-federation runs replay bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Periodic {
+    period_micros: u64,
+    phase_micros: u64,
+}
+
+impl Periodic {
+    /// A schedule firing every `period_micros`, first at `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_micros` is zero.
+    pub fn every(period_micros: u64) -> Self {
+        assert!(period_micros > 0, "period must be positive");
+        Periodic {
+            period_micros,
+            phase_micros: 0,
+        }
+    }
+
+    /// A schedule with a deterministic jittered phase in
+    /// `[0, period)`, derived from `(seed, index)`. Peers sharing a
+    /// seed but holding distinct indices spread out over the period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_micros` is zero.
+    pub fn jittered(period_micros: u64, seed: u64, index: u64) -> Self {
+        assert!(period_micros > 0, "period must be positive");
+        let mut rng = SeededRng::seed_from(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Periodic {
+            period_micros,
+            phase_micros: rng.below(period_micros),
+        }
+    }
+
+    /// The period in microseconds.
+    pub fn period_micros(&self) -> u64 {
+        self.period_micros
+    }
+
+    /// The phase offset in microseconds.
+    pub fn phase_micros(&self) -> u64 {
+        self.phase_micros
+    }
+
+    /// The first firing time at or after `Timestamp::ZERO`: the phase
+    /// offset itself.
+    pub fn first(&self) -> Timestamp {
+        Timestamp::from_micros(self.phase_micros)
+    }
+
+    /// The next firing time strictly after `now` on this schedule's
+    /// `phase + k * period` grid.
+    pub fn next_after(&self, now: Timestamp) -> Timestamp {
+        let now = now.as_micros();
+        let phase = self.phase_micros;
+        if now < phase {
+            return Timestamp::from_micros(phase);
+        }
+        let elapsed = now - phase;
+        let k = elapsed / self.period_micros + 1;
+        Timestamp::from_micros(phase + k * self.period_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_micros(10), "b");
+        q.schedule(Timestamp::from_micros(5), "a");
+        q.schedule(Timestamp::from_micros(10), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_micros(10), 1u32);
+        q.pop();
+        q.schedule(Timestamp::from_micros(3), 2u32);
+        let (at, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(at, Timestamp::from_micros(10), "clamped to now");
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_micros(100), "first");
+        q.pop();
+        q.schedule_after(50, "second");
+        assert_eq!(q.peek_at(), Some(Timestamp::from_micros(150)));
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(Timestamp::from_micros(100));
+        q.advance_to(Timestamp::from_micros(40));
+        assert_eq!(q.now(), Timestamp::from_micros(100));
+    }
+
+    #[test]
+    fn periodic_grid_is_phase_plus_k_periods() {
+        let p = Periodic::every(100);
+        assert_eq!(p.first(), Timestamp::ZERO);
+        assert_eq!(p.next_after(Timestamp::ZERO), Timestamp::from_micros(100));
+        assert_eq!(
+            p.next_after(Timestamp::from_micros(100)),
+            Timestamp::from_micros(200)
+        );
+        assert_eq!(
+            p.next_after(Timestamp::from_micros(150)),
+            Timestamp::from_micros(200)
+        );
+    }
+
+    #[test]
+    fn jittered_phase_is_deterministic_and_bounded() {
+        for index in 0..32 {
+            let a = Periodic::jittered(1_000, 7, index);
+            let b = Periodic::jittered(1_000, 7, index);
+            assert_eq!(a, b, "same (seed, index) must reproduce the phase");
+            assert!(a.phase_micros() < 1_000);
+        }
+        // Distinct indices spread: not all phases identical.
+        let phases: std::collections::BTreeSet<u64> = (0..32)
+            .map(|i| Periodic::jittered(1_000, 7, i).phase_micros())
+            .collect();
+        assert!(phases.len() > 1, "jitter must spread peers out");
+    }
+
+    #[test]
+    fn jittered_first_fire_precedes_one_period() {
+        let p = Periodic::jittered(1_000, 3, 5);
+        assert!(p.first() < Timestamp::from_micros(1_000));
+        let next = p.next_after(p.first());
+        assert_eq!(next - p.first(), 1_000);
+    }
+}

@@ -67,7 +67,7 @@ mod payload;
 mod rng;
 pub mod sim;
 mod time;
-mod topology;
+pub mod topology;
 mod trace;
 
 pub use id::{MessageId, NodeId, TimerId};
@@ -76,5 +76,5 @@ pub use payload::Payload;
 pub use rng::SimRng;
 pub use sim::{FaultAction, Message, Node, NodeCtx, Sim, DEFAULT_MESSAGE_SIZE};
 pub use time::{SimDuration, SimTime};
-pub use topology::{LinkSpec, Topology, TopologyBuilder};
+pub use topology::{shapes, IslandPlan, LinkSpec, Topology, TopologyBuilder};
 pub use trace::{DropReason, Trace, TraceEvent, TraceKind};

@@ -21,10 +21,9 @@
 //!    link's loss probability fires. Messages in flight when a partition
 //!    starts are therefore lost, like a broken connection.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
-use cscw_kernel::{Layer, ManualClock, Telemetry};
+use cscw_kernel::{EventQueue, Layer, ManualClock, Telemetry};
 
 use crate::id::{MessageId, NodeId, TimerId};
 use crate::metrics::Metrics;
@@ -109,28 +108,11 @@ enum EventKind {
     Fault(FaultAction),
 }
 
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    // BinaryHeap is a max-heap; invert so the earliest event pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+/// A periodic timer's recurrence: how to re-arm it each time it fires.
+#[derive(Debug, Clone, Copy)]
+struct PeriodicSpec {
+    period: SimDuration,
+    jitter: SimDuration,
 }
 
 /// Everything a node handler may touch while running.
@@ -171,10 +153,34 @@ impl NodeCtx<'_> {
         self.core.set_timer(self.node, delay, tag)
     }
 
-    /// Cancels a pending timer. Cancelling an already-fired or unknown
-    /// timer is a no-op.
+    /// Arms a periodic timer firing every `period` from now; `tag` is
+    /// echoed to [`Node::on_timer`] on every firing. The timer re-arms
+    /// itself after each firing until cancelled — the node behaves as
+    /// an autonomous channel rather than waiting for an external
+    /// driver. A crash silences it (the volatile clock is lost);
+    /// [`Node::on_restart`] is the place to re-arm.
+    pub fn set_periodic_timer(&mut self, period: SimDuration, tag: u64) -> TimerId {
+        self.set_periodic_timer_jittered(period, SimDuration::ZERO, tag)
+    }
+
+    /// Arms a periodic timer whose inter-fire delay is
+    /// `period + U[0, jitter]`, drawn from this node's private seeded
+    /// stream — N peers on the same period de-phase deterministically.
+    pub fn set_periodic_timer_jittered(
+        &mut self,
+        period: SimDuration,
+        jitter: SimDuration,
+        tag: u64,
+    ) -> TimerId {
+        self.core
+            .set_periodic_timer(self.node, PeriodicSpec { period, jitter }, tag)
+    }
+
+    /// Cancels a pending timer (one-shot or periodic). Cancelling an
+    /// already-fired or unknown timer is a no-op.
     pub fn cancel_timer(&mut self, timer: TimerId) {
         self.core.cancelled_timers.insert(timer);
+        self.core.periodic_timers.remove(&timer);
     }
 
     /// This node's private deterministic random stream.
@@ -210,12 +216,15 @@ impl NodeCtx<'_> {
 
 struct Core {
     topology: Topology,
-    queue: BinaryHeap<Event>,
+    /// The kernel's deterministic scheduler: `simnet`'s event loop is a
+    /// client of the same `(time, sequence)`-ordered queue the layers
+    /// above use for their own scheduled behaviour.
+    queue: EventQueue<EventKind>,
     now: SimTime,
     next_msg: u64,
     next_timer: u64,
-    next_seq: u64,
     cancelled_timers: HashSet<TimerId>,
+    periodic_timers: HashMap<TimerId, (NodeId, u64, PeriodicSpec)>,
     link_busy_until: HashMap<(NodeId, NodeId), SimTime>,
     link_last_delivery: HashMap<(NodeId, NodeId), SimTime>,
     rng: SimRng,
@@ -236,14 +245,32 @@ impl Core {
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        self.queue.schedule(at.into(), kind);
     }
 
     fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> TimerId {
         let timer = TimerId(self.next_timer);
         self.next_timer += 1;
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { node, timer, tag });
+        timer
+    }
+
+    /// Draws this spec's next inter-fire delay: the period plus a fresh
+    /// uniform jitter from the node's private stream.
+    fn periodic_delay(&mut self, node: NodeId, spec: PeriodicSpec) -> SimDuration {
+        if spec.jitter.is_zero() {
+            return spec.period;
+        }
+        let draw = self.node_rngs[node.index()].below(spec.jitter.as_micros() + 1);
+        spec.period + SimDuration::from_micros(draw)
+    }
+
+    fn set_periodic_timer(&mut self, node: NodeId, spec: PeriodicSpec, tag: u64) -> TimerId {
+        let timer = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.periodic_timers.insert(timer, (node, tag, spec));
+        let delay = self.periodic_delay(node, spec);
         let at = self.now + delay;
         self.push(at, EventKind::Timer { node, timer, tag });
         timer
@@ -439,12 +466,12 @@ impl Sim {
         Sim {
             core: Core {
                 topology,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(),
                 now: SimTime::ZERO,
                 next_msg: 0,
                 next_timer: 0,
-                next_seq: 0,
                 cancelled_timers: HashSet::new(),
+                periodic_timers: HashMap::new(),
                 link_busy_until: HashMap::new(),
                 link_last_delivery: HashMap::new(),
                 rng,
@@ -613,19 +640,29 @@ impl Sim {
     /// Processes the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
-        let Some(event) = self.core.queue.pop() else {
+        let Some((at, kind)) = self.core.queue.pop() else {
             return false;
         };
-        debug_assert!(event.at >= self.core.now, "time must not run backwards");
-        self.core.set_now(event.at);
-        match event.kind {
+        self.core.set_now(at.into());
+        match kind {
             EventKind::Fault(action) => self.handle_fault(action),
             EventKind::Timer { node, timer, tag } => {
                 if self.core.cancelled_timers.remove(&timer) {
+                    self.core.periodic_timers.remove(&timer);
                     return true;
                 }
                 if self.core.topology.is_down(node) {
+                    // A crash loses the volatile clock: periodic timers
+                    // stop recurring until `on_restart` re-arms them.
+                    self.core.periodic_timers.remove(&timer);
                     return true;
+                }
+                // Periodic timers re-arm themselves before dispatch, so
+                // a handler that cancels its own timer wins the race.
+                if let Some(&(_, _, spec)) = self.core.periodic_timers.get(&timer) {
+                    let delay = self.core.periodic_delay(node, spec);
+                    let at = self.core.now + delay;
+                    self.core.push(at, EventKind::Timer { node, timer, tag });
                 }
                 self.core
                     .trace
@@ -721,14 +758,15 @@ impl Sim {
     /// `deadline` are processed) or the queue empties.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_if_needed();
-        while let Some(event) = self.core.queue.peek() {
-            if event.at > deadline {
+        while let Some(at) = self.core.queue.peek_at() {
+            if SimTime::from(at) > deadline {
                 break;
             }
             self.step();
         }
         if self.core.now < deadline {
             self.core.set_now(deadline);
+            self.core.queue.advance_to(deadline.into());
         }
     }
 }
@@ -1131,6 +1169,112 @@ mod tests {
         sim.schedule_fault(SimTime::from_millis(5), FaultAction::Restart(a));
         sim.run_until_idle();
         assert_eq!(sim.node::<Phoenix>(a).unwrap().restarts, 2);
+    }
+
+    #[test]
+    fn periodic_timer_fires_until_cancelled() {
+        struct Pulse {
+            fired: Vec<SimTime>,
+            stop_after: usize,
+            timer: Option<TimerId>,
+        }
+        impl Node for Pulse {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                self.timer = Some(ctx.set_periodic_timer(SimDuration::from_millis(10), 7));
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _msg: Message) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerId, tag: u64) {
+                assert_eq!(tag, 7);
+                self.fired.push(ctx.now());
+                if self.fired.len() >= self.stop_after {
+                    ctx.cancel_timer(self.timer.unwrap());
+                }
+            }
+        }
+        let (mut sim, a, _c) = pair(1);
+        sim.register(
+            a,
+            Pulse {
+                fired: vec![],
+                stop_after: 3,
+                timer: None,
+            },
+        );
+        sim.run_until_idle();
+        assert_eq!(
+            sim.node::<Pulse>(a).unwrap().fired,
+            vec![
+                SimTime::from_millis(10),
+                SimTime::from_millis(20),
+                SimTime::from_millis(30)
+            ],
+            "fires on the period grid, then the cancel sticks"
+        );
+    }
+
+    #[test]
+    fn jittered_periodic_timer_is_seed_deterministic() {
+        struct Pulse {
+            fired: Vec<SimTime>,
+        }
+        impl Node for Pulse {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_periodic_timer_jittered(
+                    SimDuration::from_millis(10),
+                    SimDuration::from_millis(5),
+                    1,
+                );
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _msg: Message) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerId, _tag: u64) {
+                self.fired.push(ctx.now());
+            }
+        }
+        let run = |seed: u64| {
+            let mut b = TopologyBuilder::new();
+            let a = b.add_node("a");
+            let mut sim = Sim::new(b.build(), seed);
+            sim.register(a, Pulse { fired: vec![] });
+            sim.run_until(SimTime::from_millis(100));
+            sim.node::<Pulse>(a).unwrap().fired.clone()
+        };
+        assert_eq!(run(5), run(5), "same seed, same jittered firings");
+        assert_ne!(run(5), run(6), "jitter really draws from the seed");
+        for window in run(5).windows(2) {
+            let gap = window[1].saturating_since(window[0]);
+            assert!(
+                (10_000..=15_000).contains(&gap.as_micros()),
+                "inter-fire gap {gap:?} outside period+jitter bound"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_silences_periodic_timer_until_restart_rearms() {
+        struct Pulse {
+            fired: u32,
+        }
+        impl Node for Pulse {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_periodic_timer(SimDuration::from_millis(10), 1);
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _msg: Message) {}
+            fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: TimerId, _tag: u64) {
+                self.fired += 1;
+            }
+            fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_periodic_timer(SimDuration::from_millis(10), 1);
+            }
+        }
+        let (mut sim, a, _c) = pair(1);
+        sim.register(a, Pulse { fired: 0 });
+        // Two firings (10, 20 ms), crash at 25 ms kills the recurrence,
+        // restart at 55 ms re-arms it: firings resume at 65 ms.
+        sim.schedule_fault(SimTime::from_millis(25), FaultAction::Crash(a));
+        sim.schedule_fault(SimTime::from_millis(55), FaultAction::Restart(a));
+        sim.run_until(SimTime::from_millis(100));
+        // 10, 20 before the crash; 65, 75, 85, 95 after the restart.
+        assert_eq!(sim.node::<Pulse>(a).unwrap().fired, 6);
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! Partitions are runtime state layered over the static link set: a
 //! partitioned pair drops traffic without forgetting the underlying link,
 //! so healing restores the original characteristics.
+//!
+//! Beyond hand-wired graphs, the builder grows whole *families* at once
+//! — [`ring`](TopologyBuilder::add_ring), [`star`](TopologyBuilder::add_star),
+//! [`seeded-random`](TopologyBuilder::add_random) and
+//! [`partitioned islands`](TopologyBuilder::add_islands) — over the pure
+//! edge generators in [`shapes`], which higher-level experiment
+//! harnesses reuse to shape their own peer graphs identically.
 
 use std::collections::{HashMap, HashSet};
 
@@ -15,6 +22,106 @@ use serde::{Deserialize, Serialize};
 
 use crate::id::NodeId;
 use crate::time::SimDuration;
+
+/// Pure edge-list generators for the standard experiment families.
+///
+/// Each function yields undirected edges over peers indexed `0..n`,
+/// independent of any simulator type — the same shapes wire `simnet`
+/// topologies and federation domain graphs, so an N-site experiment
+/// runs the identical structure at both layers.
+pub mod shapes {
+    use cscw_kernel::SeededRng;
+
+    /// A bidirectional ring: `i — (i+1) mod n`. Empty below 2 peers;
+    /// exactly one edge for 2.
+    pub fn ring(n: usize) -> Vec<(usize, usize)> {
+        match n {
+            0 | 1 => Vec::new(),
+            2 => vec![(0, 1)],
+            _ => (0..n).map(|i| (i, (i + 1) % n)).collect(),
+        }
+    }
+
+    /// A star: peer 0 is the hub, every other peer links to it.
+    pub fn star(n: usize) -> Vec<(usize, usize)> {
+        (1..n).map(|leaf| (0, leaf)).collect()
+    }
+
+    /// A seeded-random connected graph: a random spanning tree (each
+    /// peer `i > 0` attaches to a uniformly drawn earlier peer) plus up
+    /// to `extra` additional distinct random edges. Identical
+    /// `(n, extra, seed)` triples always produce the identical edge
+    /// list, in the identical order.
+    pub fn random(n: usize, extra: usize, seed: u64) -> Vec<(usize, usize)> {
+        if n < 2 {
+            return Vec::new();
+        }
+        let mut rng = SeededRng::seed_from(seed);
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n - 1 + extra);
+        let mut have = std::collections::BTreeSet::new();
+        for i in 1..n {
+            let parent = rng.below(i as u64) as usize;
+            edges.push((parent, i));
+            have.insert((parent.min(i), parent.max(i)));
+        }
+        // Bounded attempts so a dense request can't loop forever.
+        let mut added = 0;
+        for _ in 0..extra * 8 {
+            if added >= extra {
+                break;
+            }
+            let a = rng.below(n as u64) as usize;
+            let b = rng.below(n as u64) as usize;
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if have.insert(key) {
+                edges.push(key);
+                added += 1;
+            }
+        }
+        edges
+    }
+
+    /// Islands: peer groups internally ringed, joined island-to-island
+    /// by single bridge edges into a path (island `k`'s first peer to
+    /// island `k+1`'s first peer). Partitioning the bridges yields `k`
+    /// self-contained fragments; healing reconnects the whole graph.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Islands {
+        /// Peer indices per island, island-major.
+        pub groups: Vec<Vec<usize>>,
+        /// Intra-island edges (each island's internal ring).
+        pub intra: Vec<(usize, usize)>,
+        /// The inter-island bridge edges.
+        pub bridges: Vec<(usize, usize)>,
+    }
+
+    /// Builds `islands` islands of `per_island` peers each.
+    pub fn islands(islands: usize, per_island: usize) -> Islands {
+        let mut groups = Vec::with_capacity(islands);
+        let mut intra = Vec::new();
+        for k in 0..islands {
+            let base = k * per_island;
+            let group: Vec<usize> = (base..base + per_island).collect();
+            intra.extend(
+                ring(per_island)
+                    .into_iter()
+                    .map(|(a, b)| (base + a, base + b)),
+            );
+            groups.push(group);
+        }
+        let bridges = (1..islands)
+            .map(|k| ((k - 1) * per_island, k * per_island))
+            .collect();
+        Islands {
+            groups,
+            intra,
+            bridges,
+        }
+    }
+}
 
 /// Transmission characteristics of a directed link.
 ///
@@ -184,6 +291,80 @@ impl TopologyBuilder {
         self
     }
 
+    /// Adds `n` nodes wired into a bidirectional ring.
+    ///
+    /// Returns the node ids in ring order.
+    pub fn add_ring(&mut self, prefix: &str, n: usize, spec: LinkSpec) -> Vec<NodeId> {
+        let ids = self.add_nodes(prefix, n);
+        for (a, b) in shapes::ring(n) {
+            self.link_both(ids[a], ids[b], spec);
+        }
+        ids
+    }
+
+    /// Adds `n` nodes wired into a star. The first returned id is the
+    /// hub; the rest are leaves linked only to it.
+    pub fn add_star(&mut self, prefix: &str, n: usize, spec: LinkSpec) -> Vec<NodeId> {
+        let ids = self.add_nodes(prefix, n);
+        for (hub, leaf) in shapes::star(n) {
+            self.link_both(ids[hub], ids[leaf], spec);
+        }
+        ids
+    }
+
+    /// Adds `n` nodes wired into a seeded-random connected graph (a
+    /// random spanning tree plus up to `extra` additional edges).
+    /// Identical `(n, extra, seed)` triples wire identical graphs.
+    pub fn add_random(
+        &mut self,
+        prefix: &str,
+        n: usize,
+        extra: usize,
+        seed: u64,
+        spec: LinkSpec,
+    ) -> Vec<NodeId> {
+        let ids = self.add_nodes(prefix, n);
+        for (a, b) in shapes::random(n, extra, seed) {
+            self.link_both(ids[a], ids[b], spec);
+        }
+        ids
+    }
+
+    /// Adds `islands × per_island` nodes as internally-ringed islands
+    /// joined by single bridge links (`intra` spec inside an island,
+    /// `bridge` spec between islands). The returned [`IslandPlan`]
+    /// carries the groups so a harness can partition the islands apart
+    /// and schedule the heal that reconnects them.
+    pub fn add_islands(
+        &mut self,
+        prefix: &str,
+        islands: usize,
+        per_island: usize,
+        intra: LinkSpec,
+        bridge: LinkSpec,
+    ) -> IslandPlan {
+        let shape = shapes::islands(islands, per_island);
+        let ids = self.add_nodes(prefix, islands * per_island);
+        for &(a, b) in &shape.intra {
+            self.link_both(ids[a], ids[b], intra);
+        }
+        for &(a, b) in &shape.bridges {
+            self.link_both(ids[a], ids[b], bridge);
+        }
+        IslandPlan {
+            groups: shape
+                .groups
+                .iter()
+                .map(|g| g.iter().map(|&i| ids[i]).collect())
+                .collect(),
+            bridges: shape
+                .bridges
+                .iter()
+                .map(|&(a, b)| (ids[a], ids[b]))
+                .collect(),
+        }
+    }
+
     /// Finalises the topology.
     pub fn build(self) -> Topology {
         Topology {
@@ -191,6 +372,63 @@ impl TopologyBuilder {
             links: self.links,
             partitioned_pairs: HashSet::new(),
             down_nodes: HashSet::new(),
+        }
+    }
+}
+
+/// The island layout produced by [`TopologyBuilder::add_islands`]:
+/// which nodes form each island, and which links bridge them.
+///
+/// The plan turns "islands that heal" into scheduled simulator events:
+/// [`schedule_partition`](Self::schedule_partition) severs every
+/// island pair at a simulated instant, and
+/// [`schedule_heal`](Self::schedule_heal) restores them later — no
+/// harness intervention between the two.
+#[derive(Debug, Clone)]
+pub struct IslandPlan {
+    /// Node ids per island, island-major.
+    pub groups: Vec<Vec<NodeId>>,
+    /// The inter-island bridge links (as built, before partitions).
+    pub bridges: Vec<(NodeId, NodeId)>,
+}
+
+impl IslandPlan {
+    /// The partition actions severing every pair of islands.
+    pub fn partition_actions(&self) -> Vec<crate::sim::FaultAction> {
+        let mut actions = Vec::new();
+        for i in 0..self.groups.len() {
+            for j in (i + 1)..self.groups.len() {
+                actions.push(crate::sim::FaultAction::Partition(
+                    self.groups[i].clone(),
+                    self.groups[j].clone(),
+                ));
+            }
+        }
+        actions
+    }
+
+    /// The heal actions restoring every pair of islands.
+    pub fn heal_actions(&self) -> Vec<crate::sim::FaultAction> {
+        self.partition_actions()
+            .into_iter()
+            .map(|a| match a {
+                crate::sim::FaultAction::Partition(x, y) => crate::sim::FaultAction::Heal(x, y),
+                other => other,
+            })
+            .collect()
+    }
+
+    /// Schedules the partition of all islands at `at`.
+    pub fn schedule_partition(&self, sim: &mut crate::sim::Sim, at: crate::time::SimTime) {
+        for action in self.partition_actions() {
+            sim.schedule_fault(at, action);
+        }
+    }
+
+    /// Schedules the heal of all islands at `at`.
+    pub fn schedule_heal(&self, sim: &mut crate::sim::Sim, at: crate::time::SimTime) {
+        for action in self.heal_actions() {
+            sim.schedule_fault(at, action);
         }
     }
 }
@@ -400,5 +638,98 @@ mod tests {
         let mut n: Vec<_> = t.neighbours(m).collect();
         n.sort();
         assert_eq!(n, vec![a, c]);
+    }
+
+    #[test]
+    fn ring_star_and_random_shapes_have_expected_edge_counts() {
+        assert_eq!(shapes::ring(1), vec![]);
+        assert_eq!(shapes::ring(2), vec![(0, 1)]);
+        assert_eq!(shapes::ring(4).len(), 4);
+        assert_eq!(shapes::star(5), vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        // Random: spanning tree has n-1 edges, plus up to `extra`.
+        let r = shapes::random(16, 4, 9);
+        assert!(r.len() >= 15 && r.len() <= 19, "{} edges", r.len());
+    }
+
+    #[test]
+    fn random_shape_is_deterministic_per_seed_and_connected() {
+        assert_eq!(shapes::random(32, 8, 1), shapes::random(32, 8, 1));
+        assert_ne!(shapes::random(32, 8, 1), shapes::random(32, 8, 2));
+        // Connectivity: union-find over the edges reaches every peer.
+        let edges = shapes::random(32, 8, 3);
+        let mut parent: Vec<usize> = (0..32).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for (a, b) in edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        assert!(
+            (0..32).all(|i| find(&mut parent, i) == root),
+            "random graph must be connected"
+        );
+    }
+
+    #[test]
+    fn island_shape_partitions_into_groups_joined_by_bridges() {
+        let shape = shapes::islands(3, 4);
+        assert_eq!(shape.groups.len(), 3);
+        assert_eq!(shape.groups[1], vec![4, 5, 6, 7]);
+        assert_eq!(shape.bridges, vec![(0, 4), (4, 8)]);
+        // Each island is internally ringed: 4 edges per 4-node island.
+        assert_eq!(shape.intra.len(), 12);
+    }
+
+    #[test]
+    fn builder_families_wire_reachable_graphs() {
+        let mut b = TopologyBuilder::new();
+        let ring = b.add_ring("r", 5, LinkSpec::lan());
+        let star = b.add_star("s", 4, LinkSpec::lan());
+        let rand = b.add_random("x", 6, 2, 7, LinkSpec::lan());
+        let t = b.build();
+        assert!(t.can_reach(ring[0], ring[1]));
+        assert!(t.can_reach(ring[4], ring[0]), "ring closes");
+        assert!(t.can_reach(star[1], star[0]), "leaf reaches hub");
+        assert!(t.link(star[1], star[2]).is_none(), "leaves not adjacent");
+        // The random spanning tree guarantees node 0 links downward.
+        assert!(t.neighbours(rand[0]).count() >= 1);
+    }
+
+    #[test]
+    fn islands_partition_and_heal_at_scheduled_times() {
+        use crate::payload::Payload;
+        use crate::sim::Sim;
+        use crate::time::SimTime;
+
+        let mut b = TopologyBuilder::new();
+        let plan = b.add_islands("i", 2, 2, LinkSpec::lan(), LinkSpec::wan());
+        let (left, right) = (plan.groups[0][0], plan.groups[1][0]);
+        let mut sim = Sim::new(b.build(), 1);
+        plan.schedule_partition(&mut sim, SimTime::ZERO);
+        plan.schedule_heal(&mut sim, SimTime::from_millis(500));
+
+        // While partitioned, a cross-island send is dropped...
+        sim.run_until(SimTime::from_millis(100));
+        assert!(!sim.topology().can_reach(left, right));
+        sim.send_from(left, right, Payload::new(1u32), 8);
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(sim.metrics().counter("dropped_partitioned"), 1);
+        // ...intra-island traffic still flows...
+        let (a0, a1) = (plan.groups[0][0], plan.groups[0][1]);
+        sim.send_from(a0, a1, Payload::new(2u32), 8);
+        sim.run_until(SimTime::from_millis(300));
+        assert_eq!(sim.metrics().counter("messages_delivered"), 1);
+        // ...and after the scheduled heal the bridge carries again.
+        sim.run_until(SimTime::from_millis(600));
+        assert!(sim.topology().can_reach(left, right));
+        sim.send_from(left, right, Payload::new(3u32), 8);
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter("messages_delivered"), 2);
     }
 }
