@@ -16,7 +16,7 @@ use std::time::Instant;
 use cscw_bench::fed_scale::{self, SHAPES, SITE_COUNTS};
 use cscw_directory::Dn;
 use cscw_federation::RuntimeConfig;
-use cscw_kernel::Timestamp;
+use cscw_kernel::{LogHistogram, Timestamp};
 use groupware::{descriptor_for, mapping_for, sample_artifact};
 use mocca::env::AppId;
 use mocca::federation::FederatedEnvironments;
@@ -36,35 +36,53 @@ fn site(apps: &[&str]) -> CscwEnvironment {
     env
 }
 
-/// Wall-clock micros per local exchange and per remote
-/// (resolve + route + pump) exchange.
-fn exchange_latency() -> (u64, u64) {
+/// A latency histogram's paper-facing JSON: mean plus quantiles, all
+/// wall-clock microseconds.
+fn latency_json(hist: &LogHistogram) -> String {
+    format!(
+        concat!(
+            "{{\"mean_micros\":{},\"p50_micros\":{},\"p90_micros\":{},",
+            "\"p99_micros\":{},\"max_micros\":{}}}"
+        ),
+        hist.mean().unwrap_or(0),
+        hist.p50().unwrap_or(0),
+        hist.p90().unwrap_or(0),
+        hist.p99().unwrap_or(0),
+        hist.max().unwrap_or(0)
+    )
+}
+
+/// Per-iteration wall-clock latency distributions for a local exchange
+/// and a remote (resolve + route + pump) exchange.
+fn exchange_latency() -> (LogHistogram, LogHistogram) {
     let tom: Dn = "cn=Tom".parse().expect("fixture dn");
     let artifact = sample_artifact("sharedx").expect("fixture artifact");
 
+    let mut local_hist = LogHistogram::new();
     let mut local = site(&["sharedx", "com"]);
-    let start = Instant::now();
     for _ in 0..LATENCY_ITERS {
+        let start = Instant::now();
         local
             .exchange(&tom, &artifact, &AppId::new("com"), Timestamp::ZERO)
             .expect("local exchange");
+        local_hist.record(start.elapsed().as_micros() as u64);
     }
-    let local_micros = start.elapsed().as_micros() as u64 / u64::from(LATENCY_ITERS);
 
+    let mut remote_hist = LogHistogram::new();
     let mut fed = FederatedEnvironments::new();
     fed.federate("env-a", site(&["sharedx"]));
     fed.federate("env-b", site(&["com"]));
     fed.link_bidi("env-a", "env-b");
-    let start = Instant::now();
     for _ in 0..LATENCY_ITERS {
+        let start = Instant::now();
         fed.env_mut("env-a")
             .expect("env-a")
             .exchange(&tom, &artifact, &AppId::new("com"), Timestamp::ZERO)
             .expect("remote exchange");
         fed.pump().expect("pump");
+        remote_hist.record(start.elapsed().as_micros() as u64);
     }
-    let remote_micros = start.elapsed().as_micros() as u64 / u64::from(LATENCY_ITERS);
-    (local_micros, remote_micros)
+    (local_hist, remote_hist)
 }
 
 fn main() {
@@ -111,10 +129,14 @@ fn main() {
         }
     }
 
-    let (local_micros, remote_micros) = exchange_latency();
+    let (local_hist, remote_hist) = exchange_latency();
     println!(
-        "fed_scale: exchange latency local {local_micros} us, remote {remote_micros} us \
-         ({LATENCY_ITERS} iterations)"
+        "fed_scale: exchange latency local p50 {} us p99 {} us, remote p50 {} us p99 {} us \
+         ({LATENCY_ITERS} iterations)",
+        local_hist.p50().unwrap_or(0),
+        local_hist.p99().unwrap_or(0),
+        remote_hist.p50().unwrap_or(0),
+        remote_hist.p99().unwrap_or(0),
     );
 
     let json = format!(
@@ -125,16 +147,16 @@ fn main() {
             "  \"smoke\": {},\n",
             "  \"gossip_period_micros\": {},\n",
             "  \"seeds\": [1, 2, 3],\n",
-            "  \"exchange_latency\": {{\"local_wall_micros\": {}, ",
-            "\"remote_wall_micros\": {}, \"iterations\": {}}},\n",
+            "  \"exchange_latency\": {{\"iterations\": {}, ",
+            "\"local\": {}, \"remote\": {}}},\n",
             "  \"cells\": [\n    {}\n  ]\n",
             "}}\n"
         ),
         smoke,
         RuntimeConfig::seeded(1).gossip_period_micros,
-        local_micros,
-        remote_micros,
         LATENCY_ITERS,
+        latency_json(&local_hist),
+        latency_json(&remote_hist),
         cells.join(",\n    ")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fed_scale.json");

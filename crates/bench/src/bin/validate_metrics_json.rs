@@ -1,0 +1,90 @@
+//! Offline shape check for `BENCH_fed_scale.json` — the CI `telemetry`
+//! job runs this after the `--smoke` sweep to catch codec drift before
+//! the artifact is uploaded. Hand-rolled on purpose: the vendored
+//! serde is a stub, and the emitter is hand-rolled too, so the checker
+//! validates the *shape contract* (required keys, per-cell field
+//! parity, balanced braces) rather than re-parsing into types.
+//!
+//! Usage: `validate_metrics_json [path]` (default
+//! `BENCH_fed_scale.json` in the current directory). Exits non-zero
+//! with a diagnostic on the first violation.
+
+use std::process::ExitCode;
+
+/// Top-level keys every report must carry.
+const DOCUMENT_KEYS: [&str; 5] = [
+    "\"experiment\": \"fed_scale\"",
+    "\"gossip_period_micros\":",
+    "\"seeds\":",
+    "\"exchange_latency\":",
+    "\"cells\":",
+];
+
+/// Quantile keys both exchange-latency distributions must carry.
+const LATENCY_KEYS: [&str; 5] = [
+    "\"mean_micros\":",
+    "\"p50_micros\":",
+    "\"p90_micros\":",
+    "\"p99_micros\":",
+    "\"max_micros\":",
+];
+
+/// Keys that must appear exactly once per cell.
+const CELL_KEYS: [&str; 11] = [
+    "\"sites\":",
+    "\"seed\":",
+    "\"converged\":",
+    "\"sim_micros\":",
+    "\"rounds\":",
+    "\"gossip_pulses\":",
+    "\"updates_applied\":",
+    "\"bytes_on_wire\":",
+    "\"gossip_round_micros\":{\"p50\":",
+    "\"pump_micros\":{\"p50\":",
+    "\"fingerprint\":\"",
+];
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("validate_metrics_json: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fed_scale.json".to_owned());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+
+    let opens = text.matches('{').count();
+    let closes = text.matches('}').count();
+    if opens != closes {
+        return fail(&format!("unbalanced braces: {opens} open, {closes} close"));
+    }
+    for key in DOCUMENT_KEYS {
+        if !text.contains(key) {
+            return fail(&format!("missing document key {key}"));
+        }
+    }
+    for key in LATENCY_KEYS {
+        // Once in "local", once in "remote".
+        let n = text.matches(key).count();
+        if n < 2 {
+            return fail(&format!("exchange_latency key {key} appears {n}x, need 2"));
+        }
+    }
+    let cells = text.matches("{\"shape\":\"").count();
+    if cells == 0 {
+        return fail("no cells");
+    }
+    for key in CELL_KEYS {
+        let n = text.matches(key).count();
+        if n != cells {
+            return fail(&format!("cell key {key} appears {n}x across {cells} cells"));
+        }
+    }
+    println!("validate_metrics_json: OK: {cells} cells in {path}");
+    ExitCode::SUCCESS
+}

@@ -11,7 +11,7 @@
 
 use cscw_directory::Dn;
 use cscw_federation::RuntimeConfig;
-use cscw_kernel::Timestamp;
+use cscw_kernel::{HistogramSummary, Layer, Timestamp};
 use mocca::federation::{ConvergenceReport, FederatedEnvironments};
 use mocca::info::{InfoContent, InfoObject, InfoObjectId};
 use mocca::{CscwEnvironment, MoccaError};
@@ -124,6 +124,49 @@ pub fn build(shape: Shape, n: usize, seed: u64) -> Result<FederatedEnvironments,
     Ok(fed)
 }
 
+/// p50/p90/p99/max of one per-pulse phase histogram — the quantile
+/// view the paper-facing JSON carries per cell. Values are micros of
+/// the receiving platform's clock: simulated (replay-stable) time on
+/// sim platforms, wall-clock on the in-process [`LocalPlatform`] the
+/// scale cells run on — so, like `wall_micros`, these fields sit
+/// outside the bit-for-bit determinism guarantee.
+///
+/// [`LocalPlatform`]: mocca::platform::LocalPlatform
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseQuantiles {
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+}
+
+impl PhaseQuantiles {
+    /// Extracts the quantile view (all-zero when the phase never ran).
+    pub fn from_summary(summary: Option<HistogramSummary>) -> Self {
+        match summary {
+            Some(s) => PhaseQuantiles {
+                p50: s.p50_micros,
+                p90: s.p90_micros,
+                p99: s.p99_micros,
+                max: s.max_micros,
+            },
+            None => PhaseQuantiles::default(),
+        }
+    }
+
+    /// The quantiles as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+            self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
 /// One measured cell of the scaling sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScaleResult {
@@ -145,6 +188,12 @@ pub struct ScaleResult {
     pub updates_applied: usize,
     /// Encoded gossip-frame bytes shipped over transports.
     pub bytes_on_wire: u64,
+    /// Per-pulse gossip-round latency quantiles (time the receiving
+    /// platforms spent shipping and applying frames; see
+    /// [`PhaseQuantiles`] for clock caveats).
+    pub gossip_round_micros: PhaseQuantiles,
+    /// Per-pulse pump (remote delivery) latency quantiles.
+    pub pump_micros: PhaseQuantiles,
     /// Hex digest of the converged replica fingerprint (identical
     /// across seeds; the raw fingerprint is multi-line text).
     pub fingerprint: String,
@@ -169,6 +218,13 @@ pub fn run(shape: Shape, n: usize, seed: u64) -> Result<ScaleResult, MoccaError>
     let mut fed = build(shape, n, seed)?;
     let report: ConvergenceReport = fed.run_until_converged(seed, MAX_SIM_MICROS)?;
     let gossip_period = RuntimeConfig::seeded(seed).gossip_period_micros;
+    let telemetry = fed.fabric().telemetry();
+    let gossip_round_micros = PhaseQuantiles::from_summary(
+        telemetry.histogram(Layer::Federation, "federation.gossip.pulse.micros"),
+    );
+    let pump_micros = PhaseQuantiles::from_summary(
+        telemetry.histogram(Layer::Federation, "federation.pump.pulse.micros"),
+    );
     Ok(ScaleResult {
         shape: shape.name(),
         sites: n,
@@ -179,6 +235,8 @@ pub fn run(shape: Shape, n: usize, seed: u64) -> Result<ScaleResult, MoccaError>
         gossip_pulses: report.activity.gossip_pulses,
         updates_applied: report.activity.updates_applied,
         bytes_on_wire: report.activity.bytes_on_wire,
+        gossip_round_micros,
+        pump_micros,
         fingerprint: format!(
             "{:016x}",
             fnv1a(&fed.fingerprints().into_values().next().unwrap_or_default())
@@ -195,7 +253,8 @@ impl ScaleResult {
                 "{{\"shape\":\"{}\",\"sites\":{},\"seed\":{},",
                 "\"converged\":{},\"sim_micros\":{},\"rounds\":{},",
                 "\"gossip_pulses\":{},\"updates_applied\":{},",
-                "\"bytes_on_wire\":{},\"fingerprint\":\"{}\"}}"
+                "\"bytes_on_wire\":{},\"gossip_round_micros\":{},",
+                "\"pump_micros\":{},\"fingerprint\":\"{}\"}}"
             ),
             self.shape,
             self.sites,
@@ -206,6 +265,8 @@ impl ScaleResult {
             self.gossip_pulses,
             self.updates_applied,
             self.bytes_on_wire,
+            self.gossip_round_micros.to_json(),
+            self.pump_micros.to_json(),
             self.fingerprint
         )
     }
@@ -220,8 +281,21 @@ mod tests {
         let a = run(Shape::Ring, 8, 1).expect("run");
         assert!(a.converged);
         assert!(a.bytes_on_wire > 0);
+        let q = a.gossip_round_micros;
+        assert!(q.p50 <= q.p90 && q.p90 <= q.p99 && q.p99 <= q.max);
         let b = run(Shape::Ring, 8, 1).expect("run");
-        assert_eq!(a, b, "same cell must replay bit-for-bit");
+        // Phase quantiles are wall-clock on the LocalPlatform cells
+        // and sit outside the determinism guarantee — scrub them.
+        let scrub = |mut r: ScaleResult| {
+            r.gossip_round_micros = PhaseQuantiles::default();
+            r.pump_micros = PhaseQuantiles::default();
+            r
+        };
+        assert_eq!(
+            scrub(a.clone()),
+            scrub(b),
+            "same cell must replay bit-for-bit"
+        );
         let c = run(Shape::Ring, 8, 2).expect("run");
         assert_eq!(a.fingerprint, c.fingerprint, "state is seed-independent");
     }
@@ -243,5 +317,7 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"shape\":\"star\""));
         assert!(json.contains("\"converged\":true"));
+        assert!(json.contains("\"gossip_round_micros\":{\"p50\":"));
+        assert!(json.contains("\"pump_micros\":{\"p50\":"));
     }
 }

@@ -26,8 +26,10 @@ pub enum TokenKind {
     Punct(&'static str),
     /// Any single punctuation character not in the fused set.
     PunctChar(char),
-    /// A string literal (normal, raw, byte or byte-raw); content dropped.
-    Str,
+    /// A string literal. Plain `"…"` literals keep their raw inner
+    /// text (R4 checks telemetry *names*); raw/byte forms keep none —
+    /// no rule inspects those, and their content must stay inert.
+    Str(String),
     /// A character or byte literal; content dropped.
     CharLit,
     /// A numeric literal; value dropped.
@@ -48,6 +50,15 @@ impl TokenKind {
     /// True when the token is exactly this identifier.
     pub fn is_ident(&self, s: &str) -> bool {
         self.ident() == Some(s)
+    }
+
+    /// The raw inner text of a plain string literal (escapes kept
+    /// verbatim; raw/byte literals yield the empty string).
+    pub fn str_lit(&self) -> Option<&str> {
+        match self {
+            TokenKind::Str(s) => Some(s),
+            _ => None,
+        }
     }
 
     /// True when the token is this punctuation string (fused or single).
@@ -117,9 +128,17 @@ pub fn lex(source: &str) -> Vec<Token> {
                 let start = i;
                 i = skip_string(bytes, i);
                 bump_lines!(start..i);
+                // Inner text between the quotes (empty if unterminated).
+                let inner = if i > start + 1 && bytes[i - 1] == b'"' {
+                    std::str::from_utf8(&bytes[start + 1..i - 1])
+                        .unwrap_or("")
+                        .to_owned()
+                } else {
+                    String::new()
+                };
                 tokens.push(Token {
                     line: tok_line,
-                    kind: TokenKind::Str,
+                    kind: TokenKind::Str(inner),
                 });
             }
             b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
@@ -281,14 +300,14 @@ fn raw_has_quote(bytes: &[u8], mut i: usize) -> bool {
 
 fn skip_prefixed_literal(bytes: &[u8], i: usize) -> (usize, TokenKind) {
     match bytes[i] {
-        b'r' => (skip_raw_string(bytes, i + 1), TokenKind::Str),
+        b'r' => (skip_raw_string(bytes, i + 1), TokenKind::Str(String::new())),
         b'b' => match bytes.get(i + 1) {
-            Some(b'"') => (skip_string(bytes, i + 1), TokenKind::Str),
+            Some(b'"') => (skip_string(bytes, i + 1), TokenKind::Str(String::new())),
             Some(b'\'') => (skip_char_literal(bytes, i + 1), TokenKind::CharLit),
-            Some(b'r') => (skip_raw_string(bytes, i + 2), TokenKind::Str),
+            Some(b'r') => (skip_raw_string(bytes, i + 2), TokenKind::Str(String::new())),
             _ => (i + 1, TokenKind::Ident("b".into())),
         },
-        _ => (i + 1, TokenKind::Str),
+        _ => (i + 1, TokenKind::Str(String::new())),
     }
 }
 

@@ -91,7 +91,7 @@ fn check_panics(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
                 .unwrap_or(false)
             && toks
                 .get(i + 2)
-                .map(|t| t.kind == TokenKind::Str)
+                .map(|t| matches!(t.kind, TokenKind::Str(_)))
                 .unwrap_or(false)
         {
             Some("`.expect(\"…\")` in library code".to_owned())

@@ -1,11 +1,18 @@
-//! R4 — telemetry layer-tag conformance.
+//! R4 — telemetry layer-tag and name conformance.
 //!
 //! The kernel's `Telemetry` stream exists so one end-to-end operation
 //! can be traced down the Figure-4 stack; that only works if each crate
 //! tags its observations with *its own* layer. This rule finds calls to
-//! the telemetry surface (`incr`, `add`, `emit`, `record_micros`) whose
-//! arguments name a `Layer::` variant other than the emitting crate's
-//! layer.
+//! the telemetry surface (`incr`, `add`, `emit`, `record_micros`,
+//! `span_begin`, `span_begin_with_parent`) whose arguments name a
+//! `Layer::` variant other than the emitting crate's layer.
+//!
+//! It also checks the *name* convention: a literal event/counter/span
+//! name must be a dotted `layer.noun.verb`-style identifier whose
+//! first segment is one of the named layer's prefixes (e.g. `net.sent`,
+//! `resilience.retry`, `federation.gossip.pulse`) — that prefix is
+//! what lets a rendered trace or snapshot be read without consulting
+//! the emitting call site. Variable names are not checked.
 //!
 //! Port boundaries that deliberately narrate another layer (the
 //! platform front-ends recording the layer an operation lowers into)
@@ -15,7 +22,86 @@ use super::{matching_paren, FileContext};
 use crate::diag::Finding;
 use crate::workspace::CrateRole;
 
-const TELEMETRY_METHODS: [&str; 4] = ["incr", "add", "emit", "record_micros"];
+const TELEMETRY_METHODS: [&str; 6] = [
+    "incr",
+    "add",
+    "emit",
+    "record_micros",
+    "span_begin",
+    "span_begin_with_parent",
+];
+
+/// The name prefixes each Figure-4 layer may label observations with.
+/// A layer can own several vocabularies (the Env layer narrates both
+/// the environment proper and its resilience shell; the ODP layer
+/// speaks as the trader).
+fn layer_prefixes(variant: &str) -> &'static [&'static str] {
+    match variant {
+        "App" => &["app"],
+        "Env" => &["env", "resilience"],
+        "Federation" => &["federation"],
+        "Odp" => &["odp", "trader"],
+        "Directory" => &["dir"],
+        "Messaging" => &["mts", "gossip"],
+        "Net" => &["net"],
+        _ => &[],
+    }
+}
+
+/// Is `name` a dotted `layer.noun.verb`-style identifier: two or more
+/// non-empty `[a-z0-9_]` segments joined by `.`?
+fn is_dotted_name(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        if seg.is_empty()
+            || !seg
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
+/// Emits naming findings for one literal telemetry name.
+fn check_name(
+    ctx: &FileContext<'_>,
+    findings: &mut Vec<Finding>,
+    line: u32,
+    variant: &str,
+    name: &str,
+) {
+    if !is_dotted_name(name) {
+        findings.push(Finding::new(
+            "R4",
+            ctx.rel_path.clone(),
+            line,
+            format!(
+                "telemetry name \"{name}\" is not a dotted `layer.noun.verb`-style \
+                 identifier (want lowercase segments joined by `.`)"
+            ),
+        ));
+        return;
+    }
+    let prefixes = layer_prefixes(variant);
+    if prefixes.is_empty() {
+        return; // unknown variant ident; the tag check handles typos
+    }
+    let first = name.split('.').next().unwrap_or("");
+    if !prefixes.contains(&first) {
+        findings.push(Finding::new(
+            "R4",
+            ctx.rel_path.clone(),
+            line,
+            format!(
+                "telemetry name \"{name}\" does not carry a `Layer::{variant}` \
+                 prefix (expected one of {prefixes:?})"
+            ),
+        ));
+    }
+}
 
 /// Checks one file's telemetry emissions.
 pub fn check_telemetry(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
@@ -46,7 +132,8 @@ pub fn check_telemetry(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
         while j + 2 <= close {
             if toks[j].kind.is_ident("Layer") && toks[j + 1].kind.is_punct("::") {
                 if let Some(variant) = toks.get(j + 2).and_then(|t| t.kind.ident()) {
-                    if variant != expected && !ctx.waivers.covers("R4", toks[j].line) {
+                    let waived = ctx.waivers.covers("R4", toks[j].line);
+                    if variant != expected && !waived {
                         findings.push(Finding::new(
                             "R4",
                             ctx.rel_path.clone(),
@@ -56,6 +143,19 @@ pub fn check_telemetry(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
                                  {own:?} layer (expected `Layer::{expected}`)"
                             ),
                         ));
+                    }
+                    // Name convention: a literal name immediately after
+                    // the layer tag must be dotted and carry one of the
+                    // *named* layer's prefixes. (Only the literal right
+                    // after `Layer::X,` is the name — later literals
+                    // are detail payloads.)
+                    if !waived
+                        && toks.get(j + 3).is_some_and(|t| t.kind.is_punct(","))
+                        && j + 4 <= close
+                    {
+                        if let Some(name) = toks.get(j + 4).and_then(|t| t.kind.str_lit()) {
+                            check_name(ctx, findings, toks[j + 4].line, variant, name);
+                        }
                     }
                 }
             }

@@ -80,12 +80,31 @@ fn locks_fixture_flags_port_calls_and_inversions() {
 fn telemetry_fixture_flags_foreign_layer_tags() {
     let findings = findings_for("telemetry");
     let r4: Vec<_> = findings.iter().filter(|f| f.rule == "R4").collect();
-    assert_eq!(r4.len(), 2, "{findings:#?}");
-    assert!(r4.iter().any(|f| f.message.contains("Layer::App")));
-    assert!(r4.iter().any(|f| f.message.contains("Layer::Net")));
-    assert!(r4
+    assert_eq!(r4.len(), 8, "{findings:#?}");
+    let tags: Vec<_> = r4
         .iter()
-        .all(|f| f.message.contains("expected `Layer::Odp`")));
+        .filter(|f| f.message.contains("expected `Layer::Odp`"))
+        .collect();
+    assert_eq!(tags.len(), 3, "{r4:#?}");
+    assert!(tags.iter().any(|f| f.message.contains("Layer::App")));
+    assert!(tags.iter().any(|f| f.message.contains("Layer::Net")));
+    let names: Vec<_> = r4
+        .iter()
+        .filter(|f| f.message.contains("telemetry name"))
+        .collect();
+    assert_eq!(names.len(), 5, "{r4:#?}");
+    assert!(names
+        .iter()
+        .any(|f| f.message.contains("\"importLatency\"") && f.message.contains("not a dotted")));
+    assert!(names
+        .iter()
+        .any(|f| f.message.contains("\"net.sent\"") && f.message.contains("`Layer::Odp` prefix")));
+    assert!(
+        names
+            .iter()
+            .any(|f| f.message.contains("\"odp.invoke\"")
+                && f.message.contains("`Layer::App` prefix"))
+    );
 }
 
 #[test]

@@ -1,10 +1,14 @@
 //! Violating fixture for R4: the ODP layer tagging telemetry with
-//! another layer's tag.
+//! another layer's tag, and names that break the dotted
+//! `layer.noun.verb` prefix convention.
 
 use cscw_kernel::{Layer, Telemetry};
 
 pub fn observe(t: &Telemetry) {
-    t.incr(Layer::Odp, "trader.import"); // correct: own layer
-    t.incr(Layer::App, "trader.import"); // wrong: upper layer's tag
+    t.incr(Layer::Odp, "trader.import"); // correct: own layer, own prefix
+    t.incr(Layer::App, "trader.import"); // wrong tag (+ name not app.*)
     t.emit(0, Layer::Net, "trader.import", String::new()); // wrong too
+    t.record_micros(Layer::Odp, "importLatency", 3); // name not dotted
+    t.incr(Layer::Odp, "net.sent"); // dotted, but a foreign prefix
+    t.span_begin(Layer::App, "odp.invoke", 0); // wrong tag on span surface
 }

@@ -488,6 +488,30 @@ impl CscwEnvironment {
         to: &AppId,
         at: Timestamp,
     ) -> Result<NativeArtifact, MoccaError> {
+        // The App/Env boundary is where a trace is minted: the root
+        // span is the application's request, its Env child is this
+        // service, and every lowering below (trader, directory, MTS,
+        // net, federation) parents under them — one exchange, one
+        // causally-ordered tree down the Figure-4 stack.
+        let t = self.platform.telemetry().clone();
+        let now = self.platform.clock().now_micros();
+        // conform: allow(R4) — deliberate: the root span belongs to the app
+        let app_span = t.span_begin(Layer::App, "app.exchange", now);
+        let env_span = t.span_begin(Layer::Env, "env.exchange", now);
+        let result = self.exchange_inner(sharer, artifact, to, at);
+        let end = self.platform.clock().now_micros();
+        t.span_end(env_span, end);
+        t.span_end(app_span, end);
+        result
+    }
+
+    fn exchange_inner(
+        &mut self,
+        sharer: &Dn,
+        artifact: &NativeArtifact,
+        to: &AppId,
+        at: Timestamp,
+    ) -> Result<NativeArtifact, MoccaError> {
         self.count_op();
         self.emit_app(
             "app.exchange",
@@ -567,6 +591,9 @@ impl CscwEnvironment {
             to_app: to.to_string(),
             fields: common.clone(),
             at,
+            // Carry the sending exchange's span across the domain
+            // boundary so the peer's delivery joins the same trace.
+            ctx: self.platform.telemetry().current_context(),
         };
         port.route_exchange(delivery)?;
         self.emit_env(
@@ -617,6 +644,24 @@ impl CscwEnvironment {
     ///   registered here (stale federation advertisement).
     /// * Repository errors for the delivered record.
     pub fn deliver_remote_artifact(
+        &mut self,
+        delivery: &RemoteDelivery,
+    ) -> Result<NativeArtifact, MoccaError> {
+        // Resume the sender's trace if the delivery carried a context
+        // (same-process federations share trace identity); otherwise
+        // the delivery roots a trace of its own.
+        let t = self.platform.telemetry().clone();
+        let now = self.platform.clock().now_micros();
+        let span = match delivery.ctx {
+            Some(parent) => t.span_begin_with_parent(parent, Layer::Env, "env.deliver_remote", now),
+            None => t.span_begin(Layer::Env, "env.deliver_remote", now),
+        };
+        let result = self.deliver_remote_inner(delivery);
+        t.span_end(span, self.platform.clock().now_micros());
+        result
+    }
+
+    fn deliver_remote_inner(
         &mut self,
         delivery: &RemoteDelivery,
     ) -> Result<NativeArtifact, MoccaError> {

@@ -28,11 +28,16 @@
 //! bypassing the stack — anti-entropy catches up on the next pulse.
 //!
 //! [`ResilientPlatform`]: crate::platform::ResilientPlatform
+//!
+//! conform: allow-file(R4) — this module IS the federation driver: it
+//! narrates gossip/pump pulses onto the fabric's Federation-layer
+//! stream even though the assembly lives in the environment crate.
 
 use std::collections::BTreeMap;
 
 use cscw_federation::{FederatedTrader, FederationFabric, FederationRuntime, Pulse, RuntimeConfig};
-use cscw_kernel::Timestamp;
+use cscw_kernel::{Layer, Timestamp};
+use cscw_messaging::gossip::GossipFrame;
 use cscw_messaging::OrAddress;
 use odp::LinkState;
 
@@ -115,6 +120,8 @@ enum LinkShip {
         updates: usize,
         /// Encoded bytes of both frames.
         bytes: u64,
+        /// Simulated time the receiving platform spent on the frames.
+        micros: u64,
     },
 }
 
@@ -134,8 +141,16 @@ impl FederatedEnvironments {
 
     /// An empty federation with a configured trader (hop budget, TTL).
     pub fn with_trader(trader: FederatedTrader) -> Self {
+        Self::with_fabric(FederationFabric::with_trader(trader))
+    }
+
+    /// An empty federation over a pre-built fabric. This is how a
+    /// harness routes federation telemetry onto a shared stream
+    /// ([`FederationFabric::with_telemetry`]) so one exchange's trace
+    /// covers the environment and federation layers together.
+    pub fn with_fabric(fabric: FederationFabric) -> Self {
         FederatedEnvironments {
-            fabric: FederationFabric::with_trader(trader),
+            fabric,
             envs: BTreeMap::new(),
             runtime: None,
         }
@@ -197,9 +212,18 @@ impl FederatedEnvironments {
             return Ok(0);
         };
         let mut delivered = 0;
+        let before = env.platform_mut().clock().now_micros();
         for delivery in deliveries {
             env.deliver_remote_artifact(&delivery)?;
             delivered += 1;
+        }
+        if delivered > 0 {
+            let after = env.platform_mut().clock().now_micros();
+            self.fabric.telemetry().record_micros(
+                Layer::Federation,
+                "federation.pump.pulse.micros",
+                after.saturating_sub(before),
+            );
         }
         Ok(delivered)
     }
@@ -208,10 +232,15 @@ impl FederatedEnvironments {
     /// it with `src`'s delta, ships both frames through `dst`'s
     /// transport as gossip notifications, and applies the delta.
     fn gossip_link(&mut self, src: &str, dst: &str) -> Result<LinkShip, MoccaError> {
+        let t = self.fabric.telemetry();
         let digest = self.fabric.digest_frame(dst)?;
         let delta = self.fabric.delta_frame(src, &digest)?;
         let digest_wire = digest.encode();
         let delta_wire = delta.encode();
+        let started = self
+            .envs
+            .get_mut(dst)
+            .map(|env| env.platform_mut().clock().now_micros());
         // Lower both frames through the receiving environment's
         // messaging port; a refusal means this link gossips on the
         // next pulse instead.
@@ -229,32 +258,77 @@ impl FederatedEnvironments {
         if shipped.is_none() {
             return Ok(LinkShip::Degraded);
         }
-        let updates = self.fabric.ingest_delta(dst, &delta)?;
+        let finished = self
+            .envs
+            .get_mut(dst)
+            .map(|env| env.platform_mut().clock().now_micros());
+        let micros = match (started, finished) {
+            (Some(before), Some(after)) => after.saturating_sub(before),
+            _ => 0,
+        };
+        t.record_micros(Layer::Federation, "federation.gossip.link.micros", micros);
+        // The apply span parents on the context the *wire* frame
+        // carried — the receiver only ever saw the encoded bytes.
+        let at = finished.unwrap_or_default();
+        let carried = GossipFrame::decode(&delta_wire).ok().and_then(|f| f.ctx);
+        let span = match carried {
+            Some(parent) => {
+                t.span_begin_with_parent(parent, Layer::Federation, "federation.gossip.apply", at)
+            }
+            None => t.span_begin(Layer::Federation, "federation.gossip.apply", at),
+        };
+        let applied = self.fabric.ingest_delta(dst, &delta);
+        t.span_end(span, at);
         Ok(LinkShip::Applied {
-            updates,
+            updates: applied?,
             bytes: (digest_wire.len() + delta_wire.len()) as u64,
+            micros,
         })
     }
 
-    /// One site's gossip pulse: anti-entropy over every up out-link.
+    /// One site's gossip pulse: anti-entropy over every up out-link,
+    /// traced as one `federation.gossip.pulse` root span whose context
+    /// rides every frame the pulse ships.
     fn gossip_from(&mut self, site: &str, report: &mut RunReport) -> Result<(), MoccaError> {
-        for (src, dst, state) in self.fabric.links() {
-            if src != site || state != LinkState::Up {
-                continue;
-            }
-            if !self.envs.contains_key(&src) || !self.envs.contains_key(&dst) {
-                continue;
-            }
-            report.links_walked += 1;
-            match self.gossip_link(&src, &dst)? {
-                LinkShip::Degraded => report.links_degraded += 1,
-                LinkShip::Applied { updates, bytes } => {
-                    report.updates_applied += updates;
-                    report.bytes_on_wire += bytes;
+        let t = self.fabric.telemetry();
+        let now = self
+            .runtime
+            .as_ref()
+            .map(|rt| rt.now().as_micros())
+            .unwrap_or_default();
+        let span = t.span_begin(Layer::Federation, "federation.gossip.pulse", now);
+        let mut pulse_micros = 0u64;
+        let result = (|| {
+            for (src, dst, state) in self.fabric.links() {
+                if src != site || state != LinkState::Up {
+                    continue;
+                }
+                if !self.envs.contains_key(&src) || !self.envs.contains_key(&dst) {
+                    continue;
+                }
+                report.links_walked += 1;
+                match self.gossip_link(&src, &dst)? {
+                    LinkShip::Degraded => report.links_degraded += 1,
+                    LinkShip::Applied {
+                        updates,
+                        bytes,
+                        micros,
+                    } => {
+                        report.updates_applied += updates;
+                        report.bytes_on_wire += bytes;
+                        pulse_micros += micros;
+                    }
                 }
             }
-        }
-        Ok(())
+            Ok(())
+        })();
+        t.record_micros(
+            Layer::Federation,
+            "federation.gossip.pulse.micros",
+            pulse_micros,
+        );
+        t.span_end(span, now.saturating_add(pulse_micros));
+        result
     }
 
     /// Starts the event-driven runtime over the current fabric (no-op
@@ -413,7 +487,11 @@ impl FederatedEnvironments {
             round.links_walked += 1;
             match self.gossip_link(&src, &dst)? {
                 LinkShip::Degraded => round.links_degraded += 1,
-                LinkShip::Applied { updates, bytes } => {
+                LinkShip::Applied {
+                    updates,
+                    bytes,
+                    micros: _,
+                } => {
                     round.updates_applied += updates;
                     round.bytes_on_wire += bytes;
                 }

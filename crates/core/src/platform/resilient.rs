@@ -61,6 +61,14 @@ impl Port {
         }
     }
 
+    fn call_span(self) -> &'static str {
+        match self {
+            Port::Trader => "resilience.trader.call",
+            Port::Directory => "resilience.directory.call",
+            Port::Transport => "resilience.transport.call",
+        }
+    }
+
     fn retries(self) -> &'static str {
         match self {
             Port::Trader => "resilience.trader.retries",
@@ -125,6 +133,11 @@ impl Resilience {
     fn note_transitions(&mut self, port: Port, before: BreakerState, now_micros: u64) {
         let after = self.breaker(port).state();
         if before != after {
+            // A breaker transition gets its own span so the trace that
+            // tripped (or re-closed) the breaker shows it in its tree.
+            let span = self
+                .telemetry
+                .span_begin(Layer::Env, "resilience.breaker", now_micros);
             self.telemetry.incr(Layer::Env, port.transition(after));
             self.telemetry.emit(
                 now_micros,
@@ -132,6 +145,7 @@ impl Resilience {
                 "resilience.breaker",
                 format!("{port:?} {} -> {}", before.as_str(), after.as_str()),
             );
+            self.telemetry.span_end(span, now_micros);
         }
     }
 }
@@ -152,6 +166,29 @@ enum CallOutcome<T, E> {
 /// [`ResilientPlatform`], split at every call site so the closure may
 /// take the platform while the driver mutates the policy state.
 fn policed<T, E: LayerError>(
+    inner: &mut dyn Platform,
+    ctl: &mut Resilience,
+    port: Port,
+    op: &'static str,
+    call: impl FnMut(&mut dyn Platform) -> Result<T, E>,
+) -> CallOutcome<T, E> {
+    // One span per policed port call: retries, backoffs and breaker
+    // transitions all nest under it — and under whatever trace the
+    // caller (e.g. an `exchange`) has open — so resilience activity is
+    // attributable to the operation that triggered it.
+    let start = inner.clock().now_micros();
+    let span = ctl
+        .telemetry
+        .span_begin(Layer::Env, port.call_span(), start);
+    let outcome = policed_attempts(inner, ctl, port, op, call);
+    let end = inner.clock().now_micros();
+    ctl.telemetry.span_end(span, end);
+    outcome
+}
+
+/// The retry loop of [`policed`], separated so the wrapping span closes
+/// on every exit path.
+fn policed_attempts<T, E: LayerError>(
     inner: &mut dyn Platform,
     ctl: &mut Resilience,
     port: Port,
@@ -204,6 +241,12 @@ fn policed<T, E: LayerError>(
                 if deadline.expired(now) || backoff > deadline.remaining_micros(now) {
                     return CallOutcome::Failed(e);
                 }
+                // The retry span covers the backoff wait; its end is
+                // the wait's end in platform time even though the
+                // simulated clock does not advance during it.
+                let retry_span =
+                    ctl.telemetry
+                        .span_begin(Layer::Env, "resilience.retry", now.as_micros());
                 ctl.telemetry.incr(Layer::Env, port.retries());
                 ctl.telemetry
                     .record_micros(Layer::Env, "resilience.backoff", backoff);
@@ -213,6 +256,8 @@ fn policed<T, E: LayerError>(
                     "resilience.retry",
                     format!("{op} attempt {} backoff {backoff}µs", attempt + 1),
                 );
+                ctl.telemetry
+                    .span_end(retry_span, now.as_micros().saturating_add(backoff));
                 attempt += 1;
             }
         }

@@ -57,6 +57,14 @@ impl SimPlatform {
     /// MTA on a full-mesh LAN, plus a client node per facade, with a
     /// shared telemetry stream attached to the network.
     pub fn new(seed: u64) -> Self {
+        Self::with_telemetry(seed, Telemetry::new())
+    }
+
+    /// Like [`SimPlatform::new`], but emitting into a caller-supplied
+    /// telemetry stream. Federated environments that share one stream
+    /// this way get *cross-site* traces: a remote exchange's delivery
+    /// spans join the sending exchange's tree.
+    pub fn with_telemetry(seed: u64, telemetry: Telemetry) -> Self {
         let mut b = TopologyBuilder::new();
         let trader_client = b.add_node("env-trader-client");
         let dua_client = b.add_node("env-dua-client");
@@ -67,7 +75,6 @@ impl SimPlatform {
         b.full_mesh(LinkSpec::lan());
         let mut sim = Sim::new(b.build(), seed);
 
-        let telemetry = Telemetry::new();
         sim.attach_telemetry(telemetry.clone());
         let clock = sim.kernel_clock();
 
@@ -106,6 +113,18 @@ impl SimPlatform {
         self.telemetry
             .emit(self.clock.now_micros(), layer, name, detail);
     }
+
+    /// Opens the span a port call lowers into — the layer crossing the
+    /// Figure-4 bench attributes cost to. Simnet send/deliver spans
+    /// open beneath it while the call runs the event loop.
+    fn port_span(&self, layer: Layer, name: &'static str) -> cscw_kernel::SpanContext {
+        self.telemetry
+            .span_begin(layer, name, self.clock.now_micros())
+    }
+
+    fn end_span(&self, ctx: cscw_kernel::SpanContext) {
+        self.telemetry.span_end(ctx, self.clock.now_micros());
+    }
 }
 
 impl TraderPort for SimPlatform {
@@ -123,23 +142,29 @@ impl TraderPort for SimPlatform {
         interface: InterfaceRef,
         properties: Vec<(String, Value)>,
     ) -> Result<OfferId, OdpError> {
+        let span = self.port_span(Layer::Odp, "odp.export");
         self.emit(Layer::Odp, "odp.export", format!("offer of {service_type}"));
-        self.remote_trader.export(
+        let result = self.remote_trader.export(
             &mut self.sim,
             service_type,
             offering_type,
             interface,
             properties,
-        )
+        );
+        self.end_span(span);
+        result
     }
 
     fn import(&mut self, request: &ImportRequest) -> Result<Vec<ServiceOffer>, OdpError> {
+        let span = self.port_span(Layer::Odp, "odp.import");
         self.emit(
             Layer::Odp,
             "odp.import",
             format!("seeking {}", request.service_type),
         );
-        self.remote_trader.import(&mut self.sim, request.clone())
+        let result = self.remote_trader.import(&mut self.sim, request.clone());
+        self.end_span(span);
+        result
     }
 
     fn attach_policy(&mut self, policy: Box<dyn TradingPolicy>) {
@@ -158,8 +183,11 @@ impl TraderPort for SimPlatform {
 
 impl DirectoryPort for SimPlatform {
     fn apply(&mut self, op: DirOp) -> Result<DirResult, DirectoryError> {
+        let span = self.port_span(Layer::Directory, "dir.apply");
         self.emit(Layer::Directory, "dir.apply", format!("{}", op.target()));
-        self.dua.perform(&mut self.sim, op)
+        let result = self.dua.perform(&mut self.sim, op);
+        self.end_span(span);
+        result
     }
 }
 
@@ -171,6 +199,7 @@ impl TransportPort for SimPlatform {
         subject: &str,
         body: &str,
     ) -> Result<u64, MtsError> {
+        let span = self.port_span(Layer::Messaging, "mts.submit");
         self.emit(Layer::Messaging, "mts.submit", format!("{from} -> {to}"));
         if let Some(mta) = self.sim.node_mut::<MtaNode>(self.mta_node) {
             mta.register_mailbox(to.clone());
@@ -180,6 +209,7 @@ impl TransportPort for SimPlatform {
         let id = self
             .courier
             .submit_and_run(&mut self.sim, ipm, SubmitOptions::default());
+        self.end_span(span);
         Ok(id)
     }
 

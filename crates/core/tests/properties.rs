@@ -1,8 +1,10 @@
 //! Property tests for the MOCCA core invariants: access-control
 //! monotonicity, activity-schedule validity, dependency acyclicity,
-//! negotiation safety, and tailoring resolution.
+//! negotiation safety, tailoring resolution, and the telemetry
+//! histogram's quantile math.
 
 use cscw_directory::Dn;
+use cscw_kernel::LogHistogram;
 use mocca::activity::{Activity, ActivityId, DependencyKind, InterActivityModel};
 use mocca::info::{AccessControl, AccessRight, InfoObjectId};
 use mocca::org::{OrgRule, OrganisationalModel, Person, RelationKind, Role, RuleKind};
@@ -222,5 +224,54 @@ proptest! {
             other => return Err(TestCaseError::fail(format!("non-int {other}"))),
         };
         prop_assert!((0..=20).contains(&v), "effective value {v} violates constraint");
+    }
+
+    /// The log-bucketed histogram's quantiles track the exact ranked
+    /// sample from below, within the documented 1/16 relative error —
+    /// for arbitrary sample multisets, not just uniform ones.
+    #[test]
+    fn histogram_quantiles_track_exact_ranked_samples(
+        samples in prop::collection::vec(0u64..2_000_000, 1..300),
+        qi in 0usize..5,
+    ) {
+        let q = [0.0, 0.5, 0.9, 0.99, 1.0][qi];
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        let truth = sorted[rank];
+        let got = h.quantile(q).expect("non-empty histogram");
+        prop_assert!(got <= truth, "quantile({q}) = {got} > exact {truth}");
+        prop_assert!(
+            (truth - got) as f64 <= truth as f64 / 16.0 + 1.0,
+            "quantile({q}) = {got} under-reports exact {truth} beyond 1/16"
+        );
+        // Extremes are exact, whatever the distribution.
+        prop_assert_eq!(h.quantile(0.0), sorted.first().copied());
+        prop_assert_eq!(h.quantile(1.0), sorted.last().copied());
+    }
+
+    /// Quantiles are monotone in `q` and the summary is internally
+    /// consistent for arbitrary samples.
+    #[test]
+    fn histogram_summary_is_internally_consistent(
+        samples in prop::collection::vec(0u64..u64::MAX / 2, 1..200),
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let s = h.summary().expect("non-empty histogram");
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert_eq!(s.min_micros, *samples.iter().min().unwrap());
+        prop_assert_eq!(s.max_micros, *samples.iter().max().unwrap());
+        prop_assert!(s.p50_micros <= s.p90_micros);
+        prop_assert!(s.p90_micros <= s.p99_micros);
+        prop_assert!(s.p99_micros <= s.max_micros);
+        prop_assert!(s.min_micros <= s.p50_micros);
+        prop_assert!(s.mean_micros <= s.max_micros && s.mean_micros >= s.min_micros);
     }
 }

@@ -12,7 +12,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use cscw_kernel::{Layer, Telemetry, Timestamp};
+use cscw_kernel::{Layer, SpanContext, Telemetry, Timestamp};
 use cscw_messaging::gossip::GossipFrame;
 use odp::LinkState;
 use parking_lot::Mutex;
@@ -39,6 +39,10 @@ pub struct RemoteDelivery {
     pub fields: BTreeMap<String, String>,
     /// When the exchange was issued.
     pub at: Timestamp,
+    /// The sending exchange's trace context, carried across the domain
+    /// boundary so the destination's delivery spans join the same
+    /// trace (None when the sender was not tracing).
+    pub ctx: Option<SpanContext>,
 }
 
 /// The environment-facing surface of the fabric. `CscwEnvironment`
@@ -239,10 +243,10 @@ impl FederationFabric {
         inner
             .telemetry
             .incr(Layer::Federation, "federation.gossip.digest");
-        Ok(GossipFrame::digest(
-            domain,
-            encode_digest(&state.replica.digest()),
-        ))
+        // Frames built while a gossip span is open carry its context
+        // over the wire, so the receiver's apply joins the same trace.
+        let ctx = inner.telemetry.current_context();
+        Ok(GossipFrame::digest(domain, encode_digest(&state.replica.digest())).with_ctx(ctx))
     }
 
     /// Answers a digest frame with `domain`'s delta for it.
@@ -267,7 +271,8 @@ impl FederationFabric {
             "federation.gossip.delta",
             delta.len() as u64,
         );
-        Ok(GossipFrame::delta(domain, encode_delta(&delta)))
+        let ctx = inner.telemetry.current_context();
+        Ok(GossipFrame::delta(domain, encode_delta(&delta)).with_ctx(ctx))
     }
 
     /// Applies a delta frame to `domain`'s replica; returns how many
@@ -370,6 +375,10 @@ impl FederationPort for DomainPort {
 
     fn resolve_app(&mut self, app: &str, now: Timestamp) -> Result<Resolution, FederationError> {
         let mut inner = self.inner.lock();
+        let span =
+            inner
+                .telemetry
+                .span_begin(Layer::Federation, "federation.resolve", now.as_micros());
         let advertised = inner.advertised();
         let outcome = inner.trader.resolve(&self.domain, app, &advertised, now);
         let name = match &outcome {
@@ -382,17 +391,24 @@ impl FederationPort for DomainPort {
             Err(_) => "federation.resolve.miss",
         };
         inner.telemetry.incr(Layer::Federation, name);
+        inner.telemetry.span_end(span, now.as_micros());
         outcome
     }
 
     fn route_exchange(&mut self, delivery: RemoteDelivery) -> Result<(), FederationError> {
         let mut inner = self.inner.lock();
+        let at = delivery.at.as_micros();
+        let span = inner
+            .telemetry
+            .span_begin(Layer::Federation, "federation.route", at);
         let to = delivery.to_domain.clone();
         let Some(state) = inner.domains.get_mut(&to) else {
+            inner.telemetry.span_end(span, at);
             return Err(FederationError::UnknownDomain(to));
         };
         state.inbound.push(delivery);
         inner.telemetry.incr(Layer::Federation, "federation.route");
+        inner.telemetry.span_end(span, at);
         Ok(())
     }
 
@@ -443,6 +459,7 @@ mod tests {
             to_app: "com".into(),
             fields: BTreeMap::from([("title".to_owned(), "Minutes".to_owned())]),
             at: Timestamp::ZERO,
+            ctx: None,
         })
         .unwrap();
         let inbound = fabric.take_inbound("env-b");
@@ -470,6 +487,7 @@ mod tests {
                 to_app: "y".into(),
                 fields: BTreeMap::new(),
                 at: Timestamp::ZERO,
+                ctx: None,
             })
             .unwrap_err();
         assert!(matches!(err, FederationError::UnknownDomain(_)));

@@ -36,16 +36,20 @@
 
 mod clock;
 mod error;
+mod metrics;
 mod resilience;
 mod rng;
 mod sched;
 mod telemetry;
 mod time;
+mod trace;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use error::{ErrorClass, KernelError, LayerError};
+pub use metrics::{json_escape, LogHistogram, MetricsSnapshot};
 pub use resilience::{BreakerState, CircuitBreaker, Deadline, RetryPolicy};
 pub use rng::SeededRng;
 pub use sched::{EventQueue, Periodic};
 pub use telemetry::{HistogramSummary, Layer, Telemetry, TelemetryEvent};
 pub use time::Timestamp;
+pub use trace::{SpanContext, SpanId, SpanRecord, Trace, TraceId};

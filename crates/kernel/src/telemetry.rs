@@ -4,16 +4,25 @@
 //! over OSI services; this module makes that stack *observable*. Every
 //! layer emits counters, duration samples and (bounded) events into one
 //! shared [`Telemetry`] handle, each tagged with the [`Layer`] it came
-//! from, so a single end-to-end operation can be traced down the stack:
-//! App → Env → Odp → Messaging/Directory → Net.
+//! from, and opens [`SpanRecord`]s parented on the work above it, so a
+//! single end-to-end operation is a causally-ordered tree down the
+//! stack: App → Env → Federation → Odp → Messaging/Directory → Net.
 //!
-//! `Telemetry` is a cheaply-cloneable handle (`Arc<Mutex<_>>`): the
-//! simulator core, every simulated node, and the platform front-end all
-//! hold clones of the same stream.
+//! `Telemetry` is a cheaply-cloneable handle: the simulator core, every
+//! simulated node, and the platform front-end all hold clones of the
+//! same stream. Counters and histograms are sharded per [`Layer`]
+//! behind independent locks, so hot paths in different layers never
+//! contend; histograms are fixed-memory [`LogHistogram`]s answering
+//! p50/p90/p99 with bounded error. Events and spans are bounded stores
+//! with explicit drop accounting ([`Telemetry::dropped_events`] /
+//! [`Telemetry::dropped_spans`]) — nothing is lost silently.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
+
+use crate::metrics::{LogHistogram, MetricsSnapshot};
+use crate::trace::{SpanContext, SpanId, SpanRecord, Trace, TraceId};
 
 /// The architectural layer an observation came from (Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -34,6 +43,32 @@ pub enum Layer {
     /// Applications (groupware tools) above the environment.
     App,
 }
+
+/// Shard count: one lock per [`Layer`] variant.
+const LAYER_COUNT: usize = 7;
+
+/// Every layer, in `Layer`'s `Ord` order (Net first).
+const LAYERS: [Layer; LAYER_COUNT] = [
+    Layer::Net,
+    Layer::Directory,
+    Layer::Messaging,
+    Layer::Odp,
+    Layer::Federation,
+    Layer::Env,
+    Layer::App,
+];
+
+/// Every layer in Figure-4 depth order (App first, Net last; peers at
+/// equal depth ordered by name). Snapshots group in this order.
+const LAYERS_BY_DEPTH: [Layer; LAYER_COUNT] = [
+    Layer::App,
+    Layer::Env,
+    Layer::Federation,
+    Layer::Odp,
+    Layer::Directory,
+    Layer::Messaging,
+    Layer::Net,
+];
 
 impl Layer {
     /// Stable lowercase name, used in rendered telemetry.
@@ -63,6 +98,19 @@ impl Layer {
             Layer::Net => 5,
         }
     }
+
+    /// Index of this layer's storage shard.
+    fn shard(self) -> usize {
+        match self {
+            Layer::Net => 0,
+            Layer::Directory => 1,
+            Layer::Messaging => 2,
+            Layer::Odp => 3,
+            Layer::Federation => 4,
+            Layer::Env => 5,
+            Layer::App => 6,
+        }
+    }
 }
 
 impl fmt::Display for Layer {
@@ -82,6 +130,9 @@ pub struct TelemetryEvent {
     pub name: &'static str,
     /// Free-form context, e.g. the artifact or node involved.
     pub detail: String,
+    /// The span that was ambient when the event was emitted, if any —
+    /// ties the event into its trace's tree.
+    pub span: Option<SpanContext>,
 }
 
 impl fmt::Display for TelemetryEvent {
@@ -99,24 +150,58 @@ impl fmt::Display for TelemetryEvent {
 }
 
 /// Summary statistics over one histogram's samples.
+///
+/// `count`, the extremes and the mean are exact; the quantiles come
+/// from the log-bucketed [`LogHistogram`] and are accurate to the
+/// containing bucket (relative error ≤ 1/16), with `p50 ≤ p90 ≤ p99`
+/// always holding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSummary {
     /// Number of samples.
     pub count: u64,
-    /// Smallest sample, in microseconds.
+    /// Smallest sample, in microseconds (exact).
     pub min_micros: u64,
-    /// Largest sample, in microseconds.
+    /// Largest sample, in microseconds (exact).
     pub max_micros: u64,
-    /// Arithmetic mean, in microseconds.
+    /// Arithmetic mean, in microseconds (exact).
     pub mean_micros: u64,
+    /// Median, in microseconds.
+    pub p50_micros: u64,
+    /// 90th percentile, in microseconds.
+    pub p90_micros: u64,
+    /// 99th percentile, in microseconds.
+    pub p99_micros: u64,
 }
 
+/// Per-layer counter and histogram storage: each layer has its own
+/// shard behind its own lock, so emissions in different layers never
+/// contend and lookups are `O(log n)` map gets.
 #[derive(Debug, Default)]
-struct Inner {
-    counters: BTreeMap<(Layer, &'static str), u64>,
-    histograms: BTreeMap<(Layer, &'static str), Vec<u64>>,
+struct Shard {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, LogHistogram>,
+}
+
+/// The bounded event/span stores plus the ambient span stack.
+#[derive(Debug)]
+struct Stream {
     events: Vec<TelemetryEvent>,
     event_capacity: usize,
+    events_dropped: u64,
+    spans: Vec<SpanRecord>,
+    span_capacity: usize,
+    spans_dropped: u64,
+    /// Ambient context: the innermost open span. Single-threaded
+    /// simulation runs make this a faithful call stack; explicit-parent
+    /// continuation ([`Telemetry::span_begin_with_parent`]) covers the
+    /// asynchronous hops (wire frames, deferred delivery).
+    stack: Vec<SpanContext>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    shards: [Mutex<Shard>; LAYER_COUNT],
+    stream: Mutex<Stream>,
 }
 
 /// A cheaply-cloneable, layer-tagged telemetry stream.
@@ -127,14 +212,22 @@ struct Inner {
 /// use cscw_kernel::{Layer, Telemetry};
 ///
 /// let t = Telemetry::new();
-/// t.incr(Layer::Net, "messages_sent");
-/// t.emit(10, Layer::Env, "exchange.submit", "artifact a1");
-/// assert_eq!(t.counter(Layer::Net, "messages_sent"), 1);
+/// t.incr(Layer::Net, "net.sent");
+/// t.emit(10, Layer::Env, "env.exchange.submit", "artifact a1");
+/// assert_eq!(t.counter(Layer::Net, "net.sent"), 1);
 /// assert_eq!(t.events()[0].layer, Layer::Env);
+///
+/// // Spans tie observations into one causally-ordered trace:
+/// let root = t.span_begin(Layer::App, "app.exchange", 10);
+/// let child = t.span_begin(Layer::Env, "env.exchange", 11);
+/// t.span_end(child, 12);
+/// t.span_end(root, 13);
+/// let trace = t.trace(root.trace).unwrap();
+/// assert!(trace.is_depth_ordered());
 /// ```
 #[derive(Debug, Clone)]
 pub struct Telemetry {
-    inner: Arc<Mutex<Inner>>,
+    shared: Arc<Shared>,
 }
 
 impl Default for Telemetry {
@@ -144,25 +237,40 @@ impl Default for Telemetry {
 }
 
 const DEFAULT_EVENT_CAPACITY: usize = 1 << 14;
+const DEFAULT_SPAN_CAPACITY: usize = 1 << 14;
 
 impl Telemetry {
-    /// Creates an empty stream with the default event capacity.
+    /// Creates an empty stream with the default event/span capacities.
     pub fn new() -> Self {
         Telemetry {
-            inner: Arc::new(Mutex::new(Inner {
-                event_capacity: DEFAULT_EVENT_CAPACITY,
-                ..Inner::default()
-            })),
+            shared: Arc::new(Shared {
+                shards: Default::default(),
+                stream: Mutex::new(Stream {
+                    events: Vec::new(),
+                    event_capacity: DEFAULT_EVENT_CAPACITY,
+                    events_dropped: 0,
+                    spans: Vec::new(),
+                    span_capacity: DEFAULT_SPAN_CAPACITY,
+                    spans_dropped: 0,
+                    stack: Vec::new(),
+                }),
+            }),
         }
     }
 
     /// True when `other` is a clone of this handle (same stream).
     pub fn same_stream(&self, other: &Telemetry) -> bool {
-        Arc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.shared, &other.shared)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn shard(&self, layer: Layer) -> std::sync::MutexGuard<'_, Shard> {
+        self.shared.shards[layer.shard()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn stream(&self) -> std::sync::MutexGuard<'_, Stream> {
+        self.shared.stream.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Adds one to a layer-tagged counter.
@@ -172,64 +280,46 @@ impl Telemetry {
 
     /// Adds `n` to a layer-tagged counter.
     pub fn add(&self, layer: Layer, name: &'static str, n: u64) {
-        *self.lock().counters.entry((layer, name)).or_insert(0) += n;
+        *self.shard(layer).counters.entry(name).or_insert(0) += n;
     }
 
     /// Reads a counter; unknown names read as zero.
     pub fn counter(&self, layer: Layer, name: &str) -> u64 {
-        self.lock()
-            .counters
-            .iter()
-            .find(|((l, n), _)| *l == layer && *n == name)
-            .map(|(_, &v)| v)
-            .unwrap_or(0)
+        self.shard(layer).counters.get(name).copied().unwrap_or(0)
     }
 
     /// Sum of one counter name across all layers.
     pub fn counter_across_layers(&self, name: &str) -> u64 {
-        self.lock()
-            .counters
+        LAYERS
             .iter()
-            .filter(|((_, n), _)| *n == name)
-            .map(|(_, &v)| v)
+            .map(|&l| self.shard(l).counters.get(name).copied().unwrap_or(0))
             .sum()
     }
 
     /// Records a duration sample (microseconds) into a layer-tagged
-    /// histogram.
+    /// fixed-memory log-bucketed histogram.
     pub fn record_micros(&self, layer: Layer, name: &'static str, micros: u64) {
-        self.lock()
+        self.shard(layer)
             .histograms
-            .entry((layer, name))
+            .entry(name)
             .or_default()
-            .push(micros);
+            .record(micros);
     }
 
-    /// Summary of a histogram, or `None` when it has no samples.
+    /// Summary of a histogram (exact count/extremes/mean, bucketed
+    /// p50/p90/p99), or `None` when it has no samples.
     pub fn histogram(&self, layer: Layer, name: &str) -> Option<HistogramSummary> {
-        let guard = self.lock();
-        let samples = guard
-            .histograms
-            .iter()
-            .find(|((l, n), _)| *l == layer && *n == name)
-            .map(|(_, v)| v)?;
-        if samples.is_empty() {
-            return None;
-        }
-        let total: u128 = samples.iter().map(|&s| s as u128).sum();
-        let (min_micros, max_micros) = samples
-            .iter()
-            .fold((u64::MAX, 0u64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
-        Some(HistogramSummary {
-            count: samples.len() as u64,
-            min_micros,
-            max_micros,
-            mean_micros: (total / samples.len() as u128) as u64,
-        })
+        self.shard(layer).histograms.get(name)?.summary()
     }
 
-    /// Appends an event (dropped silently once the capacity is reached —
-    /// the prefix of a run is the interesting part for debugging).
+    /// One quantile of a histogram, or `None` when it has no samples.
+    pub fn histogram_quantile(&self, layer: Layer, name: &str, q: f64) -> Option<u64> {
+        self.shard(layer).histograms.get(name)?.quantile(q)
+    }
+
+    /// Appends an event, stamped with the ambient span context if a
+    /// span is open. Once the bounded store is full the event is
+    /// dropped and counted — see [`Telemetry::dropped_events`].
     pub fn emit(
         &self,
         at_micros: u64,
@@ -237,50 +327,222 @@ impl Telemetry {
         name: &'static str,
         detail: impl Into<String>,
     ) {
-        let mut guard = self.lock();
-        if guard.events.len() < guard.event_capacity {
+        let mut stream = self.stream();
+        if stream.events.len() < stream.event_capacity {
             let detail = detail.into();
-            guard.events.push(TelemetryEvent {
+            let span = stream.stack.last().copied();
+            stream.events.push(TelemetryEvent {
                 at_micros,
                 layer,
                 name,
                 detail,
+                span,
             });
+        } else {
+            stream.events_dropped += 1;
         }
     }
 
     /// Changes the maximum retained event count (existing events are
     /// kept, even beyond a smaller new capacity).
     pub fn set_event_capacity(&self, capacity: usize) {
-        self.lock().event_capacity = capacity;
+        self.stream().event_capacity = capacity;
+    }
+
+    /// Changes the maximum retained span-record count (existing records
+    /// are kept, even beyond a smaller new capacity).
+    pub fn set_span_capacity(&self, capacity: usize) {
+        self.stream().span_capacity = capacity;
+    }
+
+    /// Events dropped because the bounded event store was full — the
+    /// `telemetry.events.dropped` counter. Zero means [`Telemetry::events`]
+    /// is complete.
+    pub fn dropped_events(&self) -> u64 {
+        self.stream().events_dropped
+    }
+
+    /// Span records dropped because the bounded span store was full —
+    /// the `telemetry.spans.dropped` counter.
+    pub fn dropped_spans(&self) -> u64 {
+        self.stream().spans_dropped
+    }
+
+    /// Opens a span in `layer`, parented on the ambient span if one is
+    /// open; otherwise the span roots a freshly-minted trace. The new
+    /// span becomes the ambient context until [`Telemetry::span_end`].
+    pub fn span_begin(&self, layer: Layer, name: &'static str, at_micros: u64) -> SpanContext {
+        let mut stream = self.stream();
+        let parent = stream.stack.last().copied();
+        self.open_span(&mut stream, parent, layer, name, at_micros)
+    }
+
+    /// Opens a span continuing an explicit `parent` context — the
+    /// cross-boundary form used where causality hops a wire or a
+    /// deferred delivery instead of the call stack (federation frames,
+    /// simnet message delivery, remote exchange routing).
+    pub fn span_begin_with_parent(
+        &self,
+        parent: SpanContext,
+        layer: Layer,
+        name: &'static str,
+        at_micros: u64,
+    ) -> SpanContext {
+        let mut stream = self.stream();
+        self.open_span(&mut stream, Some(parent), layer, name, at_micros)
+    }
+
+    fn open_span(
+        &self,
+        stream: &mut Stream,
+        parent: Option<SpanContext>,
+        layer: Layer,
+        name: &'static str,
+        at_micros: u64,
+    ) -> SpanContext {
+        let trace = parent.map(|p| p.trace).unwrap_or_else(TraceId::mint);
+        let ctx = SpanContext {
+            trace,
+            span: SpanId::mint(),
+        };
+        if stream.spans.len() < stream.span_capacity {
+            stream.spans.push(SpanRecord {
+                id: ctx.span,
+                trace,
+                parent: parent.map(|p| p.span),
+                layer,
+                name,
+                start_micros: at_micros,
+                end_micros: None,
+            });
+        } else {
+            stream.spans_dropped += 1;
+        }
+        stream.stack.push(ctx);
+        ctx
+    }
+
+    /// Closes a span. Any spans opened above it that were never closed
+    /// are unwound from the ambient stack (their records stay open).
+    pub fn span_end(&self, ctx: SpanContext, at_micros: u64) {
+        let mut stream = self.stream();
+        if let Some(pos) = stream.stack.iter().rposition(|c| *c == ctx) {
+            stream.stack.truncate(pos);
+        }
+        if let Some(record) = stream.spans.iter_mut().rev().find(|s| s.id == ctx.span) {
+            record.end_micros = Some(at_micros);
+        }
+    }
+
+    /// The ambient (innermost open) span context, if any — what an
+    /// emission site should stamp onto anything that leaves the call
+    /// stack (a wire frame, a queued delivery).
+    pub fn current_context(&self) -> Option<SpanContext> {
+        self.stream().stack.last().copied()
     }
 
     /// Snapshot of all recorded events, in emission order.
     pub fn events(&self) -> Vec<TelemetryEvent> {
-        self.lock().events.clone()
+        self.stream().events.clone()
+    }
+
+    /// Snapshot of all recorded span records, in creation order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.stream().spans.clone()
+    }
+
+    /// Distinct trace ids, in order of first span creation.
+    pub fn traces(&self) -> Vec<TraceId> {
+        let stream = self.stream();
+        let mut seen = Vec::new();
+        for span in &stream.spans {
+            if !seen.contains(&span.trace) {
+                seen.push(span.trace);
+            }
+        }
+        seen
+    }
+
+    /// Reassembles one trace: its spans (creation order) and every
+    /// event stamped with one of its spans. `None` if no span of that
+    /// trace was recorded.
+    pub fn trace(&self, id: TraceId) -> Option<Trace> {
+        let stream = self.stream();
+        let spans: Vec<SpanRecord> = stream
+            .spans
+            .iter()
+            .filter(|s| s.trace == id)
+            .cloned()
+            .collect();
+        if spans.is_empty() {
+            return None;
+        }
+        let events = stream
+            .events
+            .iter()
+            .filter(|e| e.span.map(|c| c.trace == id).unwrap_or(false))
+            .cloned()
+            .collect();
+        Some(Trace { id, spans, events })
     }
 
     /// The distinct layers that have emitted at least one event, in
     /// `Layer` order.
     pub fn layers_seen(&self) -> Vec<Layer> {
-        let guard = self.lock();
-        let mut layers: Vec<Layer> = guard.events.iter().map(|e| e.layer).collect();
+        let stream = self.stream();
+        let mut layers: Vec<Layer> = stream.events.iter().map(|e| e.layer).collect();
         layers.sort_unstable();
         layers.dedup();
         layers
     }
 
-    /// Snapshot of all counters as `((layer, name), value)`, sorted.
+    /// Snapshot of all counters as `((layer, name), value)`, sorted by
+    /// `Layer` order then name.
     pub fn counters(&self) -> Vec<((Layer, &'static str), u64)> {
-        self.lock().counters.iter().map(|(&k, &v)| (k, v)).collect()
+        let mut out = Vec::new();
+        for &layer in &LAYERS {
+            for (&name, &v) in self.shard(layer).counters.iter() {
+                out.push(((layer, name), v));
+            }
+        }
+        out
     }
 
-    /// Drops all recorded data (capacity is unchanged).
+    /// A deterministic machine-readable capture of every counter and
+    /// histogram, grouped by Figure-4 depth — see
+    /// [`MetricsSnapshot::to_json`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for &layer in &LAYERS_BY_DEPTH {
+            let shard = self.shard(layer);
+            for (&name, &v) in shard.counters.iter() {
+                snap.counters.push((layer, name.to_string(), v));
+            }
+            for (&name, h) in shard.histograms.iter() {
+                if let Some(summary) = h.summary() {
+                    snap.histograms.push((layer, name.to_string(), summary));
+                }
+            }
+        }
+        let stream = self.stream();
+        snap.dropped_events = stream.events_dropped;
+        snap.dropped_spans = stream.spans_dropped;
+        snap
+    }
+
+    /// Drops all recorded data (capacities are unchanged).
     pub fn clear(&self) {
-        let mut guard = self.lock();
-        guard.counters.clear();
-        guard.histograms.clear();
-        guard.events.clear();
+        for &layer in &LAYERS {
+            let mut shard = self.shard(layer);
+            shard.counters.clear();
+            shard.histograms.clear();
+        }
+        let mut stream = self.stream();
+        stream.events.clear();
+        stream.events_dropped = 0;
+        stream.spans.clear();
+        stream.spans_dropped = 0;
+        stream.stack.clear();
     }
 
     /// Renders the full stream (counters then events) for debugging.
@@ -292,6 +554,10 @@ impl Telemetry {
         }
         for e in self.events() {
             let _ = writeln!(out, "{e}");
+        }
+        let dropped = self.dropped_events();
+        if dropped > 0 {
+            let _ = writeln!(out, "telemetry.events.dropped: {dropped}");
         }
         out
     }
@@ -324,20 +590,23 @@ mod tests {
     }
 
     #[test]
-    fn events_are_ordered_and_bounded() {
+    fn events_are_ordered_and_bounded_with_drop_accounting() {
         let t = Telemetry::new();
         t.set_event_capacity(2);
         t.emit(1, Layer::App, "one", "");
         t.emit(2, Layer::Env, "two", "x");
+        assert_eq!(t.dropped_events(), 0);
         t.emit(3, Layer::Net, "three", "");
         let events = t.events();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].name, "one");
         assert_eq!(events[1].detail, "x");
+        assert_eq!(t.dropped_events(), 1);
+        assert_eq!(t.snapshot().dropped_events, 1);
     }
 
     #[test]
-    fn histograms_summarise() {
+    fn histograms_summarise_with_quantiles() {
         let t = Telemetry::new();
         assert!(t.histogram(Layer::Net, "latency").is_none());
         for us in [10, 20, 30] {
@@ -348,6 +617,10 @@ mod tests {
         assert_eq!(s.min_micros, 10);
         assert_eq!(s.max_micros, 30);
         assert_eq!(s.mean_micros, 20);
+        assert!(s.p50_micros >= 10 && s.p50_micros <= 20);
+        assert_eq!(s.p99_micros, 30);
+        assert!(s.p50_micros <= s.p90_micros && s.p90_micros <= s.p99_micros);
+        assert_eq!(t.histogram_quantile(Layer::Net, "latency", 1.0), Some(30));
     }
 
     #[test]
@@ -381,5 +654,89 @@ mod tests {
         t.clear();
         assert!(t.events().is_empty());
         assert_eq!(t.counter(Layer::Odp, "exports"), 0);
+    }
+
+    #[test]
+    fn spans_nest_via_the_ambient_stack() {
+        let t = Telemetry::new();
+        let root = t.span_begin(Layer::App, "app.exchange", 1);
+        let env = t.span_begin(Layer::Env, "env.exchange", 2);
+        assert_eq!(t.current_context(), Some(env));
+        assert_eq!(env.trace, root.trace);
+        t.emit(3, Layer::Env, "env.note", "");
+        t.span_end(env, 4);
+        assert_eq!(t.current_context(), Some(root));
+        t.span_end(root, 5);
+        assert_eq!(t.current_context(), None);
+
+        let trace = t.trace(root.trace).unwrap();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[1].parent, Some(root.span));
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0].span, Some(env));
+        assert!(trace.is_depth_ordered());
+        let tree = trace.render_tree();
+        assert!(tree.contains("app/app.exchange"));
+        assert!(tree.contains("  env/env.exchange"));
+        assert!(tree.contains("    · env/env.note"));
+    }
+
+    #[test]
+    fn explicit_parent_continues_a_trace_across_boundaries() {
+        let t = Telemetry::new();
+        let root = t.span_begin(Layer::Env, "env.exchange", 1);
+        let carried = t.current_context().unwrap();
+        t.span_end(root, 2);
+        assert_eq!(t.current_context(), None);
+
+        // Later — e.g. on frame delivery — the carried context resumes
+        // the same trace even though the stack is empty.
+        let cont = t.span_begin_with_parent(carried, Layer::Net, "net.deliver", 9);
+        assert_eq!(cont.trace, root.trace);
+        t.span_end(cont, 10);
+        let trace = t.trace(root.trace).unwrap();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[1].parent, Some(root.span));
+        assert_eq!(trace.spans[1].duration_micros(), 1);
+    }
+
+    #[test]
+    fn span_store_is_bounded_with_drop_accounting() {
+        let t = Telemetry::new();
+        t.set_span_capacity(1);
+        let a = t.span_begin(Layer::App, "app.a", 1);
+        let b = t.span_begin(Layer::Env, "env.b", 2);
+        assert_eq!(b.trace, a.trace); // nesting survives the drop
+        t.span_end(b, 3);
+        t.span_end(a, 4);
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.dropped_spans(), 1);
+        assert_eq!(t.snapshot().dropped_spans, 1);
+    }
+
+    #[test]
+    fn span_end_unwinds_unclosed_children() {
+        let t = Telemetry::new();
+        let root = t.span_begin(Layer::App, "app.a", 1);
+        let _leak = t.span_begin(Layer::Env, "env.b", 2);
+        t.span_end(root, 3); // closes root, unwinds the leaked child
+        assert_eq!(t.current_context(), None);
+        let next = t.span_begin(Layer::App, "app.c", 4);
+        assert_ne!(next.trace, root.trace);
+        t.span_end(next, 5);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_depth_grouped() {
+        let t = Telemetry::new();
+        t.incr(Layer::Net, "net.sent");
+        t.incr(Layer::App, "app.exchange");
+        t.record_micros(Layer::Env, "env.latency", 7);
+        let json = t.snapshot().to_json();
+        assert_eq!(json, t.snapshot().to_json());
+        let app = json.find("\"app\":").unwrap();
+        let net = json.find("\"net\":").unwrap();
+        assert!(app < net, "snapshot groups App before Net: {json}");
+        assert!(json.contains("\"env.latency\":{\"count\":1"));
     }
 }

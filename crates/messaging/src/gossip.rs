@@ -11,8 +11,16 @@
 //! The codec is versioned (`gossip/1`) and splits on the first three
 //! `|` separators only, so frame bodies may contain arbitrary text
 //! (including `|`) without escaping.
+//!
+//! Frames optionally carry a [`SpanContext`] so a gossip round's trace
+//! survives the wire: the context rides in the origin field as
+//! `origin@<trace>.<span>` (a suffix old decoders never produced and
+//! plain origins never contain), keeping the `gossip/1` grammar and
+//! separator count unchanged.
 
 use std::fmt;
+
+use cscw_kernel::SpanContext;
 
 /// What a gossip frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +49,8 @@ pub struct GossipFrame {
     pub kind: FrameKind,
     /// The federation domain that produced the frame.
     pub origin: String,
+    /// The producing gossip round's trace context, if it was traced.
+    pub ctx: Option<SpanContext>,
     /// Layer-above payload (digest watermarks, serialized updates).
     pub body: String,
 }
@@ -95,6 +105,7 @@ impl GossipFrame {
         GossipFrame {
             kind: FrameKind::Digest,
             origin: origin.into(),
+            ctx: None,
             body: body.into(),
         }
     }
@@ -104,13 +115,31 @@ impl GossipFrame {
         GossipFrame {
             kind: FrameKind::Delta,
             origin: origin.into(),
+            ctx: None,
             body: body.into(),
         }
     }
 
-    /// Encodes to the wire string: `gossip/1|<kind>|<origin>|<body>`.
+    /// Stamps (or clears) the frame's trace context.
+    pub fn with_ctx(mut self, ctx: Option<SpanContext>) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Encodes to the wire string: `gossip/1|<kind>|<origin>|<body>`,
+    /// with a traced frame's origin rendered as
+    /// `<origin>@<trace>.<span>`.
     pub fn encode(&self) -> String {
-        format!("gossip/1|{}|{}|{}", self.kind.tag(), self.origin, self.body)
+        match self.ctx {
+            Some(ctx) => format!(
+                "gossip/1|{}|{}@{}|{}",
+                self.kind.tag(),
+                self.origin,
+                ctx.encode(),
+                self.body
+            ),
+            None => format!("gossip/1|{}|{}|{}", self.kind.tag(), self.origin, self.body),
+        }
     }
 
     /// Decodes a wire string.
@@ -130,7 +159,17 @@ impl GossipFrame {
             Some(other) => return Err(GossipCodecError::BadKind(other.to_owned())),
             None => return Err(GossipCodecError::Truncated),
         };
-        let origin = parts.next().ok_or(GossipCodecError::Truncated)?;
+        let origin_field = parts.next().ok_or(GossipCodecError::Truncated)?;
+        // A trailing `@<trace>.<span>` suffix is the optional trace
+        // context; an `@` whose suffix does not parse is treated as
+        // part of the origin (plain `gossip/1` compatibility).
+        let (origin, ctx) = match origin_field.rsplit_once('@') {
+            Some((o, tail)) => match SpanContext::decode(tail) {
+                Some(ctx) => (o, Some(ctx)),
+                None => (origin_field, None),
+            },
+            None => (origin_field, None),
+        };
         if origin.is_empty() {
             return Err(GossipCodecError::BadOrigin(origin.to_owned()));
         }
@@ -138,6 +177,7 @@ impl GossipFrame {
         Ok(GossipFrame {
             kind,
             origin: origin.to_owned(),
+            ctx,
             body: body.to_owned(),
         })
     }
@@ -164,6 +204,29 @@ mod tests {
             assert!(GossipFrame::is_gossip(&wire));
             assert_eq!(GossipFrame::decode(&wire).unwrap(), frame);
         }
+    }
+
+    #[test]
+    fn trace_context_rides_the_origin_field() {
+        let ctx = SpanContext::decode("2a.1f").unwrap();
+        let frame = GossipFrame::delta("env-a", "payload").with_ctx(Some(ctx));
+        let wire = frame.encode();
+        assert!(wire.starts_with("gossip/1|delta|env-a@"));
+        let decoded = GossipFrame::decode(&wire).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(decoded.ctx, Some(ctx));
+        assert_eq!(decoded.origin, "env-a");
+    }
+
+    #[test]
+    fn legacy_frames_and_at_signs_still_decode() {
+        // A frame from a pre-tracing encoder has no context.
+        let decoded = GossipFrame::decode("gossip/1|digest|env-a|body").unwrap();
+        assert_eq!(decoded.ctx, None);
+        // An `@` whose suffix is not a span context stays in the origin.
+        let decoded = GossipFrame::decode("gossip/1|digest|env@lan|body").unwrap();
+        assert_eq!(decoded.origin, "env@lan");
+        assert_eq!(decoded.ctx, None);
     }
 
     #[test]

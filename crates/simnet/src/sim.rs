@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cscw_kernel::{EventQueue, Layer, ManualClock, Telemetry};
+use cscw_kernel::{EventQueue, Layer, ManualClock, SpanContext, Telemetry};
 
 use crate::id::{MessageId, NodeId, TimerId};
 use crate::metrics::Metrics;
@@ -50,6 +50,10 @@ pub struct Message {
     pub size: u64,
     /// When the sender handed the message to the network.
     pub sent_at: SimTime,
+    /// The trace context this send belongs to, if the sender was inside
+    /// one — delivery resumes it, so a message delivered long after the
+    /// originating call still lands in the right span tree.
+    pub span: Option<SpanContext>,
     /// The payload; downcast to the protocol type.
     pub payload: Payload,
 }
@@ -280,6 +284,16 @@ impl Core {
         let id = MessageId(self.next_msg);
         self.next_msg += 1;
         self.metrics.incr("messages_sent");
+        // If the sender is inside a traced operation, this send gets a
+        // Net-layer span of its own, and the message carries its
+        // context so the (possibly much later) delivery parents on it.
+        let span = self.telemetry.as_ref().and_then(|t| {
+            t.current_context().map(|_| {
+                let s = t.span_begin(Layer::Net, "net.send", self.now.as_micros());
+                t.span_end(s, self.now.as_micros());
+                s
+            })
+        });
         if let Some(t) = &self.telemetry {
             t.incr(Layer::Net, "net.sent");
             t.emit(
@@ -313,6 +327,7 @@ impl Core {
                 to,
                 size,
                 sent_at: self.now,
+                span,
                 payload,
             };
             self.push(self.now, EventKind::Deliver(msg));
@@ -366,6 +381,7 @@ impl Core {
             to,
             size,
             sent_at: self.now,
+            span,
             payload,
         };
         self.push(deliver_at, EventKind::Deliver(msg));
@@ -713,6 +729,22 @@ impl Sim {
                 self.core
                     .trace
                     .push(self.core.now, TraceKind::Delivered { id, from, to });
+                // Resume the sender's trace for the delivery: the
+                // receiving handler's own emissions nest under this
+                // span even when delivery runs long after the send.
+                let deliver_span = match (&self.core.telemetry, msg.span) {
+                    (Some(t), Some(parent)) => {
+                        let t = t.clone();
+                        let s = t.span_begin_with_parent(
+                            parent,
+                            Layer::Net,
+                            "net.deliver",
+                            self.core.now.as_micros(),
+                        );
+                        Some((t, s))
+                    }
+                    _ => None,
+                };
                 if let Some(mut behaviour) = self.nodes[to.index()].take() {
                     let mut ctx = NodeCtx {
                         core: &mut self.core,
@@ -722,6 +754,9 @@ impl Sim {
                     self.nodes[to.index()] = Some(behaviour);
                 } else {
                     self.core.metrics.incr("delivered_unhandled");
+                }
+                if let Some((t, s)) = deliver_span {
+                    t.span_end(s, self.core.now.as_micros());
                 }
             }
         }

@@ -322,6 +322,24 @@ fn run_storm(seed: u64) -> Vec<(String, u64)> {
     // Retries actually happened — the storm exercised the layer.
     assert!(s.counter("resilience.trader.retries") >= 1);
 
+    // And they are attributable: the resilience spans sit inside the
+    // trace of the exchange that triggered them, not floating free.
+    let telemetry = s.env.telemetry().clone();
+    let attributed = telemetry
+        .traces()
+        .into_iter()
+        .filter_map(|id| telemetry.trace(id))
+        .find(|tr| {
+            !tr.spans_named("app.exchange").is_empty()
+                && !tr.spans_named("resilience.retry").is_empty()
+        })
+        .expect("some exchange's trace must contain its retries");
+    assert!(
+        attributed.is_depth_ordered(),
+        "resilience spans break depth order; tree:\n{}",
+        attributed.render_tree()
+    );
+
     // Fingerprint for the determinism check.
     let mut print: Vec<(String, u64)> = Vec::new();
     for name in [

@@ -5,8 +5,9 @@
 //! the environment on ODP functions (trading, directory, messaging),
 //! and those on the network. This test drives a single
 //! `CscwEnvironment::exchange` on the simulated platform and checks the
-//! telemetry stream for exactly that story: events tagged at every
-//! layer, appearing top-down in order.
+//! telemetry stream for exactly that story: one trace whose span tree
+//! descends the stack layer by layer — causality asserted from
+//! parent→child edges, not inferred from event-name ordering.
 
 use open_cscw::kernel::Layer;
 use open_cscw::kernel::Timestamp;
@@ -68,27 +69,38 @@ fn one_exchange_touches_every_layer_of_the_figure4_stack() {
         assert!(layers.contains(&layer), "missing {layer:?} in {layers:?}");
     }
 
-    // The Figure-4 order App → Env → Odp → Messaging → Net appears as
-    // an in-order subsequence of the event stream: the application's
-    // request enters at the top and each layer hands down to the next.
-    let events = telemetry.events();
-    let stack = [
-        Layer::App,
-        Layer::Env,
-        Layer::Odp,
-        Layer::Messaging,
-        Layer::Net,
-    ];
-    let mut want = stack.iter().peekable();
-    for ev in &events {
-        if want.peek() == Some(&&ev.layer) {
-            want.next();
-        }
-    }
+    // The Figure-4 story is causal, not coincidental: the exchange
+    // roots exactly one trace, and every parent→child span edge in
+    // that trace goes down (or stays level in) the stack.
+    let traces = telemetry.traces();
+    let trace = traces
+        .iter()
+        .filter_map(|id| telemetry.trace(*id))
+        .find(|tr| !tr.spans_named("app.exchange").is_empty())
+        .expect("the exchange roots a trace");
     assert!(
-        want.peek().is_none(),
-        "stack order not honoured; events: {:?}",
-        events.iter().map(|e| (e.layer, e.name)).collect::<Vec<_>>()
+        trace.is_depth_ordered(),
+        "stack order not honoured; tree:\n{}",
+        trace.render_tree()
+    );
+    let span_layers = trace.layers();
+    assert!(
+        span_layers.len() >= 5,
+        "expected spans in at least 5 layers, saw {span_layers:?}"
+    );
+    assert_eq!(
+        span_layers.first(),
+        Some(&Layer::App),
+        "the trace enters the stack at the application layer"
+    );
+    let tree = trace.render_tree();
+    assert!(
+        tree.starts_with("app/app.exchange"),
+        "the rendered tree is rooted at the app: \n{tree}"
+    );
+    assert!(
+        tree.contains("net/net.send"),
+        "the lowering reaches the wire: \n{tree}"
     );
 
     // The lowering was real: the destination application's mailbox got
