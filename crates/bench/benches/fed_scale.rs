@@ -61,6 +61,7 @@ fn exchange_latency() -> (LogHistogram, LogHistogram) {
     let mut local_hist = LogHistogram::new();
     let mut local = site(&["sharedx", "com"]);
     for _ in 0..LATENCY_ITERS {
+        // conform: allow(determinism) — criterion-style timing loop; wall time is the measurement
         let start = Instant::now();
         local
             .exchange(&tom, &artifact, &AppId::new("com"), Timestamp::ZERO)
@@ -74,6 +75,7 @@ fn exchange_latency() -> (LogHistogram, LogHistogram) {
     fed.federate("env-b", site(&["com"]));
     fed.link_bidi("env-a", "env-b");
     for _ in 0..LATENCY_ITERS {
+        // conform: allow(determinism) — criterion-style timing loop; wall time is the measurement
         let start = Instant::now();
         fed.env_mut("env-a")
             .expect("env-a")
@@ -99,6 +101,7 @@ fn main() {
         let mut fingerprints: Vec<(usize, String)> = Vec::new();
         for &n in counts {
             for &seed in seeds {
+                // conform: allow(determinism) — wall-ms column measures real elapsed time per cell
                 let start = Instant::now();
                 let r = fed_scale::run(shape, n, seed).expect("scale cell");
                 let wall_micros = start.elapsed().as_micros() as u64;

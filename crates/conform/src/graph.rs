@@ -1,0 +1,320 @@
+//! Phase-2 workspace model: a symbol index and call graph built from
+//! the per-file token streams.
+//!
+//! The first four rules are per-file pattern rules; R5's determinism
+//! discipline needs to know *where a value flows*, not just what a line
+//! looks like — a `HashMap` iteration is harmless in a debug dump and
+//! replay-breaking inside anything that feeds a fingerprint. This
+//! module recovers just enough structure from the lossy lexer to answer
+//! that question:
+//!
+//! * every `fn` definition with its body's token range (trait method
+//!   *declarations* — signature then `;` — define nothing and are
+//!   skipped),
+//! * every call site inside a body (direct `f(..)`, method `.f(..)`,
+//!   path `m::f(..)`, and turbofish `f::<T>(..)` forms; macros
+//!   `f!(..)` are not calls),
+//! * name-based resolution: a call to `f` is an edge to *every*
+//!   workspace `fn f`. This over-approximates — exactly the right
+//!   direction for a conformance gate, where a missed edge is a silent
+//!   hole and a spurious one is at worst a waiver.
+//!
+//! On top of the graph sits the *determinism-sensitivity* closure used
+//! by R5: a function is sensitive when it is, calls (transitively), or
+//! is called (transitively) by a **sink** — a fingerprint, a wire
+//! codec, `EventQueue` ordering, or committed-bench output. Callers of
+//! `schedule` decide event order; callees of `fingerprint` produce the
+//! bytes being fingerprinted; both directions matter.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::lexer::Token;
+
+/// Identifiers that look like calls (`if (cond)`) but never are.
+const NON_CALL_KEYWORDS: [&str; 18] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "let", "else", "fn",
+    "impl", "where", "use", "box", "await", "ref",
+];
+
+/// One `fn` definition somewhere in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's bare name (no path qualification).
+    pub name: String,
+    /// Index of the owning file in the order files were given to
+    /// [`CallGraph::build`].
+    pub file: usize,
+    /// Source line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's opening `{` in the file's stream.
+    pub body_open: usize,
+    /// Token index of the matching `}`.
+    pub body_close: usize,
+}
+
+/// Why a function is determinism-sensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// Produces or feeds a canonical fingerprint.
+    Fingerprint,
+    /// Produces or feeds wire-codec bytes.
+    WireCodec,
+    /// Decides `EventQueue` scheduling order.
+    EventOrdering,
+    /// Produces or feeds committed benchmark output.
+    BenchOutput,
+}
+
+impl SinkKind {
+    /// Human phrase for diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            SinkKind::Fingerprint => "a fingerprint",
+            SinkKind::WireCodec => "a wire codec",
+            SinkKind::EventOrdering => "`EventQueue` ordering",
+            SinkKind::BenchOutput => "committed-bench output",
+        }
+    }
+}
+
+/// Classifies a function name as a determinism sink.
+fn sink_kind(name: &str) -> Option<SinkKind> {
+    if name.contains("fingerprint") {
+        return Some(SinkKind::Fingerprint);
+    }
+    if name == "encode"
+        || name == "decode"
+        || name.starts_with("encode_")
+        || name.starts_with("decode_")
+    {
+        return Some(SinkKind::WireCodec);
+    }
+    if name == "schedule" || name == "schedule_after" {
+        return Some(SinkKind::EventOrdering);
+    }
+    if name == "to_json" {
+        return Some(SinkKind::BenchOutput);
+    }
+    None
+}
+
+/// How a sensitive function relates to its sink.
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    /// Index of the sink function in [`CallGraph::fns`].
+    pub sink: usize,
+    /// What the sink is.
+    pub kind: SinkKind,
+}
+
+/// The workspace call graph plus the determinism-sensitivity closure.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every `fn` definition found, in file-then-position order.
+    pub fns: Vec<FnInfo>,
+    callees: Vec<Vec<usize>>,
+    callers: Vec<Vec<usize>>,
+    sensitive: Vec<Option<Sensitivity>>,
+    per_file: BTreeMap<usize, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over `files` — one test-stripped token stream
+    /// per analysed file, in a stable order the caller remembers.
+    pub fn build(files: &[&[Token]]) -> CallGraph {
+        let mut g = CallGraph::default();
+        for (file, toks) in files.iter().enumerate() {
+            collect_fns(file, toks, &mut g.fns);
+        }
+        for (idx, f) in g.fns.iter().enumerate() {
+            g.per_file.entry(f.file).or_default().push(idx);
+        }
+
+        // Resolve calls by bare name: one edge per same-named fn.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (idx, f) in g.fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(idx);
+        }
+        g.callees = vec![Vec::new(); g.fns.len()];
+        g.callers = vec![Vec::new(); g.fns.len()];
+        for caller in 0..g.fns.len() {
+            let f = &g.fns[caller];
+            let toks = files[f.file];
+            let nested: Vec<(usize, usize)> = g.per_file[&f.file]
+                .iter()
+                .map(|&i| &g.fns[i])
+                .filter(|n| n.body_open > f.body_open && n.body_close < f.body_close)
+                .map(|n| (n.body_open, n.body_close))
+                .collect();
+            for name in call_names(toks, f.body_open + 1, f.body_close, &nested) {
+                for &callee in by_name.get(name.as_str()).into_iter().flatten() {
+                    if !g.callees[caller].contains(&callee) {
+                        g.callees[caller].push(callee);
+                        g.callers[callee].push(caller);
+                    }
+                }
+            }
+        }
+
+        // Sensitivity: BFS out of every sink, along callers *and*
+        // callees. First discovery wins, so each function reports one
+        // stable representative sink.
+        g.sensitive = vec![None; g.fns.len()];
+        let mut queue = VecDeque::new();
+        for (idx, f) in g.fns.iter().enumerate() {
+            if let Some(kind) = sink_kind(&f.name) {
+                g.sensitive[idx] = Some(Sensitivity { sink: idx, kind });
+                queue.push_back(idx);
+            }
+        }
+        while let Some(at) = queue.pop_front() {
+            let Some(tag) = g.sensitive[at].clone() else {
+                continue; // unreachable: only marked fns are queued
+            };
+            for &next in g.callers[at].iter().chain(&g.callees[at]) {
+                if g.sensitive[next].is_none() {
+                    g.sensitive[next] = Some(tag.clone());
+                    queue.push_back(next);
+                }
+            }
+        }
+        g
+    }
+
+    /// The innermost function whose body contains token `tok` of `file`.
+    pub fn fn_at(&self, file: usize, tok: usize) -> Option<usize> {
+        self.per_file
+            .get(&file)?
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let f = &self.fns[i];
+                f.body_open < tok && tok < f.body_close
+            })
+            .max_by_key(|&i| self.fns[i].body_open)
+    }
+
+    /// Indices of the functions defined in `file`.
+    pub fn fns_in_file(&self, file: usize) -> &[usize] {
+        self.per_file.get(&file).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Why `f` is determinism-sensitive, if it is.
+    pub fn sensitivity(&self, f: usize) -> Option<&Sensitivity> {
+        self.sensitive.get(f)?.as_ref()
+    }
+
+    /// Resolved callees of `f`.
+    pub fn callees(&self, f: usize) -> &[usize] {
+        &self.callees[f]
+    }
+
+    /// The first function with this bare name, if any is defined.
+    pub fn fn_named(&self, name: &str) -> Option<usize> {
+        self.fns.iter().position(|f| f.name == name)
+    }
+}
+
+/// Finds the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].kind.is_punct("{") {
+            depth += 1;
+        } else if toks[i].kind.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Collects every `fn` definition in one token stream.
+fn collect_fns(file: usize, toks: &[Token], out: &mut Vec<FnInfo>) {
+    for i in 0..toks.len() {
+        if !toks[i].kind.is_ident("fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.kind.ident()) else {
+            continue;
+        };
+        // Walk the signature to its body. A `;` first means a bodyless
+        // trait declaration; bracket depth keeps `;` inside default
+        // const-generic args or array types from ending the walk early.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < toks.len() {
+            let k = &toks[j].kind;
+            if k.is_punct("(") || k.is_punct("[") {
+                depth += 1;
+            } else if k.is_punct(")") || k.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && k.is_punct(";") {
+                break;
+            } else if depth == 0 && k.is_punct("{") {
+                out.push(FnInfo {
+                    name: name.to_owned(),
+                    file,
+                    line: toks[i].line,
+                    body_open: j,
+                    body_close: matching_brace(toks, j),
+                });
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Extracts callee names from `toks[start..end)`, skipping the `nested`
+/// body ranges of inner `fn` items (their calls belong to them).
+fn call_names(toks: &[Token], start: usize, end: usize, nested: &[(usize, usize)]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        if let Some(&(_, close)) = nested.iter().find(|(open, _)| *open == i) {
+            i = close + 1;
+            continue;
+        }
+        let Some(name) = toks[i].kind.ident() else {
+            i += 1;
+            continue;
+        };
+        if NON_CALL_KEYWORDS.contains(&name) || (i > start && toks[i - 1].kind.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| &t.kind);
+        // `name(..)` — including as the tail of `.name(` / `::name(`.
+        if next.is_some_and(|k| k.is_punct("(")) {
+            names.push(name.to_owned());
+        }
+        // Turbofish: `name::<T, U>(..)`.
+        if next.is_some_and(|k| k.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|t| t.kind.is_punct("<"))
+        {
+            let mut angle = 0i32;
+            let mut j = i + 2;
+            while j < end.min(toks.len()) {
+                if toks[j].kind.is_punct("<") {
+                    angle += 1;
+                } else if toks[j].kind.is_punct(">") {
+                    angle -= 1;
+                    if angle == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if angle == 0 && toks.get(j + 1).is_some_and(|t| t.kind.is_punct("(")) {
+                names.push(name.to_owned());
+            }
+        }
+        i += 1;
+    }
+    names
+}

@@ -12,6 +12,17 @@
 //! * **R3** — lock-acquisition order is acyclic workspace-wide and no
 //!   lock guard is held across a `Platform` port call.
 //! * **R4** — telemetry events carry the emitting crate's own layer tag.
+//! * **R5** — determinism discipline: no wall-clock reads, unseeded
+//!   randomness, or `HashMap`/`HashSet` iteration in code that feeds a
+//!   fingerprint, wire codec, `EventQueue` ordering, or committed-bench
+//!   output (judged over the phase-2 call graph).
+//! * **R6** — span discipline: every `span_begin` balances with a
+//!   `span_end` on all paths, spans crossing `Platform` ports thread a
+//!   `SpanContext`, and span names obey the dotted grammar.
+//!
+//! Analysis runs in two phases: phase 1 lexes every file and builds the
+//! workspace-wide symbol index + call graph ([`graph`]); phase 2 runs
+//! the rules, the last two of which consult the graph.
 //!
 //! The analyzer is deliberately std-only (hand-rolled lexer, no `syn`,
 //! no proc-macro machinery): it must run offline in the same container
@@ -25,20 +36,22 @@
 
 pub mod baseline;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
 pub mod workspace;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::Path;
 
 use baseline::{Baseline, RatchetReport};
 use diag::{sort_findings, Finding};
+use graph::CallGraph;
 use lexer::{lex, strip_test_code};
 use rules::{
-    check_errors, check_layering, check_locks, check_telemetry, collect_classified_errors,
-    FileContext, LockGraph,
+    check_determinism, check_errors, check_layering, check_locks, check_spans, check_telemetry,
+    collect_classified_errors, collect_hash_names, FileContext, LockGraph,
 };
 use workspace::{discover, Waivers};
 
@@ -67,8 +80,10 @@ pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
         ..Analysis::default()
     };
 
-    // Pass 1: read + lex every file once, discovering the set of
-    // LayerError-classified error types as we go.
+    // Phase 1: read + lex every file once, discovering the set of
+    // LayerError-classified error types and each crate's hash-typed
+    // identifiers as we go; then raise the workspace-wide call graph
+    // over all the token streams.
     struct PreparedFile<'a> {
         krate: &'a workspace::WorkspaceCrate,
         rel_path: String,
@@ -76,6 +91,7 @@ pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
         waivers: Waivers,
     }
     let mut prepared: Vec<PreparedFile<'_>> = Vec::new();
+    let mut hash_names: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for krate in &crates {
         for path in &krate.files {
             let source = fs::read_to_string(path)?;
@@ -83,6 +99,10 @@ pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
             let waivers = Waivers::parse(&source);
             let tokens = strip_test_code(lex(&source));
             collect_classified_errors(&tokens, &mut analysis.classified_errors);
+            collect_hash_names(
+                &tokens,
+                hash_names.entry(krate.dir_name.clone()).or_default(),
+            );
             prepared.push(PreparedFile {
                 krate,
                 rel_path,
@@ -92,11 +112,15 @@ pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
         }
     }
     analysis.files = prepared.len();
+    let streams: Vec<&[lexer::Token]> = prepared.iter().map(|f| f.tokens.as_slice()).collect();
+    let call_graph = CallGraph::build(&streams);
 
-    // Pass 2: run the per-file rules; R3 also accumulates the global
-    // lock-acquisition graph, whose cycles are judged at the end.
+    // Phase 2: run the per-file rules; R3 also accumulates the global
+    // lock-acquisition graph, whose cycles are judged at the end, and
+    // R5/R6 consult the call graph.
+    let empty = BTreeSet::new();
     let mut graph = LockGraph::new();
-    for file in &prepared {
+    for (idx, file) in prepared.iter().enumerate() {
         let ctx = FileContext {
             krate: file.krate,
             rel_path: file.rel_path.clone(),
@@ -107,6 +131,9 @@ pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
         check_errors(&ctx, &analysis.classified_errors, &mut analysis.findings);
         check_locks(&ctx, &mut graph, &mut analysis.findings);
         check_telemetry(&ctx, &mut analysis.findings);
+        let crate_hashes = hash_names.get(&file.krate.dir_name).unwrap_or(&empty);
+        check_determinism(&ctx, idx, &call_graph, crate_hashes, &mut analysis.findings);
+        check_spans(&ctx, idx, &call_graph, &mut analysis.findings);
     }
     analysis.findings.extend(graph.inversion_findings());
 

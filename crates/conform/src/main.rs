@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! cargo run -p cscw-conform -- check [--root PATH] [--baseline PATH]
-//!                                    [--format human|json] [-D|--deny]
-//!                                    [--write-baseline]
+//!                                    [--format human|json|github]
+//!                                    [-D|--deny] [--write-baseline]
 //! ```
+//!
+//! `--format github` renders findings as GitHub Actions workflow
+//! commands (`::error file=…,line=…::…`) so a failing `conform` job
+//! annotates the offending lines right in the PR diff.
 //!
 //! Exit codes: `0` pass, `1` conformance failure (regressions, or stale
 //! baseline entries under `--deny`), `2` usage or I/O error.
@@ -22,16 +26,23 @@ usage: cscw-conform check [options]
 options:
   --root PATH        workspace root to analyse (default: .)
   --baseline PATH    baseline file (default: <root>/conform-baseline.toml)
-  --format FMT       human | json (default: human)
+  --format FMT       human | json | github (default: human)
   -D, --deny         also fail on stale baseline entries
   --write-baseline   rewrite the baseline to match current findings
   -h, --help         show this help
 ";
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Github,
+}
+
 struct Options {
     root: PathBuf,
     baseline_path: Option<PathBuf>,
-    json: bool,
+    format: Format,
     deny: bool,
     write_baseline: bool,
 }
@@ -40,7 +51,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
         baseline_path: None,
-        json: false,
+        format: Format::Human,
         deny: false,
         write_baseline: false,
     };
@@ -60,8 +71,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     opts.baseline_path = Some(PathBuf::from(value));
                 } else {
                     match value.as_str() {
-                        "human" => opts.json = false,
-                        "json" => opts.json = true,
+                        "human" => opts.format = Format::Human,
+                        "json" => opts.format = Format::Json,
+                        "github" => opts.format = Format::Github,
                         other => return Err(format!("unknown format {other:?}")),
                     }
                 }
@@ -137,10 +149,10 @@ fn run(opts: &Options) -> Result<bool, String> {
     }
 
     let pass = outcome.is_pass(opts.deny);
-    if opts.json {
-        print!("{}", render_json(&outcome, pass));
-    } else {
-        print!("{}", render_human(&outcome, opts.deny, pass));
+    match opts.format {
+        Format::Human => print!("{}", render_human(&outcome, opts.deny, pass)),
+        Format::Json => print!("{}", render_json(&outcome, pass)),
+        Format::Github => print!("{}", render_github(&outcome, opts.deny, pass)),
     }
     Ok(pass)
 }
@@ -183,6 +195,49 @@ fn render_human(outcome: &CheckOutcome, deny: bool, pass: bool) -> String {
         "\nconformance: FAIL\n"
     });
     out
+}
+
+/// GitHub Actions workflow commands: one `::error` per finding above
+/// the baseline (annotating the PR diff at file+line), one `::warning`
+/// per stale baseline entry, and a human tail line for the job log.
+fn render_github(outcome: &CheckOutcome, deny: bool, pass: bool) -> String {
+    let mut out = String::new();
+    for (rule, _file, _allowed, _got, bucket) in &outcome.report.regressions {
+        for f in bucket {
+            out.push_str(&format!(
+                "::error file={},line={},title=cscw-conform {rule}::{}\n",
+                gh_property(&f.file),
+                f.line,
+                gh_message(&f.message)
+            ));
+        }
+    }
+    for (rule, file, allowed, got) in &outcome.report.stale {
+        out.push_str(&format!(
+            "::warning file={},title=cscw-conform {rule} stale baseline::baseline \
+             says {allowed}, found {got}{}\n",
+            gh_property(file),
+            if deny { " (failing under --deny)" } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "cscw-conform: {} findings, conformance {}\n",
+        outcome.analysis.findings.len(),
+        if pass { "PASS" } else { "FAIL" }
+    ));
+    out
+}
+
+/// Escapes a workflow-command message (`%`, CR, LF).
+fn gh_message(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command property (message escapes plus `:`, `,`).
+fn gh_property(s: &str) -> String {
+    gh_message(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 fn render_json(outcome: &CheckOutcome, pass: bool) -> String {

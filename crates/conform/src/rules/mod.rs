@@ -6,16 +6,22 @@
 //! | R2   | panic-free libraries, `LayerError`-classified public APIs | layered failure model |
 //! | R3   | lock acquisition order, no locks across `Platform` ports | engineering viewpoint |
 //! | R4   | telemetry events carry the emitting crate's layer tag | telemetry layers |
+//! | R5   | determinism discipline: no wall-clock, unseeded rng, or hash-order iteration feeding a fingerprint, wire codec, `EventQueue` ordering, or committed-bench output (call-graph-aware) | replication transparency |
+//! | R6   | span discipline: `span_begin`/`span_end` balance on every path, `SpanContext` threaded across `Platform` ports, dotted span names | engineering-viewpoint bindings |
 
 mod r1_layering;
 mod r2_errors;
 mod r3_locks;
 mod r4_telemetry;
+mod r5_determinism;
+mod r6_spans;
 
 pub use r1_layering::check_layering;
 pub use r2_errors::{check_errors, collect_classified_errors};
 pub use r3_locks::{check_locks, LockGraph};
 pub use r4_telemetry::check_telemetry;
+pub use r5_determinism::{check_determinism, collect_hash_names};
+pub use r6_spans::check_spans;
 
 use crate::lexer::Token;
 use crate::workspace::{CrateRole, Waivers, WorkspaceCrate};

@@ -49,8 +49,9 @@ fn layer_prefixes(variant: &str) -> &'static [&'static str] {
 }
 
 /// Is `name` a dotted `layer.noun.verb`-style identifier: two or more
-/// non-empty `[a-z0-9_]` segments joined by `.`?
-fn is_dotted_name(name: &str) -> bool {
+/// non-empty `[a-z0-9_]` segments joined by `.`? Shared with R6, which
+/// applies the same grammar to span names R4 cannot see.
+pub(super) fn is_dotted_name(name: &str) -> bool {
     let mut segments = 0usize;
     for seg in name.split('.') {
         if seg.is_empty()

@@ -1,0 +1,362 @@
+//! R6 — span discipline.
+//!
+//! PR 7's trace surface only yields depth-ordered trees if every
+//! `span_begin`/`span_begin_with_parent` is balanced by a `span_end`
+//! on *every* path out of the function that opened it, and if causality
+//! that leaves the call stack (a `Platform` port call that turns into a
+//! wire frame or deferred delivery) carries its `SpanContext` along.
+//! Three checks:
+//!
+//! * **balance** — a span bound by `let s = ..span_begin..(..);` must
+//!   reach a `span_end(s, ..)` in the same function, and no `return`
+//!   may execute while it is still open. The span variable may be
+//!   re-bound by destructuring (`if let Some((t, s)) = span { .. }`) —
+//!   ends through the destructured alias count.
+//! * **context threading** — when a tracked span is open across a
+//!   `Platform` port call (`.trader()`, `.directory()`,
+//!   `.transport()`), the function must thread a `SpanContext`
+//!   (mention the type, read `current_context`, or continue with
+//!   `span_begin_with_parent`) so the causality survives the hop.
+//! * **names** — literal span names obey R4's dotted
+//!   `layer.noun.verb` grammar. R4 already judges names that follow a
+//!   literal `Layer::X` tag; this check covers spans whose layer
+//!   argument is a variable.
+//!
+//! Helpers that *return* an open span for a caller to close (the sim
+//! platform's `port_span`/`end_span` pair) do not bind it with `let`
+//! and are deliberately outside the tracked set: the rule governs the
+//! common shape without forbidding explicit hand-off designs.
+
+use super::{matching_paren, r4_telemetry::is_dotted_name, receiver_chain, FileContext};
+use crate::diag::Finding;
+use crate::graph::CallGraph;
+use crate::lexer::Token;
+use crate::workspace::CrateRole;
+
+/// The `Platform` port methods that move work across a boundary where
+/// causality must be threaded explicitly. (`clock`/`telemetry` are
+/// read-side ports; nothing leaves through them.)
+const BOUNDARY_PORTS: [&str; 3] = ["trader", "directory", "transport"];
+
+/// A `let name = ..span_begin..(..);` binding inside one function.
+struct TrackedSpan {
+    name: String,
+    let_idx: usize,
+    stmt_end: usize,
+}
+
+/// Checks one file's span discipline.
+pub fn check_spans(
+    ctx: &FileContext<'_>,
+    file_idx: usize,
+    graph: &CallGraph,
+    findings: &mut Vec<Finding>,
+) {
+    if !matches!(ctx.role(), CrateRole::Layer(_)) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for &f in graph.fns_in_file(file_idx) {
+        check_fn(ctx, toks, graph, f, findings);
+    }
+    check_span_names(ctx, findings);
+}
+
+fn check_fn(
+    ctx: &FileContext<'_>,
+    toks: &[Token],
+    graph: &CallGraph,
+    f: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let info = &graph.fns[f];
+    let (open, close) = (info.body_open, info.body_close);
+    for span in tracked_spans(toks, open, close) {
+        let aliases = destructure_aliases(toks, open, close, &span.name);
+        let ends = end_positions(toks, open, close, &span.name, &aliases);
+        let bind_line = toks[span.let_idx].line;
+        if ends.is_empty() {
+            if !ctx.waivers.covers("R6", bind_line) {
+                findings.push(Finding::new(
+                    "R6",
+                    ctx.rel_path.clone(),
+                    bind_line,
+                    format!(
+                        "span `{}` opened in `{}` has no matching `span_end` — spans \
+                         must balance on every path of the function",
+                        span.name, info.name
+                    ),
+                ));
+            }
+            continue;
+        }
+        check_early_returns(ctx, toks, &span, info.name.as_str(), close, &ends, findings);
+        check_port_threading(ctx, toks, &span, open, close, ends[0], findings);
+    }
+}
+
+/// Finds `let name = <rhs>;` statements whose right-hand side opens a
+/// span without also closing it (an inline begin+end pair inside one
+/// statement is already balanced).
+fn tracked_spans(toks: &[Token], open: usize, close: usize) -> Vec<TrackedSpan> {
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        if !toks[i].kind.is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut q = i + 1;
+        if toks.get(q).is_some_and(|t| t.kind.is_ident("mut")) {
+            q += 1;
+        }
+        let Some(name) = toks.get(q).and_then(|t| t.kind.ident()) else {
+            i += 1;
+            continue;
+        };
+        if name == "_" || !toks.get(q + 1).is_some_and(|t| t.kind.is_punct("=")) {
+            i += 1; // pattern binding (`let Some(x) = ..`) — not tracked
+            continue;
+        }
+        let Some(stmt_end) = statement_end(toks, q + 2, close) else {
+            i += 1;
+            continue;
+        };
+        let rhs = &toks[q + 2..stmt_end];
+        let begins = rhs
+            .iter()
+            .any(|t| t.kind.is_ident("span_begin") || t.kind.is_ident("span_begin_with_parent"));
+        let ends_inline = rhs.iter().any(|t| t.kind.is_ident("span_end"));
+        if begins && !ends_inline {
+            out.push(TrackedSpan {
+                name: name.to_owned(),
+                let_idx: i,
+                stmt_end,
+            });
+        }
+        i = stmt_end + 1;
+    }
+    out
+}
+
+/// The index of the `;` ending the statement that starts at `from`,
+/// honouring nested parens/brackets/braces (closure bodies, blocks in a
+/// `match` right-hand side).
+fn statement_end(toks: &[Token], from: usize, close: usize) -> Option<usize> {
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    let mut i = from;
+    while i < close {
+        let k = &toks[i].kind;
+        if k.is_punct("{") {
+            brace += 1;
+        } else if k.is_punct("}") {
+            brace -= 1;
+            if brace < 0 {
+                return None; // ran out of the enclosing block
+            }
+        } else if k.is_punct("(") || k.is_punct("[") {
+            paren += 1;
+        } else if k.is_punct(")") || k.is_punct("]") {
+            paren -= 1;
+        } else if k.is_punct(";") && brace == 0 && paren == 0 {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Identifiers re-bound from `name` by a destructuring `let`/`if let`
+/// whose entire right-hand side is `name` — e.g. `s` and `t` in
+/// `if let Some((t, s)) = deliver_span { .. }`.
+fn destructure_aliases(toks: &[Token], open: usize, close: usize, name: &str) -> Vec<String> {
+    let mut aliases = Vec::new();
+    for i in open + 1..close {
+        let rebind = toks[i].kind.is_ident(name)
+            && i > 0
+            && toks[i - 1].kind.is_punct("=")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind.is_punct("{") || t.kind.is_punct(";"));
+        if !rebind {
+            continue;
+        }
+        // Walk back from the `=` to the opening `let`, harvesting the
+        // lowercase pattern idents (skipping constructors and `mut`).
+        let mut j = i - 1;
+        while j > open && !toks[j].kind.is_ident("let") && i - j < 32 {
+            if let Some(id) = toks[j].kind.ident() {
+                if id != "mut" && id.starts_with(|c: char| c.is_ascii_lowercase() || c == '_') {
+                    aliases.push(id.to_owned());
+                }
+            }
+            j -= 1;
+        }
+    }
+    aliases
+}
+
+/// Token indices of `span_end(` calls whose first argument is the span
+/// or one of its aliases.
+fn end_positions(
+    toks: &[Token],
+    open: usize,
+    close: usize,
+    name: &str,
+    aliases: &[String],
+) -> Vec<usize> {
+    let mut ends = Vec::new();
+    for i in open + 1..close {
+        if !toks[i].kind.is_ident("span_end")
+            || !toks.get(i + 1).is_some_and(|t| t.kind.is_punct("("))
+        {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 2).and_then(|t| t.kind.ident()) else {
+            continue;
+        };
+        if arg == name || aliases.iter().any(|a| a == arg) {
+            ends.push(i);
+        }
+    }
+    ends
+}
+
+/// Walks the function from the binding to its closing brace with a
+/// per-block "span is closed here" flag: entering a block inherits the
+/// flag, a matching `span_end` sets it, and a `return` while it is
+/// unset may leak the span.
+fn check_early_returns(
+    ctx: &FileContext<'_>,
+    toks: &[Token],
+    span: &TrackedSpan,
+    fn_name: &str,
+    close: usize,
+    ends: &[usize],
+    findings: &mut Vec<Finding>,
+) {
+    let mut stack = vec![false];
+    for i in span.stmt_end + 1..close {
+        let k = &toks[i].kind;
+        if ends.contains(&i) {
+            if let Some(top) = stack.last_mut() {
+                *top = true;
+            }
+        } else if k.is_punct("{") {
+            stack.push(*stack.last().unwrap_or(&false));
+        } else if k.is_punct("}") {
+            if stack.len() > 1 {
+                stack.pop();
+            }
+        } else if k.is_ident("return") && !stack.last().copied().unwrap_or(false) {
+            let line = toks[i].line;
+            if !ctx.waivers.covers("R6", line) {
+                findings.push(Finding::new(
+                    "R6",
+                    ctx.rel_path.clone(),
+                    line,
+                    format!(
+                        "early `return` in `{fn_name}` may leave span `{}` (opened on \
+                         line {}) unclosed — `span_end` it on this path first",
+                        span.name, toks[span.let_idx].line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// A tracked span held open across a `Platform` boundary-port call must
+/// thread its context onward.
+fn check_port_threading(
+    ctx: &FileContext<'_>,
+    toks: &[Token],
+    span: &TrackedSpan,
+    open: usize,
+    close: usize,
+    first_end: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let threads_context = (open + 1..close).any(|i| {
+        toks[i].kind.is_ident("SpanContext")
+            || toks[i].kind.is_ident("current_context")
+            || toks[i].kind.is_ident("span_begin_with_parent")
+    });
+    if threads_context {
+        return;
+    }
+    for i in span.stmt_end + 1..first_end {
+        if !toks[i].kind.is_punct(".") {
+            continue;
+        }
+        let Some(method) = toks.get(i + 1).and_then(|t| t.kind.ident()) else {
+            continue;
+        };
+        if !BOUNDARY_PORTS.contains(&method)
+            || !toks.get(i + 2).is_some_and(|t| t.kind.is_punct("("))
+        {
+            continue;
+        }
+        let Some(chain) = receiver_chain(toks, i) else {
+            continue;
+        };
+        let line = toks[i].line;
+        if chain.contains("platform") && !ctx.waivers.covers("R6", line) {
+            findings.push(Finding::new(
+                "R6",
+                ctx.rel_path.clone(),
+                line,
+                format!(
+                    "span `{}` is open across the `Platform` port call `{chain}.{method}()` \
+                     but no `SpanContext` is threaded — pass the context along (or continue \
+                     it with `span_begin_with_parent`) so the trace survives the hop",
+                    span.name
+                ),
+            ));
+            return; // one finding per span is enough
+        }
+    }
+}
+
+/// Literal span names must be dotted `layer.noun.verb` identifiers.
+/// Names following a literal `Layer::X` tag are R4's to judge.
+fn check_span_names(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        let Some(method) = toks[i].kind.ident() else {
+            continue;
+        };
+        if method != "span_begin" && method != "span_begin_with_parent" {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.kind.is_punct("(")) {
+            continue;
+        }
+        let close = matching_paren(toks, i + 1);
+        for j in i + 2..close {
+            let Some(name) = toks[j].kind.str_lit() else {
+                continue;
+            };
+            // `Layer::X, "name"` is R4 territory; skip it here.
+            let after_layer_tag = j >= 4
+                && toks[j - 1].kind.is_punct(",")
+                && toks[j - 2].kind.ident().is_some()
+                && toks[j - 3].kind.is_punct("::")
+                && toks[j - 4].kind.is_ident("Layer");
+            let line = toks[j].line;
+            if !after_layer_tag && !is_dotted_name(name) && !ctx.waivers.covers("R6", line) {
+                findings.push(Finding::new(
+                    "R6",
+                    ctx.rel_path.clone(),
+                    line,
+                    format!(
+                        "span name \"{name}\" is not a dotted `layer.noun.verb`-style \
+                         identifier (want lowercase segments joined by `.`)"
+                    ),
+                ));
+            }
+            break; // first literal is the name; later ones are payload
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Clean fixture: determinism (R5) and span discipline (R6) done right.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cscw_kernel::telemetry::{Layer, SpanContext, Telemetry};
+
+pub struct Canon {
+    ordered: BTreeMap<String, u64>,
+    scratch: HashMap<String, u64>,
+}
+
+impl Canon {
+    /// Sorted iteration feeding the digest: deterministic, no finding.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.ordered.iter() {
+            out.push_str(k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out
+    }
+
+    /// Hash iteration with no path to any sink: allowed.
+    pub fn scratch_len(&self) -> usize {
+        let mut n = 0;
+        for _ in self.scratch.iter() {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Balanced span whose early return closes it first; the continuation
+/// is opened from an explicit parent, so context threads the hop.
+fn relay(t: &Telemetry, layer: Layer, parent: SpanContext, miss: bool) -> u32 {
+    let span = t.span_begin_with_parent(parent, layer, "odp.relay.run", 1);
+    if miss {
+        t.span_end(span, 2);
+        return 0;
+    }
+    t.span_end(span, 3);
+    1
+}
+
+/// The simnet continuation shape: the span rides an `Option` pair and
+/// is ended through the destructured alias.
+fn deliver(t: Option<&Telemetry>, layer: Layer, parent: SpanContext) {
+    let carried = match t {
+        Some(tel) => {
+            let s = tel.span_begin_with_parent(parent, layer, "odp.deliver.run", 1);
+            Some((tel, s))
+        }
+        None => None,
+    };
+    dispatch();
+    if let Some((tel, s)) = carried {
+        tel.span_end(s, 2);
+    }
+}
+
+fn dispatch() {}

@@ -1,0 +1,16 @@
+//! The cross-file helper: nothing in this file names a fingerprint,
+//! yet its hash iteration is a violation because `lib.rs`'s
+//! `fingerprint` calls it.
+
+use std::collections::HashMap;
+
+pub fn canonical_text(map: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in map.iter() {
+        out.push_str(k);
+        out.push(':');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,54 @@
+//! Violating fixture: span discipline (R6).
+//!
+//! Every telemetry call here passes the layer as a *variable*, so R4
+//! (which keys on literal `Layer::X` tags) stays silent and the
+//! findings are R6's alone.
+
+use cscw_kernel::telemetry::{Layer, Telemetry};
+
+pub struct Router {
+    platform: BoxedPlatform,
+}
+
+/// Early return while the span is still open: the trace leaks.
+fn lookup(t: &Telemetry, layer: Layer, miss: bool) -> u32 {
+    let span = t.span_begin(layer, "odp.lookup.run", 1);
+    if miss {
+        return 0;
+    }
+    t.span_end(span, 2);
+    1
+}
+
+/// Opened and never ended at all.
+fn probe(t: &Telemetry, layer: Layer) {
+    let span = t.span_begin(layer, "odp.probe.run", 1);
+    let _ = span;
+}
+
+/// Non-dotted span name; the variable layer hides it from R4.
+fn misnamed(t: &Telemetry, layer: Layer) {
+    let span = t.span_begin(layer, "doLookup", 1);
+    t.span_end(span, 2);
+}
+
+impl Router {
+    /// A span held open across a `Platform` port call with no
+    /// `SpanContext` threaded: the trace dies at the hop.
+    fn route(&mut self, t: &Telemetry, layer: Layer) {
+        let span = t.span_begin(layer, "odp.route.hop", 1);
+        self.platform.transport().deliver();
+        t.span_end(span, 2);
+    }
+}
+
+/// Clean: the early return closes the span first.
+fn balanced(t: &Telemetry, layer: Layer, miss: bool) -> u32 {
+    let span = t.span_begin(layer, "odp.balanced.run", 1);
+    if miss {
+        t.span_end(span, 2);
+        return 0;
+    }
+    t.span_end(span, 3);
+    1
+}

@@ -18,3 +18,15 @@ pub fn when() -> SimTime {
 fn always_there() -> Option<u64> {
     Some(7)
 }
+
+pub fn epoch_micros() -> u64 {
+    // conform: allow(determinism) — fixture exercises the R5 alias pragma
+    let anchor = std::time::Instant::now();
+    anchor.elapsed().as_micros() as u64
+}
+
+pub fn leaky(t: &Telemetry, layer: Layer) {
+    // conform: allow(R6) — fixture exercises the span-balance waiver
+    let span = t.span_begin(layer, "app.leaky.run", 1);
+    let _ = span;
+}

@@ -1,6 +1,7 @@
 //! The workspace's own conformance gate: `cargo test` enforces the
-//! committed baseline, so a layering/panic/lock/telemetry regression
-//! fails the test suite even before CI runs the analyzer binary.
+//! committed baseline, so a layering/panic/lock/telemetry/determinism/
+//! span regression fails the test suite even before CI runs the
+//! analyzer binary.
 
 use std::path::{Path, PathBuf};
 
@@ -75,6 +76,32 @@ fn panic_debt_is_paid_and_stays_paid() {
         baseline.total_for_rule("R2"),
         0,
         "R2 panic debt crept back into the baseline"
+    );
+}
+
+#[test]
+fn determinism_and_span_discipline_enter_with_zero_baseline() {
+    // R5/R6 landed with the shipping code already clean (simnet's maps
+    // became `BTreeMap`s, the kernel clock's epoch carries its
+    // determinism waiver): the ratchet must hold both rules at zero,
+    // and the strict `check -D` the CI job runs must pass.
+    let root = workspace_root();
+    let baseline = committed_baseline(&root);
+    assert_eq!(
+        baseline.total_for_rule("R5"),
+        0,
+        "R5 determinism debt crept into the baseline"
+    );
+    assert_eq!(
+        baseline.total_for_rule("R6"),
+        0,
+        "R6 span debt crept into the baseline"
+    );
+    let outcome = check(&root, baseline).expect("analysis succeeds");
+    assert!(
+        outcome.is_pass(true),
+        "`check -D` must stay clean with R5/R6 enabled: {:#?}",
+        outcome.analysis.findings
     );
 }
 

@@ -26,6 +26,10 @@ impl WallClock {
     /// Creates a clock whose epoch is "now".
     pub fn new() -> Self {
         WallClock {
+            // This is *the* designed-in wall-clock read: the one place
+            // real time enters the system, behind the `Clock` port so
+            // everything above can replay against `SimClock` instead.
+            // conform: allow(determinism) — WallClock is the Clock port's real-time anchor
             epoch: Instant::now(),
         }
     }

@@ -21,7 +21,7 @@
 //!    link's loss probability fires. Messages in flight when a partition
 //!    starts are therefore lost, like a broken connection.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use cscw_kernel::{EventQueue, Layer, ManualClock, SpanContext, Telemetry};
 
@@ -227,10 +227,10 @@ struct Core {
     now: SimTime,
     next_msg: u64,
     next_timer: u64,
-    cancelled_timers: HashSet<TimerId>,
-    periodic_timers: HashMap<TimerId, (NodeId, u64, PeriodicSpec)>,
-    link_busy_until: HashMap<(NodeId, NodeId), SimTime>,
-    link_last_delivery: HashMap<(NodeId, NodeId), SimTime>,
+    cancelled_timers: BTreeSet<TimerId>,
+    periodic_timers: BTreeMap<TimerId, (NodeId, u64, PeriodicSpec)>,
+    link_busy_until: BTreeMap<(NodeId, NodeId), SimTime>,
+    link_last_delivery: BTreeMap<(NodeId, NodeId), SimTime>,
     rng: SimRng,
     node_rngs: Vec<SimRng>,
     metrics: Metrics,
@@ -486,10 +486,10 @@ impl Sim {
                 now: SimTime::ZERO,
                 next_msg: 0,
                 next_timer: 0,
-                cancelled_timers: HashSet::new(),
-                periodic_timers: HashMap::new(),
-                link_busy_until: HashMap::new(),
-                link_last_delivery: HashMap::new(),
+                cancelled_timers: BTreeSet::new(),
+                periodic_timers: BTreeMap::new(),
+                link_busy_until: BTreeMap::new(),
+                link_last_delivery: BTreeMap::new(),
                 rng,
                 node_rngs,
                 metrics: Metrics::new(),

@@ -16,7 +16,7 @@
 //! edge generators in [`shapes`], which higher-level experiment
 //! harnesses reuse to shape their own peer graphs identically.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -229,7 +229,7 @@ impl Default for LinkSpec {
 #[derive(Debug, Default)]
 pub struct TopologyBuilder {
     names: Vec<String>,
-    links: HashMap<(NodeId, NodeId), LinkSpec>,
+    links: BTreeMap<(NodeId, NodeId), LinkSpec>,
 }
 
 impl TopologyBuilder {
@@ -370,8 +370,8 @@ impl TopologyBuilder {
         Topology {
             names: self.names,
             links: self.links,
-            partitioned_pairs: HashSet::new(),
-            down_nodes: HashSet::new(),
+            partitioned_pairs: BTreeSet::new(),
+            down_nodes: BTreeSet::new(),
         }
     }
 }
@@ -437,9 +437,9 @@ impl IslandPlan {
 #[derive(Debug, Clone)]
 pub struct Topology {
     names: Vec<String>,
-    links: HashMap<(NodeId, NodeId), LinkSpec>,
-    partitioned_pairs: HashSet<(NodeId, NodeId)>,
-    down_nodes: HashSet<NodeId>,
+    links: BTreeMap<(NodeId, NodeId), LinkSpec>,
+    partitioned_pairs: BTreeSet<(NodeId, NodeId)>,
+    down_nodes: BTreeSet<NodeId>,
 }
 
 impl Topology {
@@ -524,7 +524,9 @@ impl Topology {
         self.down_nodes.contains(&node)
     }
 
-    /// Iterates over the out-neighbours of `from` (ignoring partitions).
+    /// Iterates over the out-neighbours of `from` (ignoring partitions),
+    /// in ascending `NodeId` order — the link table is a `BTreeMap`, so
+    /// anything scheduled off this order replays identically (R5).
     pub fn neighbours(&self, from: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.links
             .keys()
