@@ -1,9 +1,11 @@
-//! Offline shape check for `BENCH_fed_scale.json` — the CI `telemetry`
-//! job runs this after the `--smoke` sweep to catch codec drift before
-//! the artifact is uploaded. Hand-rolled on purpose: the vendored
-//! serde is a stub, and the emitter is hand-rolled too, so the checker
-//! validates the *shape contract* (required keys, per-cell field
-//! parity, balanced braces) rather than re-parsing into types.
+//! Offline shape check for the committed bench reports — CI runs this
+//! after each `--smoke` sweep to catch codec drift before the artifact
+//! is uploaded. Hand-rolled on purpose: the vendored serde is a stub,
+//! and the emitters are hand-rolled too, so the checker validates the
+//! *shape contract* (required keys, per-cell field parity, balanced
+//! braces) rather than re-parsing into types. The document's
+//! `"experiment"` key picks the contract: `fed_scale` or
+//! `net_congestion`.
 //!
 //! Usage: `validate_metrics_json [path]` (default
 //! `BENCH_fed_scale.json` in the current directory). Exits non-zero
@@ -11,9 +13,8 @@
 
 use std::process::ExitCode;
 
-/// Top-level keys every report must carry.
-const DOCUMENT_KEYS: [&str; 5] = [
-    "\"experiment\": \"fed_scale\"",
+/// Top-level keys every `fed_scale` report must carry.
+const FED_SCALE_DOCUMENT_KEYS: [&str; 4] = [
     "\"gossip_period_micros\":",
     "\"seeds\":",
     "\"exchange_latency\":",
@@ -29,8 +30,8 @@ const LATENCY_KEYS: [&str; 5] = [
     "\"max_micros\":",
 ];
 
-/// Keys that must appear exactly once per cell.
-const CELL_KEYS: [&str; 11] = [
+/// Keys that must appear exactly once per `fed_scale` cell.
+const FED_SCALE_CELL_KEYS: [&str; 11] = [
     "\"sites\":",
     "\"seed\":",
     "\"converged\":",
@@ -44,9 +45,120 @@ const CELL_KEYS: [&str; 11] = [
     "\"fingerprint\":\"",
 ];
 
+/// Top-level keys every `net_congestion` report must carry.
+const CONGESTION_DOCUMENT_KEYS: [&str; 4] = [
+    "\"seeds\":",
+    "\"flash_crowd\": [",
+    "\"gossip_storm\": [",
+    "\"wan_bridge\": [",
+];
+
+/// Keys that must appear exactly once per flash-crowd cell.
+const FLASH_CELL_KEYS: [&str; 8] = [
+    "\"clients\":",
+    "\"offered\":",
+    "\"calm_micros\":{\"p50\":",
+    "\"burst_micros\":{\"p50\":",
+    "\"overall_micros\":{\"p50\":",
+    "\"breaker_opened\":",
+    "\"breaker_trips\":",
+    "\"injected_faults\":",
+];
+
+/// Keys that must appear exactly once per gossip-storm cell (the two
+/// discipline sides carry their own nested keys, checked by count).
+const STORM_CELL_KEYS: [&str; 2] = [
+    "\"drop_tail\":{\"discipline\":\"drop_tail\"",
+    "\"priority\":{\"discipline\":\"priority\"",
+];
+
+/// Keys that must appear exactly once per WAN-bridge cell.
+const BRIDGE_CELL_KEYS: [&str; 5] = [
+    "\"cross_offered\":",
+    "\"cross_delivered\":",
+    "\"cross_shed\":",
+    "\"intra_micros\":{\"p50\":",
+    "\"cross_micros\":{\"p50\":",
+];
+
 fn fail(msg: &str) -> ExitCode {
     eprintln!("validate_metrics_json: FAIL: {msg}");
     ExitCode::FAILURE
+}
+
+fn check_keys(text: &str, keys: &[&str], expected: usize, what: &str) -> Result<(), ExitCode> {
+    for key in keys {
+        let n = text.matches(key).count();
+        if n != expected {
+            return Err(fail(&format!(
+                "{what} key {key} appears {n}x, need {expected}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn validate_fed_scale(text: &str, path: &str) -> ExitCode {
+    for key in FED_SCALE_DOCUMENT_KEYS {
+        if !text.contains(key) {
+            return fail(&format!("missing document key {key}"));
+        }
+    }
+    for key in LATENCY_KEYS {
+        // Once in "local", once in "remote".
+        let n = text.matches(key).count();
+        if n < 2 {
+            return fail(&format!("exchange_latency key {key} appears {n}x, need 2"));
+        }
+    }
+    let cells = text.matches("{\"shape\":\"").count();
+    if cells == 0 {
+        return fail("no cells");
+    }
+    if let Err(code) = check_keys(text, &FED_SCALE_CELL_KEYS, cells, "cell") {
+        return code;
+    }
+    println!("validate_metrics_json: OK: {cells} cells in {path}");
+    ExitCode::SUCCESS
+}
+
+fn validate_net_congestion(text: &str, path: &str) -> ExitCode {
+    for key in CONGESTION_DOCUMENT_KEYS {
+        if !text.contains(key) {
+            return fail(&format!("missing document key {key}"));
+        }
+    }
+    // Every scenario sweeps the same seeds, so cell counts must agree.
+    let flash = text.matches("\"breaker_opened\":").count();
+    if flash == 0 {
+        return fail("no flash_crowd cells");
+    }
+    if let Err(code) = check_keys(text, &FLASH_CELL_KEYS, flash, "flash_crowd") {
+        return code;
+    }
+    if let Err(code) = check_keys(text, &STORM_CELL_KEYS, flash, "gossip_storm") {
+        return code;
+    }
+    if let Err(code) = check_keys(text, &BRIDGE_CELL_KEYS, flash, "wan_bridge") {
+        return code;
+    }
+    let fingerprints = text.matches("\"fingerprint\":\"").count();
+    if fingerprints != 3 * flash {
+        return fail(&format!(
+            "{fingerprints} fingerprints across {flash} cells per scenario, need {}",
+            3 * flash
+        ));
+    }
+    // The headline acceptance: congestion alone opened the breaker in
+    // every committed flash-crowd cell, with zero injected faults.
+    if text.matches("\"breaker_opened\":true").count() != flash {
+        return fail("a flash_crowd cell did not open its breaker");
+    }
+    if text.matches("\"injected_faults\":0").count() != flash {
+        return fail("a flash_crowd cell reports injected faults");
+    }
+    println!("validate_metrics_json: OK: {flash} cells per scenario in {path}");
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -63,28 +175,11 @@ fn main() -> ExitCode {
     if opens != closes {
         return fail(&format!("unbalanced braces: {opens} open, {closes} close"));
     }
-    for key in DOCUMENT_KEYS {
-        if !text.contains(key) {
-            return fail(&format!("missing document key {key}"));
-        }
+    if text.contains("\"experiment\": \"fed_scale\"") {
+        validate_fed_scale(&text, &path)
+    } else if text.contains("\"experiment\": \"net_congestion\"") {
+        validate_net_congestion(&text, &path)
+    } else {
+        fail("unknown experiment (expected fed_scale or net_congestion)")
     }
-    for key in LATENCY_KEYS {
-        // Once in "local", once in "remote".
-        let n = text.matches(key).count();
-        if n < 2 {
-            return fail(&format!("exchange_latency key {key} appears {n}x, need 2"));
-        }
-    }
-    let cells = text.matches("{\"shape\":\"").count();
-    if cells == 0 {
-        return fail("no cells");
-    }
-    for key in CELL_KEYS {
-        let n = text.matches(key).count();
-        if n != cells {
-            return fail(&format!("cell key {key} appears {n}x across {cells} cells"));
-        }
-    }
-    println!("validate_metrics_json: OK: {cells} cells in {path}");
-    ExitCode::SUCCESS
 }

@@ -200,7 +200,7 @@ pub struct ScaleResult {
 }
 
 /// FNV-1a 64-bit — a stable, dependency-free digest for fingerprints.
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {
         h ^= u64::from(*b);

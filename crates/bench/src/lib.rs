@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fed_scale;
+pub mod net_congestion;
 
 use cscw_directory::{Attribute, DirectoryError, Dit, Entry};
 use cscw_messaging::{MtaNode, MtsError, OrAddress, UserAgent};

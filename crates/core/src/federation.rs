@@ -49,6 +49,11 @@ fn domain_address(domain: &str) -> Option<OrAddress> {
     OrAddress::new("ZZ", "mocca", ["federation"], domain).ok()
 }
 
+/// Delta-frame budget for a healthy link, in replica updates.
+/// Consecutive transport refusals halve it (floor 1) until the link
+/// recovers, so a congested receiver gets smaller catch-up frames.
+const DELTA_CAP_BASE: usize = 64;
+
 /// What one [`gossip_round`](FederatedEnvironments::gossip_round) did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GossipRound {
@@ -131,6 +136,10 @@ pub struct FederatedEnvironments {
     fabric: FederationFabric,
     envs: BTreeMap<String, CscwEnvironment>,
     runtime: Option<FederationRuntime>,
+    /// Consecutive transport refusals per directed link — the
+    /// congestion-pressure signal that shrinks delta frames and defers
+    /// gossip pulses. Cleared the moment a link ships successfully.
+    pressure: BTreeMap<(String, String), u32>,
 }
 
 impl FederatedEnvironments {
@@ -153,6 +162,7 @@ impl FederatedEnvironments {
             fabric,
             envs: BTreeMap::new(),
             runtime: None,
+            pressure: BTreeMap::new(),
         }
     }
 
@@ -233,8 +243,11 @@ impl FederatedEnvironments {
     /// transport as gossip notifications, and applies the delta.
     fn gossip_link(&mut self, src: &str, dst: &str) -> Result<LinkShip, MoccaError> {
         let t = self.fabric.telemetry();
+        let key = (src.to_owned(), dst.to_owned());
+        let failures = self.pressure.get(&key).copied().unwrap_or(0);
+        let cap = (failures > 0).then(|| (DELTA_CAP_BASE >> failures.min(6)).max(1));
         let digest = self.fabric.digest_frame(dst)?;
-        let delta = self.fabric.delta_frame(src, &digest)?;
+        let delta = self.fabric.delta_frame_capped(src, &digest, cap)?;
         let digest_wire = digest.encode();
         let delta_wire = delta.encode();
         let started = self
@@ -256,8 +269,11 @@ impl FederatedEnvironments {
                 .ok()
         })();
         if shipped.is_none() {
+            *self.pressure.entry(key).or_insert(0) += 1;
+            t.incr(Layer::Federation, "federation.gossip.pressure");
             return Ok(LinkShip::Degraded);
         }
+        self.pressure.remove(&key);
         let finished = self
             .envs
             .get_mut(dst)
@@ -299,6 +315,7 @@ impl FederatedEnvironments {
         let span = t.span_begin(Layer::Federation, "federation.gossip.pulse", now);
         let mut pulse_micros = 0u64;
         let result = (|| {
+            let mut degraded_here = false;
             for (src, dst, state) in self.fabric.links() {
                 if src != site || state != LinkState::Up {
                     continue;
@@ -308,7 +325,10 @@ impl FederatedEnvironments {
                 }
                 report.links_walked += 1;
                 match self.gossip_link(&src, &dst)? {
-                    LinkShip::Degraded => report.links_degraded += 1,
+                    LinkShip::Degraded => {
+                        report.links_degraded += 1;
+                        degraded_here = true;
+                    }
                     LinkShip::Applied {
                         updates,
                         bytes,
@@ -318,6 +338,15 @@ impl FederatedEnvironments {
                         report.bytes_on_wire += bytes;
                         pulse_micros += micros;
                     }
+                }
+            }
+            // Backpressure upward: a pulse that hit a refusing
+            // transport earns the site one gossip period of quiet
+            // before its next exchange (the frames it ships then are
+            // already shrunk by the per-link pressure cap).
+            if degraded_here {
+                if let Some(rt) = self.runtime.as_mut() {
+                    rt.defer_gossip(site, 1);
                 }
             }
             Ok(())
@@ -518,6 +547,16 @@ impl FederatedEnvironments {
         Ok(max_rounds)
     }
 
+    /// Current congestion pressure on a directed link: consecutive
+    /// transport refusals since the last successful ship (0 for a
+    /// healthy or unknown link).
+    pub fn link_pressure(&self, from: &str, to: &str) -> u32 {
+        self.pressure
+            .get(&(from.to_owned(), to.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// Every domain's replica fingerprint, in domain order.
     pub fn fingerprints(&self) -> BTreeMap<String, String> {
         self.envs
@@ -540,6 +579,7 @@ impl FederatedEnvironments {
 mod tests {
     use super::*;
     use crate::env::{AppDescriptor, AppId, FormatMapping, NativeArtifact, Quadrant};
+    use crate::platform::Platform;
     use cscw_directory::Dn;
     use cscw_kernel::Timestamp;
 
@@ -691,6 +731,110 @@ mod tests {
         assert_eq!(report.deliveries, 1);
         assert_eq!(fed.fabric().pending_inbound(), 0);
         assert_eq!(fed.env("env-b").unwrap().repository().len(), 1);
+    }
+
+    /// A platform whose transport refuses its first `refusals` notify
+    /// calls, then behaves — a stand-in for a congested receiver.
+    struct CongestedPlatform {
+        inner: crate::platform::LocalPlatform,
+        refusals_left: u32,
+    }
+
+    impl crate::platform::Platform for CongestedPlatform {
+        fn name(&self) -> &'static str {
+            "congested"
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn clock(&self) -> &dyn cscw_kernel::Clock {
+            self.inner.clock()
+        }
+        fn telemetry(&self) -> &cscw_kernel::Telemetry {
+            self.inner.telemetry()
+        }
+        fn trader(&mut self) -> &mut dyn crate::platform::TraderPort {
+            self.inner.trader()
+        }
+        fn directory(&mut self) -> &mut dyn crate::platform::DirectoryPort {
+            self.inner.directory()
+        }
+        fn transport(&mut self) -> &mut dyn crate::platform::TransportPort {
+            self
+        }
+    }
+
+    impl crate::platform::TransportPort for CongestedPlatform {
+        fn notify(
+            &mut self,
+            from: &OrAddress,
+            to: &OrAddress,
+            subject: &str,
+            body: &str,
+        ) -> Result<u64, cscw_messaging::MtsError> {
+            if self.refusals_left > 0 {
+                self.refusals_left -= 1;
+                return Err(cscw_messaging::MtsError::Unavailable("congested".into()));
+            }
+            self.inner.transport().notify(from, to, subject, body)
+        }
+        fn delivered(&mut self, to: &OrAddress) -> Vec<String> {
+            self.inner.transport().delivered(to)
+        }
+    }
+
+    #[test]
+    fn transport_refusals_build_pressure_defer_gossip_and_recover() {
+        let mut fed = FederatedEnvironments::new();
+        fed.federate("env-a", env_with_app("a1", "f"));
+        // env-b's transport refuses the first two gossip frames.
+        let mut env_b = CscwEnvironment::with_platform(Box::new(CongestedPlatform {
+            inner: crate::platform::LocalPlatform::new(),
+            refusals_left: 2,
+        }));
+        env_b.register_app(
+            AppDescriptor {
+                id: "b1".into(),
+                name: "b1".to_owned(),
+                quadrant: Quadrant::CORRESPONDENCE,
+                native_format: "b1-native".into(),
+                kinds: vec!["document".into()],
+            },
+            FormatMapping::new([("f", "title")]),
+        );
+        fed.federate("env-b", env_b);
+        fed.link_bidi("env-a", "env-b");
+        fed.env_mut("env-a")
+            .unwrap()
+            .store_object(
+                crate::info::InfoObject::new(
+                    crate::info::InfoObjectId::new("doc-alpha"),
+                    "note",
+                    "cn=Tom".parse().unwrap(),
+                    crate::info::InfoContent::Text("alpha".into()),
+                ),
+                None,
+                Timestamp::ZERO,
+            )
+            .unwrap();
+
+        let report = fed.run_until_converged(1, 60_000_000).unwrap();
+        assert!(report.converged, "fingerprints: {:?}", fed.fingerprints());
+        assert!(
+            report.activity.links_degraded >= 2,
+            "both refusals must degrade a→b pulses: {report:?}"
+        );
+        // Pressure built during congestion must clear on recovery.
+        assert_eq!(fed.link_pressure("env-a", "env-b"), 0);
+        let t = fed.fabric().telemetry();
+        assert_eq!(
+            t.counter(Layer::Federation, "federation.gossip.pressure"),
+            2
+        );
+        assert!(
+            t.counter(Layer::Federation, "federation.runtime.gossip.deferred") >= 2,
+            "each degraded pulse must earn a quiet period"
+        );
     }
 
     #[test]

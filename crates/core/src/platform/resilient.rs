@@ -20,6 +20,12 @@
 //! * mutations and transport submissions are refused fast with the
 //!   port's `Unavailable` error (a stale write would not be a write).
 //!
+//! Congestion is a first-class failure here: on a queue-bounded
+//! simulated network ([`super::SimPlatform::with_link_spec`]) a shed
+//! request produces the port's `Unavailable` error, which classifies
+//! as *transient* — so sustained overload alone walks a breaker to
+//! open, with zero injected faults.
+//!
 //! Everything the decorator does is visible in the platform's
 //! [`Telemetry`] stream, tagged [`Layer::Env`] (the decorator lives
 //! with the environment, above the ports it guards): per-port
@@ -834,6 +840,64 @@ mod tests {
             "open breaker refuses without touching the port"
         );
         assert!(t.counter(Layer::Env, "resilience.transport.rejected") >= 1);
+    }
+
+    #[test]
+    fn congestion_alone_opens_a_breaker_with_zero_injected_faults() {
+        use crate::platform::SimPlatform;
+        use simnet::{LinkSpec, NodeId, Payload, SimDuration};
+
+        // A slow, queue-bounded mesh: 10 kB/s wires that hold at most
+        // 4 queued messages. No fault is ever injected — the only
+        // adversary is offered load.
+        let spec = LinkSpec::fixed(SimDuration::from_millis(1))
+            .with_bandwidth(10_000)
+            .with_queue_capacity_msgs(4);
+        let sim_platform = SimPlatform::with_link_spec(7, Telemetry::new(), spec);
+        let mut p = ResilientPlatform::new(Box::new(sim_platform))
+            .with_policy(RetryPolicy::none())
+            .with_breakers(3, 1_000_000);
+
+        // Flood the trader-client → trader wire with junk so the
+        // facade's next request is shed by the full queue.
+        let flood = |p: &mut ResilientPlatform| {
+            let sp = p
+                .inner
+                .as_any_mut()
+                .downcast_mut::<SimPlatform>()
+                .expect("inner is the sim platform");
+            let sim = sp.sim_mut();
+            let (client, trader) = (NodeId::from_raw(0), NodeId::from_raw(3));
+            for _ in 0..8 {
+                sim.send_from(client, trader, Payload::new(0u32), 600);
+            }
+        };
+
+        for _ in 0..3 {
+            flood(&mut p);
+            let err = p
+                .trader()
+                .import(&odp::ImportRequest::any("printer"))
+                .unwrap_err();
+            assert!(matches!(err, OdpError::Unavailable(_)), "got {err:?}");
+        }
+        let (trader_breaker, _, _) = p.breaker_states();
+        assert_eq!(
+            trader_breaker,
+            BreakerState::Open,
+            "three congestion-shed requests must trip the trader breaker"
+        );
+        let t = p.telemetry().clone();
+        assert_eq!(t.counter(Layer::Env, "resilience.trader.breaker_open"), 1);
+        // The drops really came from queue overflow, not faults.
+        let sp = p
+            .inner
+            .as_any_mut()
+            .downcast_mut::<SimPlatform>()
+            .expect("inner is the sim platform");
+        assert!(sp.sim().metrics().counter("dropped_queue_full") >= 3);
+        assert_eq!(sp.sim().metrics().counter("dropped_node_down"), 0);
+        assert_eq!(sp.sim().metrics().counter("dropped_partitioned"), 0);
     }
 
     #[test]

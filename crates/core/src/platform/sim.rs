@@ -65,6 +65,16 @@ impl SimPlatform {
     /// this way get *cross-site* traces: a remote exchange's delivery
     /// spans join the sending exchange's tree.
     pub fn with_telemetry(seed: u64, telemetry: Telemetry) -> Self {
+        Self::with_link_spec(seed, telemetry, LinkSpec::lan())
+    }
+
+    /// Like [`SimPlatform::with_telemetry`], but meshing the six nodes
+    /// with a caller-chosen [`LinkSpec`]. This is how congestion
+    /// scenarios host an environment on a *bounded, slow* network:
+    /// with a queue-bounded spec the engineering functions share
+    /// contended wires, and a flooded link sheds port traffic instead
+    /// of buffering it forever.
+    pub fn with_link_spec(seed: u64, telemetry: Telemetry, spec: LinkSpec) -> Self {
         let mut b = TopologyBuilder::new();
         let trader_client = b.add_node("env-trader-client");
         let dua_client = b.add_node("env-dua-client");
@@ -72,7 +82,7 @@ impl SimPlatform {
         let trader_node = b.add_node("trader");
         let dsa_node = b.add_node("dsa");
         let mta_node = b.add_node("mta");
-        b.full_mesh(LinkSpec::lan());
+        b.full_mesh(spec);
         let mut sim = Sim::new(b.build(), seed);
 
         sim.attach_telemetry(telemetry.clone());

@@ -259,13 +259,43 @@ impl FederationFabric {
         domain: &str,
         digest: &GossipFrame,
     ) -> Result<GossipFrame, FederationError> {
+        self.delta_frame_capped(domain, digest, None)
+    }
+
+    /// Like [`FederationFabric::delta_frame`], but truncates the delta
+    /// to at most `cap` updates. Congested transports shrink their
+    /// frames this way: `delta_since` emits each origin's updates in
+    /// ascending sequence order, so a truncated delta is still a valid
+    /// per-origin prefix — the receiver's digest simply advances less
+    /// and the remainder goes out on a later round.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::UnknownDomain`] / [`FederationError::Codec`].
+    pub fn delta_frame_capped(
+        &self,
+        domain: &str,
+        digest: &GossipFrame,
+        cap: Option<usize>,
+    ) -> Result<GossipFrame, FederationError> {
         let their = decode_digest(&digest.body)?;
         let inner = self.inner.lock();
         let state = inner
             .domains
             .get(domain)
             .ok_or_else(|| FederationError::UnknownDomain(domain.to_owned()))?;
-        let delta = state.replica.delta_since(&their);
+        let mut delta = state.replica.delta_since(&their);
+        if let Some(cap) = cap {
+            let excess = delta.len().saturating_sub(cap);
+            if excess > 0 {
+                delta.truncate(cap);
+                inner.telemetry.add(
+                    Layer::Federation,
+                    "federation.gossip.truncated",
+                    excess as u64,
+                );
+            }
+        }
         inner.telemetry.add(
             Layer::Federation,
             "federation.gossip.delta",
@@ -514,6 +544,34 @@ mod tests {
         assert_eq!(
             fabric.replica_get("env-b", "org:cn=Tom").as_deref(),
             Some("person Tom")
+        );
+    }
+
+    #[test]
+    fn capped_delta_frames_still_converge_over_more_rounds() {
+        let fabric = FederationFabric::new();
+        let mut a = fabric.join("env-a");
+        let b = fabric.join("env-b");
+        for i in 0..7 {
+            a.publish_entry(&format!("org:cn=Person{i}"), &format!("person {i}"));
+        }
+        // A cap of 2 needs ceil(7/2) = 4 rounds to drain the backlog.
+        let mut applied_per_round = Vec::new();
+        for _ in 0..4 {
+            let digest = fabric.digest_frame("env-b").unwrap();
+            let delta = fabric
+                .delta_frame_capped("env-a", &digest, Some(2))
+                .unwrap();
+            applied_per_round.push(fabric.ingest_delta("env-b", &delta).unwrap());
+        }
+        assert_eq!(applied_per_round, vec![2, 2, 2, 1]);
+        assert_eq!(a.replica_fingerprint(), b.replica_fingerprint());
+        assert_eq!(
+            fabric
+                .telemetry()
+                .counter(Layer::Federation, "federation.gossip.truncated"),
+            5 + 3 + 1,
+            "each round counts the updates it held back"
         );
     }
 

@@ -136,6 +136,7 @@ pub struct FederationRuntime {
     config: RuntimeConfig,
     gossip: BTreeMap<String, Periodic>,
     pump: BTreeMap<String, Periodic>,
+    gossip_deferrals: BTreeMap<String, u32>,
     ttl_sweep: Periodic,
     installed: u64,
     telemetry: Telemetry,
@@ -153,6 +154,7 @@ impl FederationRuntime {
             config,
             gossip: BTreeMap::new(),
             pump: BTreeMap::new(),
+            gossip_deferrals: BTreeMap::new(),
             ttl_sweep,
             installed: 0,
             telemetry,
@@ -232,6 +234,19 @@ impl FederationRuntime {
         self.config
     }
 
+    /// Backpressure hook: swallow `site`'s next `pulses` gossip pulses
+    /// instead of surfacing them from [`FederationRuntime::poll`]. The
+    /// periodic timer keeps ticking (phases stay deterministic); the
+    /// pulses are simply not handed to the environment, so a congested
+    /// transport gets `pulses` gossip periods of quiet. Calls
+    /// accumulate.
+    pub fn defer_gossip(&mut self, site: &str, pulses: u32) {
+        if pulses == 0 {
+            return;
+        }
+        *self.gossip_deferrals.entry(site.to_owned()).or_insert(0) += pulses;
+    }
+
     /// Advances through scheduled events up to `deadline`. Fabric-local
     /// events (TTL sweeps, link changes) execute internally; the first
     /// event needing the environment layer returns as a [`Pulse`] with
@@ -254,6 +269,15 @@ impl FederationRuntime {
                             p.next_after(at),
                             FedEvent::GossipPulse { site: site.clone() },
                         );
+                    }
+                    if let Some(left) = self.gossip_deferrals.get_mut(&site) {
+                        *left -= 1;
+                        if *left == 0 {
+                            self.gossip_deferrals.remove(&site);
+                        }
+                        self.telemetry
+                            .incr(Layer::Federation, "federation.runtime.gossip.deferred");
+                        continue;
                     }
                     self.telemetry
                         .incr(Layer::Federation, "federation.runtime.gossip.pulse");
@@ -403,6 +427,36 @@ mod tests {
         assert_eq!(link_state(&fabric), LinkState::Down);
         while rt.poll(Timestamp::from_micros(400_000)).is_some() {}
         assert_eq!(link_state(&fabric), LinkState::Up);
+    }
+
+    #[test]
+    fn deferred_gossip_pulses_are_swallowed_then_resume() {
+        let fabric = three_site_fabric();
+        let mut rt = FederationRuntime::new(fabric.clone(), RuntimeConfig::seeded(5));
+        rt.defer_gossip("site-a", 2);
+        let deadline = Timestamp::from_micros(2_000_000);
+        let mut site_a_gossips = Vec::new();
+        while let Some((at, pulse)) = rt.poll(deadline) {
+            if let Pulse::Gossip { site } = pulse {
+                if site == "site-a" {
+                    site_a_gossips.push(at.as_micros());
+                }
+            }
+        }
+        // ~8 gossip periods fit in 2s; the first two site-a pulses are
+        // swallowed, so the first surfaced one fires in period 3+.
+        assert!(!site_a_gossips.is_empty(), "gossip must resume");
+        assert!(
+            site_a_gossips[0] > 2 * DEFAULT_GOSSIP_PERIOD_MICROS,
+            "first surfaced pulse ({}) must come after the two deferred periods",
+            site_a_gossips[0]
+        );
+        assert_eq!(
+            fabric
+                .telemetry()
+                .counter(Layer::Federation, "federation.runtime.gossip.deferred"),
+            2
+        );
     }
 
     #[test]

@@ -31,6 +31,21 @@ use crate::store::MessageStore;
 /// Maximum MTA hops before a message is bounced.
 pub const MAX_HOPS: usize = 16;
 
+/// Maximum wire-send attempts per next-hop transfer before the MTA
+/// gives up and bounces the message with
+/// [`NonDeliveryReason::Congestion`].
+pub const MAX_TRANSFER_ATTEMPTS: u32 = 4;
+
+/// An onward transfer the wire refused (bounded egress queue shed the
+/// send): held for a backoff retry.
+#[derive(Debug)]
+struct DeferredTransfer {
+    hop: NodeId,
+    envelope: Envelope,
+    ipm: Ipm,
+    attempts: u32,
+}
+
 /// Mirrors an MTS event into the kernel telemetry stream (if one is
 /// attached to the simulation) tagged [`Layer::Messaging`]. The
 /// existing `Metrics` counters stay authoritative; telemetry adds the
@@ -84,6 +99,7 @@ pub struct MtaNode {
     dls: BTreeMap<OrAddress, Vec<OrAddress>>,
     base_delay: SimDuration,
     pending: BTreeMap<u64, (Envelope, Ipm)>,
+    deferred: BTreeMap<u64, DeferredTransfer>,
     next_tag: u64,
 }
 
@@ -98,6 +114,7 @@ impl MtaNode {
             dls: BTreeMap::new(),
             base_delay: SimDuration::from_millis(50),
             pending: BTreeMap::new(),
+            deferred: BTreeMap::new(),
             next_tag: 0,
         }
     }
@@ -270,22 +287,79 @@ impl MtaNode {
                 }];
             }
             copy.recipients = recipients;
-            let size = ipm.wire_size();
             ctx.metrics().incr("mts_forwarded");
             emit_messaging(
                 ctx,
                 "mts.forward",
                 format!("{} via {}", envelope.message_id, self.name),
             );
-            ctx.send_sized(
-                hop,
-                Payload::new(MtsPdu::Transfer {
-                    envelope: copy,
-                    ipm: ipm.clone(),
-                }),
-                size,
-            );
+            self.forward(ctx, hop, copy, ipm.clone(), 1);
         }
+    }
+
+    /// Puts a split envelope on the wire toward `hop`. A bounded egress
+    /// queue may shed the send ([`simnet::SendOutcome::Shed`]); the MTA
+    /// is store-and-forward, so a shed transfer is not lost — it is
+    /// parked in `deferred` and retried with exponential backoff until
+    /// [`MAX_TRANSFER_ATTEMPTS`] is exhausted, then bounced with
+    /// [`NonDeliveryReason::Congestion`].
+    fn forward(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        hop: NodeId,
+        envelope: Envelope,
+        ipm: Ipm,
+        attempt: u32,
+    ) {
+        let size = ipm.wire_size();
+        let outcome = ctx.send_sized(
+            hop,
+            Payload::new(MtsPdu::Transfer {
+                envelope: envelope.clone(),
+                ipm: ipm.clone(),
+            }),
+            size,
+        );
+        if !outcome.is_shed() {
+            return;
+        }
+        if attempt >= MAX_TRANSFER_ATTEMPTS {
+            ctx.metrics().incr("mts_congestion_bounced");
+            emit_messaging(
+                ctx,
+                "mts.congestion_bounce",
+                format!(
+                    "{} toward {hop:?} after {attempt} attempts",
+                    envelope.message_id
+                ),
+            );
+            let mut envelope = envelope;
+            let recipients = std::mem::take(&mut envelope.recipients);
+            for r in recipients {
+                self.non_deliver(ctx, &envelope, r, NonDeliveryReason::Congestion);
+            }
+            return;
+        }
+        ctx.metrics().incr("mts_deferred_congestion");
+        emit_messaging(
+            ctx,
+            "mts.defer",
+            format!("{} toward {hop:?} attempt {attempt}", envelope.message_id),
+        );
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.deferred.insert(
+            tag,
+            DeferredTransfer {
+                hop,
+                envelope,
+                ipm,
+                attempts: attempt,
+            },
+        );
+        // Exponential backoff in units of the per-hop processing delay.
+        let backoff = self.base_delay.saturating_mul(1u64 << attempt.min(6));
+        ctx.set_timer(backoff, tag);
     }
 
     fn non_deliver(
@@ -395,6 +469,13 @@ impl Node for MtaNode {
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: simnet::TimerId, tag: u64) {
         if let Some((envelope, ipm)) = self.pending.remove(&tag) {
             self.process(ctx, envelope, ipm);
+            return;
+        }
+        if let Some(d) = self.deferred.remove(&tag) {
+            // Retry the wire send directly: the envelope already
+            // carries this MTA's trace hop, so re-entering `process()`
+            // would bounce it as a loop.
+            self.forward(ctx, d.hop, d.envelope, d.ipm, d.attempts + 1);
         }
     }
 
@@ -416,6 +497,13 @@ impl Node for MtaNode {
             };
             ctx.metrics().incr("mts_recovered_after_restart");
             ctx.set_timer(delay, tag);
+        }
+        // Deferred (congestion-shed) transfers are durable too; retry
+        // them one base delay after coming back up.
+        let deferred_tags: Vec<u64> = self.deferred.keys().copied().collect();
+        for tag in deferred_tags {
+            ctx.metrics().incr("mts_recovered_after_restart");
+            ctx.set_timer(self.base_delay, tag);
         }
     }
 }
@@ -915,6 +1003,98 @@ mod tests {
             .submit_and_run(&mut w.sim, ipm, SubmitOptions::default());
         assert_eq!(w.tom.inbox(&w.sim).unwrap().len(), 1);
         assert_eq!(w.wolfgang.inbox(&w.sim).unwrap().len(), 1);
+    }
+
+    /// Like [`world`], but the UK→DE transfer link is a bottleneck:
+    /// `bandwidth` bytes/sec with a zero-capacity egress queue, so any
+    /// send issued while the wire is busy is shed immediately.
+    fn congested_world(bandwidth: u64) -> World {
+        let mut b = TopologyBuilder::new();
+        let tom_ws = b.add_node("tom-ws");
+        let wolfgang_ws = b.add_node("wolfgang-ws");
+        let mta_uk = b.add_node("mta-uk");
+        let mta_de = b.add_node("mta-de");
+        b.link(tom_ws, mta_uk, LinkSpec::lan());
+        b.link(
+            mta_uk,
+            mta_de,
+            LinkSpec::fixed(simnet::SimDuration::from_millis(10))
+                .with_bandwidth(bandwidth)
+                .with_queue_capacity_msgs(0),
+        );
+        b.link(mta_de, mta_uk, LinkSpec::lan());
+        let mut sim = Sim::new(b.build(), 17);
+
+        let tom = addr("UK", "Lancaster", "Tom Rodden");
+        let wolfgang = addr("DE", "GMD", "Wolfgang Prinz");
+
+        let mut uk = MtaNode::new("mta-uk");
+        uk.register_mailbox(tom.clone());
+        uk.routing_mut().add_country_route("DE", mta_de);
+        let mut de = MtaNode::new("mta-de");
+        de.register_mailbox(wolfgang.clone());
+        de.routing_mut().add_country_route("UK", mta_uk);
+
+        sim.register(mta_uk, uk);
+        sim.register(mta_de, de);
+
+        World {
+            sim,
+            tom: UserAgent::new(tom, tom_ws, mta_uk),
+            wolfgang: UserAgent::new(wolfgang, wolfgang_ws, mta_de),
+        }
+    }
+
+    #[test]
+    fn congestion_shed_transfer_is_deferred_then_delivered() {
+        // A 65-byte IPM over a 130 B/s wire occupies it for 500 ms.
+        // Two simultaneous submissions: the second transfer is shed by
+        // the zero-capacity queue, deferred, and the backoff retries
+        // (at +100/+300/+700 ms) land once the wire frees at +500 ms.
+        let mut w = congested_world(130);
+        for subject in ["first", "second"] {
+            let ipm = Ipm::text(
+                w.tom.address().clone(),
+                w.wolfgang.address().clone(),
+                subject,
+                "x",
+            );
+            w.tom.submit(&mut w.sim, ipm, SubmitOptions::default());
+        }
+        w.sim.run_until_idle();
+        assert_eq!(w.wolfgang.inbox(&w.sim).unwrap().len(), 2);
+        assert!(w.sim.metrics().counter("mts_deferred_congestion") >= 1);
+        assert_eq!(w.sim.metrics().counter("mts_congestion_bounced"), 0);
+        assert!(w.tom.reports(&w.sim).unwrap().is_empty());
+    }
+
+    #[test]
+    fn persistent_congestion_bounces_with_congestion_ndr() {
+        // At 1 B/s the first transfer holds the wire for 65 s — far past
+        // the last backoff retry — so the second exhausts its attempts
+        // and bounces.
+        let mut w = congested_world(1);
+        for subject in ["hog", "victim"] {
+            let ipm = Ipm::text(
+                w.tom.address().clone(),
+                w.wolfgang.address().clone(),
+                subject,
+                "x",
+            );
+            w.tom.submit(&mut w.sim, ipm, SubmitOptions::default());
+        }
+        w.sim.run_until_idle();
+        // The wire-hogging first message still arrives eventually.
+        assert_eq!(w.wolfgang.inbox(&w.sim).unwrap().len(), 1);
+        assert_eq!(w.sim.metrics().counter("mts_congestion_bounced"), 1);
+        let reports = w.tom.reports(&w.sim).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(matches!(
+            reports[0].outcome,
+            DeliveryOutcome::NonDelivery {
+                reason: NonDeliveryReason::Congestion
+            }
+        ));
     }
 
     #[test]

@@ -13,5 +13,6 @@
 //! only scheduling-internal code should keep [`SimTime`].
 
 pub use simnet::{
-    LinkSpec, Message, Node, NodeCtx, NodeId, Payload, Sim, SimDuration, SimTime, TopologyBuilder,
+    LinkSpec, Message, Node, NodeCtx, NodeId, Payload, QueueDiscipline, SendOutcome, Sim,
+    SimDuration, SimTime, TopologyBuilder,
 };

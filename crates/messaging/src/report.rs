@@ -16,6 +16,8 @@ pub enum NonDeliveryReason {
     HopLimitExceeded,
     /// A distribution list expansion looped.
     DlLoop,
+    /// The next-hop link stayed congested through every retry.
+    Congestion,
 }
 
 impl std::fmt::Display for NonDeliveryReason {
@@ -25,6 +27,7 @@ impl std::fmt::Display for NonDeliveryReason {
             NonDeliveryReason::NoRoute => "no route",
             NonDeliveryReason::HopLimitExceeded => "hop limit exceeded",
             NonDeliveryReason::DlLoop => "distribution list loop",
+            NonDeliveryReason::Congestion => "congestion",
         };
         f.write_str(s)
     }

@@ -74,7 +74,7 @@ pub use id::{MessageId, NodeId, TimerId};
 pub use metrics::{Histogram, Metrics};
 pub use payload::Payload;
 pub use rng::SimRng;
-pub use sim::{FaultAction, Message, Node, NodeCtx, Sim, DEFAULT_MESSAGE_SIZE};
+pub use sim::{FaultAction, Message, Node, NodeCtx, SendOutcome, Sim, DEFAULT_MESSAGE_SIZE};
 pub use time::{SimDuration, SimTime};
-pub use topology::{shapes, IslandPlan, LinkSpec, Topology, TopologyBuilder};
+pub use topology::{shapes, IslandPlan, LinkSpec, QueueDiscipline, Topology, TopologyBuilder};
 pub use trace::{DropReason, Trace, TraceEvent, TraceKind};

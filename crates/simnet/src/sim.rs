@@ -9,19 +9,31 @@
 //!
 //! For a message of `size` bytes sent at `t` over link `l`:
 //!
-//! 1. the message serialises onto the link after any earlier messages
-//!    (`start = max(t, link_busy_until)`), taking
-//!    [`crate::LinkSpec::transmission_delay`];
-//! 2. it propagates for `latency + U[0, jitter]`;
-//! 3. delivery is clamped to be no earlier than the previous delivery on
-//!    the same link — **links are FIFO**, modelling the connection-
+//! 1. if `l`'s wire is idle and its egress queue empty, the message
+//!    starts serialising immediately; otherwise it enters the bounded
+//!    egress queue, where the link's
+//!    [`QueueDiscipline`](crate::QueueDiscipline) decides admission
+//!    (over capacity the message is shed with
+//!    [`DropReason::QueueFull`]) and dequeue order. The sender sees
+//!    which happened via [`SendOutcome`];
+//! 2. serialisation takes [`crate::LinkSpec::transmission_delay`]; the
+//!    wire carries one message at a time, so queued messages drain in
+//!    discipline order as it frees;
+//! 3. the message propagates for `latency + U[0, jitter]`;
+//! 4. delivery is clamped to be no earlier than the previous delivery
+//!    on the same link — **links are FIFO**, modelling the connection-
 //!    oriented OSI transports of the paper's era;
-//! 4. it may be dropped: at send time if no link exists, and at delivery
-//!    time if the pair is partitioned, the destination is down, or the
-//!    link's loss probability fires. Messages in flight when a partition
-//!    starts are therefore lost, like a broken connection.
+//! 5. it may be dropped: at *send* time if the sender is crashed, no
+//!    link exists, or the egress queue sheds it; on the *wire* by the
+//!    link's loss probability (the lost message still occupied the
+//!    wire, but later deliveries are not delayed behind the arrival
+//!    that never happens); and at *delivery* time if the pair is
+//!    partitioned or the destination is down. Messages in flight when
+//!    a partition starts are therefore lost, like a broken connection
+//!    — but bits already propagating survive a *sender* crash (they
+//!    have left the host; only its queued egress buffers die with it).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use cscw_kernel::{EventQueue, Layer, ManualClock, SpanContext, Telemetry};
 
@@ -30,7 +42,7 @@ use crate::metrics::Metrics;
 use crate::payload::Payload;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::topology::Topology;
+use crate::topology::{LinkSpec, QueueDiscipline, Topology};
 use crate::trace::{DropReason, Trace, TraceKind};
 
 /// Simulated size assumed by [`NodeCtx::send`] when the caller does not
@@ -87,6 +99,47 @@ pub trait Node: std::any::Any {
     }
 }
 
+/// What happened to a send at the network boundary, as seen by the
+/// sender — the backpressure signal bounded link queues feed upward so
+/// higher layers can defer, shrink, or fail fast under congestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message went straight onto an idle wire.
+    Accepted {
+        /// The send's message id.
+        id: MessageId,
+    },
+    /// The wire was busy; the message waits in the link's egress queue.
+    Queued {
+        /// The send's message id.
+        id: MessageId,
+        /// Queue depth including this message — a congestion signal.
+        depth: usize,
+    },
+    /// The message was shed before reaching the wire (queue full,
+    /// sender down, or no usable route); it will never deliver.
+    Shed {
+        /// The send's message id.
+        id: MessageId,
+    },
+}
+
+impl SendOutcome {
+    /// The message id, regardless of outcome.
+    pub fn id(&self) -> MessageId {
+        match *self {
+            SendOutcome::Accepted { id }
+            | SendOutcome::Queued { id, .. }
+            | SendOutcome::Shed { id } => id,
+        }
+    }
+
+    /// True when the message will never deliver.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, SendOutcome::Shed { .. })
+    }
+}
+
 /// A scheduled environmental fault.
 #[derive(Debug, Clone)]
 pub enum FaultAction {
@@ -110,6 +163,29 @@ enum EventKind {
         tag: u64,
     },
     Fault(FaultAction),
+    /// The wire `from -> to` frees up: dequeue the next waiting
+    /// message (per discipline) and put it on the wire.
+    LinkReady {
+        from: NodeId,
+        to: NodeId,
+    },
+}
+
+/// One message waiting in a link's egress queue.
+struct Waiter {
+    class: u8,
+    msg: Message,
+}
+
+/// Per-directed-link egress queue state.
+///
+/// Invariant: whenever `waiting` is non-empty there is exactly one
+/// `LinkReady` event scheduled for the link; `draining` tracks it.
+#[derive(Default)]
+struct LinkQueue {
+    waiting: VecDeque<Waiter>,
+    queued_bytes: u64,
+    draining: bool,
 }
 
 /// A periodic timer's recurrence: how to re-arm it each time it fires.
@@ -143,12 +219,28 @@ impl NodeCtx<'_> {
 
     /// Sends a payload with [`DEFAULT_MESSAGE_SIZE`].
     pub fn send(&mut self, to: NodeId, payload: Payload) -> MessageId {
-        self.send_sized(to, payload, DEFAULT_MESSAGE_SIZE)
+        self.send_sized(to, payload, DEFAULT_MESSAGE_SIZE).id()
     }
 
-    /// Sends a payload with an explicit simulated size.
-    pub fn send_sized(&mut self, to: NodeId, payload: Payload, size: u64) -> MessageId {
-        self.core.enqueue_send(self.node, to, payload, size)
+    /// Sends a payload with an explicit simulated size. The returned
+    /// [`SendOutcome`] tells the sender whether the message reached the
+    /// wire, queued behind it, or was shed by a bounded egress queue.
+    pub fn send_sized(&mut self, to: NodeId, payload: Payload, size: u64) -> SendOutcome {
+        self.core.enqueue_send(self.node, to, payload, size, 0)
+    }
+
+    /// Sends a payload with an explicit size and transmit class. The
+    /// class only matters on links with a
+    /// [`Priority`](crate::QueueDiscipline::Priority) discipline, where
+    /// class 0 dequeues first.
+    pub fn send_classed(
+        &mut self,
+        to: NodeId,
+        payload: Payload,
+        size: u64,
+        class: u8,
+    ) -> SendOutcome {
+        self.core.enqueue_send(self.node, to, payload, size, class)
     }
 
     /// Arms a one-shot timer `delay` from now; `tag` is echoed to
@@ -183,7 +275,12 @@ impl NodeCtx<'_> {
     /// Cancels a pending timer (one-shot or periodic). Cancelling an
     /// already-fired or unknown timer is a no-op.
     pub fn cancel_timer(&mut self, timer: TimerId) {
-        self.core.cancelled_timers.insert(timer);
+        // Only a still-pending timer needs a cancellation marker; the
+        // marker is consumed by the firing it suppresses, so marking an
+        // already-fired id would leak it forever.
+        if self.core.pending_timers.remove(&timer) {
+            self.core.cancelled_timers.insert(timer);
+        }
         self.core.periodic_timers.remove(&timer);
     }
 
@@ -228,9 +325,13 @@ struct Core {
     next_msg: u64,
     next_timer: u64,
     cancelled_timers: BTreeSet<TimerId>,
+    /// Timers armed but not yet fired; bounds `cancelled_timers` — only
+    /// ids in here can enter the cancelled set.
+    pending_timers: BTreeSet<TimerId>,
     periodic_timers: BTreeMap<TimerId, (NodeId, u64, PeriodicSpec)>,
     link_busy_until: BTreeMap<(NodeId, NodeId), SimTime>,
     link_last_delivery: BTreeMap<(NodeId, NodeId), SimTime>,
+    link_queues: BTreeMap<(NodeId, NodeId), LinkQueue>,
     rng: SimRng,
     node_rngs: Vec<SimRng>,
     metrics: Metrics,
@@ -255,6 +356,7 @@ impl Core {
     fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> TimerId {
         let timer = TimerId(self.next_timer);
         self.next_timer += 1;
+        self.pending_timers.insert(timer);
         let at = self.now + delay;
         self.push(at, EventKind::Timer { node, timer, tag });
         timer
@@ -273,6 +375,7 @@ impl Core {
     fn set_periodic_timer(&mut self, node: NodeId, spec: PeriodicSpec, tag: u64) -> TimerId {
         let timer = TimerId(self.next_timer);
         self.next_timer += 1;
+        self.pending_timers.insert(timer);
         self.periodic_timers.insert(timer, (node, tag, spec));
         let delay = self.periodic_delay(node, spec);
         let at = self.now + delay;
@@ -280,7 +383,14 @@ impl Core {
         timer
     }
 
-    fn enqueue_send(&mut self, from: NodeId, to: NodeId, payload: Payload, size: u64) -> MessageId {
+    fn enqueue_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: Payload,
+        size: u64,
+        class: u8,
+    ) -> SendOutcome {
         let id = MessageId(self.next_msg);
         self.next_msg += 1;
         self.metrics.incr("messages_sent");
@@ -319,60 +429,11 @@ impl Core {
             },
         );
 
-        // Local delivery: no link involved, zero latency.
-        if from == to {
-            let msg = Message {
-                id,
-                from,
-                to,
-                size,
-                sent_at: self.now,
-                span,
-                payload,
-            };
-            self.push(self.now, EventKind::Deliver(msg));
-            return id;
-        }
-
-        let Some(spec) = self.topology.link(from, to).copied() else {
-            self.drop_message(id, DropReason::NoRoute);
-            return id;
-        };
-
-        let start = self.now.max(
-            *self
-                .link_busy_until
-                .get(&(from, to))
-                .unwrap_or(&SimTime::ZERO),
-        );
-        let tx = spec.transmission_delay(size);
-        if tx == SimDuration::MAX {
-            // Zero-bandwidth link: the message never gets onto the wire.
-            self.drop_message(id, DropReason::NoRoute);
-            return id;
-        }
-        let wire_free = start + tx;
-        self.link_busy_until.insert((from, to), wire_free);
-
-        let jitter = if spec.jitter.is_zero() {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(self.rng.below(spec.jitter.as_micros() + 1))
-        };
-        let mut deliver_at = wire_free + spec.latency + jitter;
-
-        // FIFO clamp: never deliver before an earlier message on this link.
-        let last = self
-            .link_last_delivery
-            .get(&(from, to))
-            .copied()
-            .unwrap_or(SimTime::ZERO);
-        deliver_at = deliver_at.max(last);
-        self.link_last_delivery.insert((from, to), deliver_at);
-
-        if spec.loss_probability > 0.0 && self.rng.chance(spec.loss_probability) {
-            self.drop_message(id, DropReason::Loss);
-            return id;
+        // A crashed host's bits never reach the wire: sends from a down
+        // node are shed at source.
+        if self.topology.is_down(from) {
+            self.drop_message(id, DropReason::NodeDown);
+            return SendOutcome::Shed { id };
         }
 
         let msg = Message {
@@ -384,8 +445,231 @@ impl Core {
             span,
             payload,
         };
+
+        // Local delivery: no link involved, zero latency.
+        if from == to {
+            self.push(self.now, EventKind::Deliver(msg));
+            return SendOutcome::Accepted { id };
+        }
+
+        let Some(spec) = self.topology.link(from, to).copied() else {
+            self.drop_message(id, DropReason::NoRoute);
+            return SendOutcome::Shed { id };
+        };
+        if spec.transmission_delay(size) == SimDuration::MAX {
+            // Zero-bandwidth link: the message never gets onto the wire.
+            self.drop_message(id, DropReason::NoRoute);
+            return SendOutcome::Shed { id };
+        }
+
+        let key = (from, to);
+        let busy_until = self
+            .link_busy_until
+            .get(&key)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let queue_empty = self
+            .link_queues
+            .get(&key)
+            .is_none_or(|q| q.waiting.is_empty());
+        if queue_empty && busy_until <= self.now {
+            // Wire idle, nothing waiting: straight onto the wire.
+            self.transmit(key, &spec, msg);
+            return SendOutcome::Accepted { id };
+        }
+        self.admit(key, &spec, msg, class)
+    }
+
+    /// Puts `msg` on the wire (which must be free no later than `now`):
+    /// occupies it for the transmission delay, draws jitter and loss,
+    /// applies the FIFO clamp, and schedules delivery.
+    fn transmit(&mut self, key: (NodeId, NodeId), spec: &LinkSpec, msg: Message) {
+        let start = self.now.max(
+            self.link_busy_until
+                .get(&key)
+                .copied()
+                .unwrap_or(SimTime::ZERO),
+        );
+        let wire_free = start + spec.transmission_delay(msg.size);
+        self.link_busy_until.insert(key, wire_free);
+
+        let jitter = if spec.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.rng.below(spec.jitter.as_micros() + 1))
+        };
+
+        // Loss draws *before* the FIFO clamp registers: a lost message
+        // really occupied the wire (`link_busy_until` stands), but later
+        // deliveries must not wait behind an arrival that never happens.
+        if spec.loss_probability > 0.0 && self.rng.chance(spec.loss_probability) {
+            self.drop_message(msg.id, DropReason::Loss);
+            return;
+        }
+
+        // FIFO clamp: never deliver before an earlier message on this link.
+        let last = self
+            .link_last_delivery
+            .get(&key)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let deliver_at = (wire_free + spec.latency + jitter).max(last);
+        self.link_last_delivery.insert(key, deliver_at);
         self.push(deliver_at, EventKind::Deliver(msg));
-        id
+    }
+
+    /// Admits `msg` to the link's bounded egress queue (the wire is
+    /// busy or others are already waiting), applying the discipline's
+    /// early-drop, overflow, and eviction rules.
+    fn admit(
+        &mut self,
+        key: (NodeId, NodeId),
+        spec: &LinkSpec,
+        msg: Message,
+        class: u8,
+    ) -> SendOutcome {
+        let id = msg.id;
+        let size = msg.size;
+
+        // Random early drop (Lossy discipline) sheds contended arrivals
+        // with probability `p` even while capacity remains.
+        if let QueueDiscipline::Lossy { p } = spec.discipline {
+            if p > 0.0 && self.rng.chance(p) {
+                self.drop_message(id, DropReason::QueueFull);
+                return SendOutcome::Shed { id };
+            }
+        }
+        let class = match spec.discipline {
+            QueueDiscipline::Priority { classes } => class.min(classes.saturating_sub(1)),
+            _ => class,
+        };
+
+        let cap_msgs = spec.queue_capacity_msgs.map(|c| c as usize);
+        let cap_bytes = spec.queue_capacity_bytes;
+        let mut evicted: Vec<MessageId> = Vec::new();
+        let (admitted, depth) = {
+            let q = self.link_queues.entry(key).or_default();
+            loop {
+                let over = cap_msgs.is_some_and(|c| q.waiting.len() >= c)
+                    || cap_bytes.is_some_and(|c| q.queued_bytes + size > c);
+                if !over {
+                    q.waiting.push_back(Waiter { class, msg });
+                    q.queued_bytes += size;
+                    break (true, q.waiting.len());
+                }
+                // Overflow. Under Priority the arrival may displace the
+                // rear-most waiter of the numerically largest (worst)
+                // class, provided the arrival outranks it; otherwise
+                // the arrival itself is shed.
+                let mut victim: Option<(usize, u8)> = None;
+                if matches!(spec.discipline, QueueDiscipline::Priority { .. }) {
+                    for (i, w) in q.waiting.iter().enumerate() {
+                        if w.class > class && victim.is_none_or(|(_, c)| w.class >= c) {
+                            victim = Some((i, w.class));
+                        }
+                    }
+                }
+                let Some(w) = victim.and_then(|(i, _)| q.waiting.remove(i)) else {
+                    break (false, q.waiting.len());
+                };
+                q.queued_bytes = q.queued_bytes.saturating_sub(w.msg.size);
+                evicted.push(w.msg.id);
+            }
+        };
+        for v in evicted {
+            self.drop_message(v, DropReason::QueueFull);
+        }
+        if !admitted {
+            self.drop_message(id, DropReason::QueueFull);
+            return SendOutcome::Shed { id };
+        }
+
+        self.metrics.incr("messages_queued");
+        if let Some(t) = &self.telemetry {
+            t.incr(Layer::Net, "net.queued");
+            t.record_micros(Layer::Net, "net.queue_depth", depth as u64);
+        }
+        // Keep the invariant: a non-empty queue always has exactly one
+        // LinkReady scheduled for the instant the wire frees.
+        let busy_until = self
+            .link_busy_until
+            .get(&key)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let at = self.now.max(busy_until);
+        let needs_drain = self
+            .link_queues
+            .get_mut(&key)
+            .is_some_and(|q| !std::mem::replace(&mut q.draining, true));
+        if needs_drain {
+            self.push(
+                at,
+                EventKind::LinkReady {
+                    from: key.0,
+                    to: key.1,
+                },
+            );
+        }
+        SendOutcome::Queued { id, depth }
+    }
+
+    /// Handles a `LinkReady` event: the wire `from -> to` is free, so
+    /// the discipline picks the next waiter and transmits it.
+    fn link_ready(&mut self, from: NodeId, to: NodeId) {
+        let key = (from, to);
+        let Some(spec) = self.topology.link(from, to).copied() else {
+            return;
+        };
+        let Some(q) = self.link_queues.get_mut(&key) else {
+            return;
+        };
+        let idx = match spec.discipline {
+            // Lowest class value first, FIFO within a class.
+            QueueDiscipline::Priority { .. } => {
+                let mut best = 0usize;
+                let mut best_class = u8::MAX;
+                for (i, w) in q.waiting.iter().enumerate() {
+                    if w.class < best_class {
+                        best_class = w.class;
+                        best = i;
+                    }
+                }
+                best
+            }
+            _ => 0,
+        };
+        let Some(w) = q.waiting.remove(idx) else {
+            q.draining = false;
+            return;
+        };
+        q.queued_bytes = q.queued_bytes.saturating_sub(w.msg.size);
+        let more = !q.waiting.is_empty();
+        q.draining = more;
+        self.transmit(key, &spec, w.msg);
+        if more {
+            let at = self.link_busy_until.get(&key).copied().unwrap_or(self.now);
+            self.push(at, EventKind::LinkReady { from, to });
+        }
+    }
+
+    /// A crash loses the NIC's egress buffers: every message queued on
+    /// the node's out-links is dropped. `draining` flags are left as
+    /// they are — already-scheduled `LinkReady` events fire on empty
+    /// queues and settle them.
+    fn clear_egress_queues(&mut self, node: NodeId) {
+        let mut victims = Vec::new();
+        for (key, q) in self.link_queues.iter_mut() {
+            if key.0 != node {
+                continue;
+            }
+            while let Some(w) = q.waiting.pop_front() {
+                victims.push(w.msg.id);
+            }
+            q.queued_bytes = 0;
+        }
+        for id in victims {
+            self.drop_message(id, DropReason::NodeDown);
+        }
     }
 
     fn drop_message(&mut self, id: MessageId, reason: DropReason) {
@@ -395,9 +679,13 @@ impl Core {
             DropReason::Partitioned => "dropped_partitioned",
             DropReason::NodeDown => "dropped_node_down",
             DropReason::Loss => "dropped_loss",
+            DropReason::QueueFull => "dropped_queue_full",
         });
         if let Some(t) = &self.telemetry {
             t.incr(Layer::Net, "net.dropped");
+            if matches!(reason, DropReason::QueueFull) {
+                t.incr(Layer::Net, "net.dropped_queue_full");
+            }
             t.emit(
                 self.now.as_micros(),
                 Layer::Net,
@@ -414,7 +702,10 @@ impl Core {
             FaultAction::Partition(a, b) => self.topology.partition(&a, &b),
             FaultAction::Heal(a, b) => self.topology.heal(&a, &b),
             FaultAction::HealAll => self.topology.heal_all(),
-            FaultAction::Crash(n) => self.topology.crash_node(n),
+            FaultAction::Crash(n) => {
+                self.topology.crash_node(n);
+                self.clear_egress_queues(n);
+            }
             FaultAction::Restart(n) => self.topology.restart_node(n),
         }
         self.metrics.incr("faults_applied");
@@ -487,9 +778,11 @@ impl Sim {
                 next_msg: 0,
                 next_timer: 0,
                 cancelled_timers: BTreeSet::new(),
+                pending_timers: BTreeSet::new(),
                 periodic_timers: BTreeMap::new(),
                 link_busy_until: BTreeMap::new(),
                 link_last_delivery: BTreeMap::new(),
+                link_queues: BTreeMap::new(),
                 rng,
                 node_rngs,
                 metrics: Metrics::new(),
@@ -539,7 +832,20 @@ impl Sim {
         payload: Payload,
         size: u64,
     ) -> MessageId {
-        self.core.enqueue_send(from, to, payload, size)
+        self.core.enqueue_send(from, to, payload, size, 0).id()
+    }
+
+    /// Like [`Sim::send_from`], but with an explicit transmit class and
+    /// the full [`SendOutcome`] so harnesses can observe backpressure.
+    pub fn send_from_classed(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: Payload,
+        size: u64,
+        class: u8,
+    ) -> SendOutcome {
+        self.core.enqueue_send(from, to, payload, size, class)
     }
 
     /// Schedules a fault to occur at `at`.
@@ -662,11 +968,13 @@ impl Sim {
         self.core.set_now(at.into());
         match kind {
             EventKind::Fault(action) => self.handle_fault(action),
+            EventKind::LinkReady { from, to } => self.core.link_ready(from, to),
             EventKind::Timer { node, timer, tag } => {
                 if self.core.cancelled_timers.remove(&timer) {
                     self.core.periodic_timers.remove(&timer);
                     return true;
                 }
+                self.core.pending_timers.remove(&timer);
                 if self.core.topology.is_down(node) {
                     // A crash loses the volatile clock: periodic timers
                     // stop recurring until `on_restart` re-arms them.
@@ -678,6 +986,7 @@ impl Sim {
                 if let Some(&(_, _, spec)) = self.core.periodic_timers.get(&timer) {
                     let delay = self.core.periodic_delay(node, spec);
                     let at = self.core.now + delay;
+                    self.core.pending_timers.insert(timer);
                     self.core.push(at, EventKind::Timer { node, timer, tag });
                 }
                 self.core
@@ -694,11 +1003,14 @@ impl Sim {
             }
             EventKind::Deliver(msg) => {
                 let (from, to, id) = (msg.from, msg.to, msg.id);
-                if self.core.topology.is_down(to) || self.core.topology.is_down(from) {
+                // Only the *destination* being down kills an arriving
+                // message: bits already propagating survive a sender
+                // crash (sends from a down node were shed at source).
+                if self.core.topology.is_down(to) {
                     self.core.drop_message(id, DropReason::NodeDown);
                     return true;
                 }
-                if from != to && !self.core.topology.can_reach(from, to) {
+                if from != to && self.core.topology.is_partitioned(from, to) {
                     self.core.drop_message(id, DropReason::Partitioned);
                     return true;
                 }
@@ -1046,6 +1358,8 @@ mod tests {
 
     #[test]
     fn identical_seeds_produce_identical_runs() {
+        // Jitter + loss + a congested bounded queue all draw from the
+        // seed; the whole observable run must replay bit-for-bit.
         let run = |seed: u64| {
             let mut b = TopologyBuilder::new();
             let a = b.add_node("a");
@@ -1055,7 +1369,9 @@ mod tests {
                 c,
                 LinkSpec::lan()
                     .with_jitter(SimDuration::from_millis(20))
-                    .with_loss(0.2),
+                    .with_loss(0.2)
+                    .with_bandwidth(200_000)
+                    .with_queue_capacity_msgs(16),
             );
             let mut sim = Sim::new(b.build(), seed);
             sim.register(c, Collector::default());
@@ -1063,15 +1379,392 @@ mod tests {
                 sim.send_from(a, c, Payload::new(i), 8);
             }
             sim.run_until_idle();
-            sim.node::<Collector>(c)
+            let received = sim
+                .node::<Collector>(c)
                 .unwrap()
                 .received
                 .iter()
                 .map(|&(_, n, t)| (n, t))
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            (
+                received,
+                sim.metrics().counter("dropped_loss"),
+                sim.metrics().counter("dropped_queue_full"),
+            )
         };
+        let (_, _, shed) = run(42);
+        assert!(shed > 0, "the congested run must actually shed");
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn lost_message_does_not_delay_later_deliveries() {
+        // Phantom-clamp regression: a loss-killed message used to
+        // register the FIFO clamp first, so survivors behind it were
+        // delayed behind a delivery that never happens. Pinned times
+        // for this seed: pre-fix, messages 8-11 all arrived at the
+        // phantom 47 965 µs clamp; post-fix they arrive on their own
+        // jitter draws.
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.link(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::from_millis(1))
+                .with_jitter(SimDuration::from_millis(50))
+                .with_loss(0.5),
+        );
+        let mut sim = Sim::new(b.build(), 11);
+        sim.register(c, Collector::default());
+        for i in 0..12u32 {
+            sim.send_from(a, c, Payload::new(i), 8);
+        }
+        sim.run_until_idle();
+        let got: Vec<(u32, u64)> = sim
+            .node::<Collector>(c)
+            .unwrap()
+            .received
+            .iter()
+            .map(|&(_, n, t)| (n, t.as_micros()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, 9_227),
+                (2, 39_235),
+                (8, 39_235),
+                (9, 40_051),
+                (10, 40_051),
+                (11, 46_391),
+            ],
+        );
+        assert_eq!(sim.metrics().counter("dropped_loss"), 6);
+    }
+
+    #[test]
+    fn sender_crash_does_not_destroy_in_flight_messages() {
+        // Bits already propagating survive a sender crash: only the
+        // destination being down (or a partition) kills an arrival.
+        let (mut sim, a, c) = pair(10);
+        sim.register(c, Collector::default());
+        sim.send_from(a, c, Payload::new(1u32), 8);
+        sim.schedule_fault(SimTime::from_millis(5), FaultAction::Crash(a));
+        sim.run_until_idle();
+        assert_eq!(
+            sim.node::<Collector>(c).unwrap().received.len(),
+            1,
+            "in-flight message survives the sender's crash"
+        );
+        // A send attempted *while* crashed is shed at source, so crash
+        // semantics still hold at the boundary where they belong.
+        let outcome = sim.send_from_classed(a, c, Payload::new(2u32), 8, 0);
+        assert!(outcome.is_shed());
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter("dropped_node_down"), 1);
+        assert_eq!(sim.node::<Collector>(c).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_timer_set_stays_bounded() {
+        // Cancelling already-fired timers used to grow
+        // `cancelled_timers` forever across long runs.
+        struct LateCanceller {
+            ids: Vec<TimerId>,
+        }
+        impl Node for LateCanceller {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                for i in 0..1000 {
+                    self.ids
+                        .push(ctx.set_timer(SimDuration::from_micros(i + 1), 0));
+                }
+                ctx.set_timer(SimDuration::from_millis(100), 1);
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _msg: Message) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerId, tag: u64) {
+                if tag == 1 {
+                    // Every one of these already fired: cancelling them
+                    // must be a no-op, not a leak.
+                    for id in self.ids.drain(..) {
+                        ctx.cancel_timer(id);
+                    }
+                }
+            }
+        }
+        let (mut sim, a, _c) = pair(1);
+        sim.register(a, LateCanceller { ids: vec![] });
+        sim.run_until_idle();
+        assert!(
+            sim.core.cancelled_timers.is_empty(),
+            "cancelling fired timers must not leave markers behind"
+        );
+        assert!(sim.core.pending_timers.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_all_contended_sends() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        // 1 byte/µs: the first send occupies the wire for 100 µs.
+        b.link(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::ZERO)
+                .with_bandwidth(1_000_000)
+                .with_queue_capacity_msgs(0),
+        );
+        let mut sim = Sim::new(b.build(), 1);
+        sim.register(c, Collector::default());
+        let first = sim.send_from_classed(a, c, Payload::new(0u32), 100, 0);
+        assert!(matches!(first, SendOutcome::Accepted { .. }));
+        for i in 1..5u32 {
+            let outcome = sim.send_from_classed(a, c, Payload::new(i), 100, 0);
+            assert!(outcome.is_shed(), "zero capacity admits nothing");
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Collector>(c).unwrap().received.len(), 1);
+        assert_eq!(sim.metrics().counter("dropped_queue_full"), 4);
+    }
+
+    #[test]
+    fn drop_tail_burst_matches_hand_computed_drop_counts() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        // 1 byte/µs, zero latency, room for 3 waiters: a 10-message
+        // burst of 100 B keeps 1 on the wire + 3 queued, sheds 6, and
+        // delivers at exactly 100/200/300/400 µs.
+        b.link(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::ZERO)
+                .with_bandwidth(1_000_000)
+                .with_queue_capacity_msgs(3),
+        );
+        let mut sim = Sim::new(b.build(), 1);
+        sim.register(c, Collector::default());
+        for i in 0..10u32 {
+            sim.send_from(a, c, Payload::new(i), 100);
+        }
+        sim.run_until_idle();
+        let got: Vec<(u32, u64)> = sim
+            .node::<Collector>(c)
+            .unwrap()
+            .received
+            .iter()
+            .map(|&(_, n, t)| (n, t.as_micros()))
+            .collect();
+        assert_eq!(got, vec![(0, 100), (1, 200), (2, 300), (3, 400)]);
+        assert_eq!(sim.metrics().counter("dropped_queue_full"), 6);
+        assert_eq!(sim.metrics().counter("messages_queued"), 3);
+    }
+
+    #[test]
+    fn priority_class_jumps_queue_but_bulk_still_drains() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.link(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::ZERO)
+                .with_bandwidth(1_000_000)
+                .with_queue_capacity_msgs(10)
+                .with_discipline(QueueDiscipline::Priority { classes: 2 }),
+        );
+        let mut sim = Sim::new(b.build(), 1);
+        sim.register(c, Collector::default());
+        // Bulk (class 1, 100 B) first: one on the wire, three queued.
+        for i in 0..4u32 {
+            sim.send_from_classed(a, c, Payload::new(100 + i), 100, 1);
+        }
+        // Interactive (class 0, 10 B) arrives behind the backlog.
+        for i in 0..2u32 {
+            sim.send_from_classed(a, c, Payload::new(i), 10, 0);
+        }
+        sim.run_until_idle();
+        let got: Vec<(u32, u64)> = sim
+            .node::<Collector>(c)
+            .unwrap()
+            .received
+            .iter()
+            .map(|&(_, n, t)| (n, t.as_micros()))
+            .collect();
+        // Interactive jumps the queue as soon as the wire frees, but
+        // the starvation bound holds: every bulk message still drains
+        // (by 420 µs here — strict priority never wedges the backlog).
+        assert_eq!(
+            got,
+            vec![
+                (100, 100),
+                (0, 110),
+                (1, 120),
+                (101, 220),
+                (102, 320),
+                (103, 420),
+            ],
+        );
+        assert_eq!(sim.metrics().counter("dropped_queue_full"), 0);
+    }
+
+    #[test]
+    fn priority_overflow_evicts_lowest_priority_first() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.link(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::ZERO)
+                .with_bandwidth(1_000_000)
+                .with_queue_capacity_msgs(2)
+                .with_discipline(QueueDiscipline::Priority { classes: 2 }),
+        );
+        let mut sim = Sim::new(b.build(), 1);
+        sim.register(c, Collector::default());
+        // Fill: 100 on the wire, 101 + 102 queued (capacity 2).
+        for i in 0..3u32 {
+            sim.send_from_classed(a, c, Payload::new(100 + i), 100, 1);
+        }
+        // Same-class overflow sheds the arrival...
+        let bulk = sim.send_from_classed(a, c, Payload::new(103u32), 100, 1);
+        assert!(bulk.is_shed(), "equal class cannot evict");
+        // ...but a higher class evicts the rear-most bulk waiter.
+        let interactive = sim.send_from_classed(a, c, Payload::new(0u32), 10, 0);
+        assert!(matches!(interactive, SendOutcome::Queued { depth: 2, .. }));
+        sim.run_until_idle();
+        let got: Vec<u32> = sim
+            .node::<Collector>(c)
+            .unwrap()
+            .received
+            .iter()
+            .map(|r| r.1)
+            .collect();
+        assert_eq!(got, vec![100, 0, 101], "102 was evicted, 103 shed");
+        assert_eq!(sim.metrics().counter("dropped_queue_full"), 2);
+    }
+
+    #[test]
+    fn lossy_discipline_early_drops_contended_arrivals() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.link(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::ZERO)
+                .with_bandwidth(1_000_000)
+                .with_discipline(QueueDiscipline::Lossy { p: 1.0 }),
+        );
+        let mut sim = Sim::new(b.build(), 1);
+        sim.register(c, Collector::default());
+        assert!(!sim
+            .send_from_classed(a, c, Payload::new(0u32), 100, 0)
+            .is_shed());
+        // p = 1.0: every contended arrival is early-dropped even though
+        // the queue itself is unbounded.
+        for i in 1..4u32 {
+            assert!(sim
+                .send_from_classed(a, c, Payload::new(i), 100, 0)
+                .is_shed());
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Collector>(c).unwrap().received.len(), 1);
+        assert_eq!(sim.metrics().counter("dropped_queue_full"), 3);
+    }
+
+    #[test]
+    fn fifo_order_holds_under_loss_jitter_and_queueing() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.link(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::from_millis(1))
+                .with_jitter(SimDuration::from_millis(5))
+                .with_loss(0.3)
+                .with_bandwidth(1_000_000)
+                .with_queue_capacity_msgs(32),
+        );
+        let mut sim = Sim::new(b.build(), 9);
+        sim.register(c, Collector::default());
+        for i in 0..40u32 {
+            sim.send_from(a, c, Payload::new(i), 50);
+        }
+        sim.run_until_idle();
+        let got: Vec<u32> = sim
+            .node::<Collector>(c)
+            .unwrap()
+            .received
+            .iter()
+            .map(|r| r.1)
+            .collect();
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "deliveries must stay in send order: {got:?}"
+        );
+        let delivered = got.len() as u64;
+        let lost = sim.metrics().counter("dropped_loss");
+        let shed = sim.metrics().counter("dropped_queue_full");
+        assert_eq!(delivered + lost + shed, 40, "every message accounted for");
+        assert!(shed > 0, "the burst must overflow the 32-slot queue");
+    }
+
+    #[test]
+    fn crash_clears_queued_egress_messages() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.link(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::ZERO).with_bandwidth(1_000),
+        );
+        let mut sim = Sim::new(b.build(), 1);
+        sim.register(c, Collector::default());
+        // 1 byte/ms: the first send holds the wire until t = 100 ms,
+        // the rest sit in the sender's egress queue.
+        for i in 0..5u32 {
+            sim.send_from(a, c, Payload::new(i), 100);
+        }
+        sim.schedule_fault(SimTime::from_millis(10), FaultAction::Crash(a));
+        sim.schedule_fault(SimTime::from_secs(10), FaultAction::Restart(a));
+        sim.run_until_idle();
+        // The message on the wire survives (bits had left the host);
+        // the queued four die with the crashed sender's buffers.
+        assert_eq!(sim.node::<Collector>(c).unwrap().received.len(), 1);
+        assert_eq!(sim.metrics().counter("dropped_node_down"), 4);
+    }
+
+    #[test]
+    fn queue_telemetry_records_depth_and_sheds() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.link(
+            a,
+            c,
+            LinkSpec::fixed(SimDuration::ZERO)
+                .with_bandwidth(1_000_000)
+                .with_queue_capacity_msgs(2),
+        );
+        let mut sim = Sim::new(b.build(), 1);
+        let telemetry = Telemetry::new();
+        sim.attach_telemetry(telemetry.clone());
+        sim.register(c, Collector::default());
+        for i in 0..6u32 {
+            sim.send_from(a, c, Payload::new(i), 100);
+        }
+        sim.run_until_idle();
+        assert_eq!(telemetry.counter(Layer::Net, "net.queued"), 2);
+        assert_eq!(telemetry.counter(Layer::Net, "net.dropped_queue_full"), 3);
+        let depth = telemetry
+            .histogram(Layer::Net, "net.queue_depth")
+            .expect("queue depth histogram");
+        assert_eq!(depth.count, 2);
     }
 
     #[test]

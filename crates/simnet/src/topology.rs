@@ -123,11 +123,42 @@ pub mod shapes {
     }
 }
 
+/// How a bounded link egress queue admits and orders waiting messages.
+///
+/// The discipline only matters while the wire is busy: an arrival on an
+/// idle link always transmits immediately, regardless of discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// Admit arrivals until the queue is full, then shed new arrivals.
+    #[default]
+    DropTail,
+    /// Random early drop: while the wire is busy each arrival is shed
+    /// with probability `p` *before* the capacity check; survivors then
+    /// behave as drop-tail.
+    Lossy {
+        /// Early-drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Strict priority across `classes` transmit classes (class 0 is
+    /// highest). Dequeue picks the lowest class value first, FIFO
+    /// within a class; on overflow the rear-most lowest-priority
+    /// waiter is evicted if the arrival outranks it, otherwise the
+    /// arrival is shed.
+    Priority {
+        /// Number of distinct classes; send classes are clamped to
+        /// `classes - 1`.
+        classes: u8,
+    },
+}
+
 /// Transmission characteristics of a directed link.
 ///
 /// Delivery time for a message of `size` bytes is
 /// `latency + jitter_draw + size / bandwidth`, where `jitter_draw` is
-/// uniform in `[0, jitter]`.
+/// uniform in `[0, jitter]`. While the wire is serialising an earlier
+/// message, later arrivals wait in a bounded egress queue (see
+/// [`QueueDiscipline`]); with both capacities `None` the queue is
+/// unbounded and the link never sheds for congestion.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkSpec {
     /// Fixed propagation delay.
@@ -139,6 +170,13 @@ pub struct LinkSpec {
     pub bandwidth_bytes_per_sec: Option<u64>,
     /// Probability in `[0, 1]` that a given message is silently lost.
     pub loss_probability: f64,
+    /// Maximum number of messages the egress queue holds; `None` is
+    /// unbounded. `Some(0)` admits nothing while the wire is busy.
+    pub queue_capacity_msgs: Option<u32>,
+    /// Maximum queued payload bytes; `None` is unbounded.
+    pub queue_capacity_bytes: Option<u64>,
+    /// Admission and dequeue policy for the egress queue.
+    pub discipline: QueueDiscipline,
 }
 
 impl LinkSpec {
@@ -149,6 +187,9 @@ impl LinkSpec {
             jitter: SimDuration::ZERO,
             bandwidth_bytes_per_sec: None,
             loss_probability: 0.0,
+            queue_capacity_msgs: None,
+            queue_capacity_bytes: None,
+            discipline: QueueDiscipline::DropTail,
         }
     }
 
@@ -157,8 +198,7 @@ impl LinkSpec {
         LinkSpec {
             latency: SimDuration::from_millis(40),
             jitter: SimDuration::from_millis(10),
-            bandwidth_bytes_per_sec: None,
-            loss_probability: 0.0,
+            ..LinkSpec::lan()
         }
     }
 
@@ -167,8 +207,7 @@ impl LinkSpec {
         LinkSpec {
             latency,
             jitter: SimDuration::ZERO,
-            bandwidth_bytes_per_sec: None,
-            loss_probability: 0.0,
+            ..LinkSpec::lan()
         }
     }
 
@@ -188,6 +227,31 @@ impl LinkSpec {
     pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
         self.jitter = jitter;
         self
+    }
+
+    /// Returns a copy whose egress queue holds at most `msgs` messages.
+    pub fn with_queue_capacity_msgs(mut self, msgs: u32) -> Self {
+        self.queue_capacity_msgs = Some(msgs);
+        self
+    }
+
+    /// Returns a copy whose egress queue holds at most `bytes` payload
+    /// bytes.
+    pub fn with_queue_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.queue_capacity_bytes = Some(bytes);
+        self
+    }
+
+    /// Returns a copy using the given queue discipline.
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// True when either queue capacity is bounded — only then can the
+    /// link shed for congestion.
+    pub fn is_queue_bounded(&self) -> bool {
+        self.queue_capacity_msgs.is_some() || self.queue_capacity_bytes.is_some()
     }
 
     /// The size-dependent serialisation delay for `size` bytes.
@@ -522,6 +586,13 @@ impl Topology {
     /// True when the node is currently crashed.
     pub fn is_down(&self, node: NodeId) -> bool {
         self.down_nodes.contains(&node)
+    }
+
+    /// True when the ordered pair is currently partitioned. Unlike
+    /// [`Topology::can_reach`] this ignores crash state, so the caller
+    /// can distinguish "link severed" from "endpoint down".
+    pub fn is_partitioned(&self, from: NodeId, to: NodeId) -> bool {
+        self.partitioned_pairs.contains(&(from, to))
     }
 
     /// Iterates over the out-neighbours of `from` (ignoring partitions),

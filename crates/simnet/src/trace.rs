@@ -78,6 +78,8 @@ pub enum DropReason {
     NodeDown,
     /// Random loss on the link.
     Loss,
+    /// The link's bounded egress queue refused the message (congestion).
+    QueueFull,
 }
 
 impl fmt::Display for DropReason {
@@ -87,6 +89,7 @@ impl fmt::Display for DropReason {
             DropReason::Partitioned => "partitioned",
             DropReason::NodeDown => "node down",
             DropReason::Loss => "random loss",
+            DropReason::QueueFull => "queue full",
         };
         f.write_str(s)
     }
