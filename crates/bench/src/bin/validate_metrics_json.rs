@@ -4,8 +4,8 @@
 //! and the emitters are hand-rolled too, so the checker validates the
 //! *shape contract* (required keys, per-cell field parity, balanced
 //! braces) rather than re-parsing into types. The document's
-//! `"experiment"` key picks the contract: `fed_scale` or
-//! `net_congestion`.
+//! `"experiment"` key picks the contract: `fed_scale`,
+//! `net_congestion` or `query_scale`.
 //!
 //! Usage: `validate_metrics_json [path]` (default
 //! `BENCH_fed_scale.json` in the current directory). Exits non-zero
@@ -79,6 +79,27 @@ const BRIDGE_CELL_KEYS: [&str; 5] = [
     "\"cross_shed\":",
     "\"intra_micros\":{\"p50\":",
     "\"cross_micros\":{\"p50\":",
+];
+
+/// Top-level keys every `query_scale` report must carry.
+const QUERY_SCALE_DOCUMENT_KEYS: [&str; 4] = [
+    "\"seeds\":",
+    "\"populations\":",
+    "\"ops_per_cell\":",
+    "\"cells\":",
+];
+
+/// Keys that must appear exactly once per `query_scale` cell.
+const QUERY_SCALE_CELL_KEYS: [&str; 9] = [
+    "\"seed\":",
+    "\"subscriptions\":",
+    "\"ops\":",
+    "\"deltas_emitted\":",
+    "\"incremental_evals_per_delta\":",
+    "\"rescan_entries_per_delta\":",
+    "\"incremental_micros\":{\"p50\":",
+    "\"rescan_micros\":{\"p50\":",
+    "\"fingerprint\":\"",
 ];
 
 fn fail(msg: &str) -> ExitCode {
@@ -161,6 +182,59 @@ fn validate_net_congestion(text: &str, path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Every integer that immediately follows `key` in `text`.
+fn values_after(text: &str, key: &str) -> Vec<u64> {
+    text.match_indices(key)
+        .filter_map(|(at, _)| {
+            let digits: String = text[at + key.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().ok()
+        })
+        .collect()
+}
+
+fn validate_query_scale(text: &str, path: &str) -> ExitCode {
+    for key in QUERY_SCALE_DOCUMENT_KEYS {
+        if !text.contains(key) {
+            return fail(&format!("missing document key {key}"));
+        }
+    }
+    let cells = text.matches("{\"population\":").count();
+    if cells == 0 {
+        return fail("no cells");
+    }
+    if let Err(code) = check_keys(text, &QUERY_SCALE_CELL_KEYS, cells, "cell") {
+        return code;
+    }
+    // The headline acceptance, re-checked on the committed artifact:
+    // per-delta incremental cost stays within 2x across the whole
+    // population sweep, while the re-scan alternative tracks the
+    // population (>= 50x between smallest and largest cell).
+    let incremental = values_after(text, "\"incremental_evals_per_delta\":");
+    let min = incremental.iter().copied().min().unwrap_or(0).max(1);
+    let max = incremental.iter().copied().max().unwrap_or(0);
+    if max > 2 * min {
+        return fail(&format!(
+            "incremental cost is not flat: {min}..{max} evals per delta"
+        ));
+    }
+    let rescan = values_after(text, "\"rescan_entries_per_delta\":");
+    let scan_min = rescan.iter().copied().min().unwrap_or(0).max(1);
+    let scan_max = rescan.iter().copied().max().unwrap_or(0);
+    if scan_max < 50 * scan_min {
+        return fail(&format!(
+            "re-scan cost does not track the population: {scan_min}..{scan_max} entries per delta"
+        ));
+    }
+    println!(
+        "validate_metrics_json: OK: {cells} cells in {path} \
+         (incremental {min}..{max}, rescan {scan_min}..{scan_max} per delta)"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let path = std::env::args()
         .nth(1)
@@ -179,7 +253,9 @@ fn main() -> ExitCode {
         validate_fed_scale(&text, &path)
     } else if text.contains("\"experiment\": \"net_congestion\"") {
         validate_net_congestion(&text, &path)
+    } else if text.contains("\"experiment\": \"query_scale\"") {
+        validate_query_scale(&text, &path)
     } else {
-        fail("unknown experiment (expected fed_scale or net_congestion)")
+        fail("unknown experiment (expected fed_scale, net_congestion or query_scale)")
     }
 }

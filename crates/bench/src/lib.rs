@@ -14,6 +14,7 @@
 
 pub mod fed_scale;
 pub mod net_congestion;
+pub mod query_scale;
 
 use cscw_directory::{Attribute, DirectoryError, Dit, Entry};
 use cscw_messaging::{MtaNode, MtsError, OrAddress, UserAgent};

@@ -1,0 +1,384 @@
+//! Standing-query scaling — incremental evaluation vs re-scan.
+//!
+//! Builders and the measured experiment behind `BENCH_query_scale.json`
+//! (experiment QS): a [`SubscriptionRegistry`] holding a three-query
+//! panel (attribute filter, edge predicate, one-hop join) over DIT
+//! populations of 200 / 2 000 / 20 000 person entries, driven by a
+//! seeded 64-operation mutation stream. For every operation the cell
+//! records two costs:
+//!
+//! * **incremental** — entries the registry actually evaluated to keep
+//!   every result set current (the `query.eval.entry` counter). The
+//!   headline claim: this stays flat (within 2×) as the population
+//!   grows 100×, because interest indexes narrow each change to the
+//!   entries it can affect.
+//! * **re-scan** — entries a from-scratch
+//!   [`SubscriptionRegistry::oracle_matches`] pass walks for the same
+//!   freshness, which grows linearly with the population.
+//!
+//! Both are deterministic counts; per-phase wall-clock quantiles ride
+//! along for color but sit outside the bit-for-bit guarantee (the
+//! bench runner scrubs them before replay comparison). Every cell also
+//! cross-checks correctness: after the stream, each incremental result
+//! set must equal its oracle re-scan.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cscw_directory::{Attribute, ChangeCollector, Dit, Entry};
+use cscw_kernel::{Layer, Telemetry};
+use cscw_query::{SubscriptionId, SubscriptionRegistry};
+
+use crate::fed_scale::{fnv1a, PhaseQuantiles};
+
+/// DIT population sizes the experiment sweeps (100× end to end).
+pub const POPULATIONS: [usize; 3] = [200, 2_000, 20_000];
+
+/// Seeds every cell sweeps.
+pub const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Mutations replayed per cell.
+pub const OPS: u64 = 64;
+
+/// Projects the population's `workson` edges point at.
+const PROJECTS: usize = 8;
+
+/// The standing-query panel: one attribute filter, one edge literal,
+/// one one-hop join.
+pub const PANEL: [&str; 3] = [
+    r#"class = person and sn = "Surname7""#,
+    r#"class = person and occupies "cn=coordinator""#,
+    r#"class = person and works-on (projectstate = active)"#,
+];
+
+/// SplitMix64 — the cell's deterministic operation stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn person_dn(i: u64) -> String {
+    format!("c=UK,o=org{},cn=person{i}", i % 10)
+}
+
+fn project_dn(j: u64) -> String {
+    format!("c=UK,cn=proj{j}")
+}
+
+/// A DIT with `population` person entries (surnames, coordinator roles
+/// and project edges spread deterministically) plus [`PROJECTS`]
+/// project entries, half of them `active`.
+///
+/// # Errors
+///
+/// [`cscw_directory::DirectoryError`] if a fixture fails to insert.
+pub fn build_population(
+    population: usize,
+) -> Result<(Dit, ChangeCollector), cscw_directory::DirectoryError> {
+    let collector = ChangeCollector::new();
+    let mut dit = Dit::new();
+    dit.add(
+        Entry::new("c=UK".parse()?)
+            .with_class("country")
+            .with_attr(Attribute::single("c", "UK")),
+    )?;
+    for o in 0..10 {
+        dit.add(
+            Entry::new(format!("c=UK,o=org{o}").parse()?)
+                .with_class("organization")
+                .with_attr(Attribute::single("o", format!("org{o}"))),
+        )?;
+    }
+    for j in 0..PROJECTS as u64 {
+        dit.add(
+            Entry::new(project_dn(j).parse()?)
+                .with_class("cscwproject")
+                .with_attr(Attribute::single("cn", format!("proj{j}")))
+                .with_attr(Attribute::single(
+                    "projectstate",
+                    if j % 2 == 0 { "active" } else { "dormant" },
+                )),
+        )?;
+    }
+    for i in 0..population as u64 {
+        let mut e = Entry::new(person_dn(i).parse()?)
+            .with_class("person")
+            .with_attr(Attribute::single("cn", format!("person{i}")))
+            .with_attr(Attribute::single("sn", format!("Surname{}", i % 50)));
+        if i % 3 == 0 {
+            e.put_attr(Attribute::single("occupiesrole", "cn=coordinator"));
+        }
+        if i % 2 == 0 {
+            e.put_attr(Attribute::single(
+                "workson",
+                project_dn(i % PROJECTS as u64),
+            ));
+        }
+        dit.add(e)?;
+    }
+    // The build itself is not part of the measured stream.
+    collector.drain();
+    dit.observe(Arc::new(collector.clone()));
+    Ok((dit, collector))
+}
+
+/// One measured cell of the query-scaling sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryScaleResult {
+    /// Person entries in the DIT.
+    pub population: usize,
+    /// Seed the mutation stream derived from.
+    pub seed: u64,
+    /// Standing queries registered.
+    pub subscriptions: usize,
+    /// Mutations replayed.
+    pub ops: u64,
+    /// Deltas the registry emitted over the stream.
+    pub deltas_emitted: u64,
+    /// Entries evaluated incrementally across the whole stream.
+    pub incremental_evals: u64,
+    /// [`Self::incremental_evals`] / [`Self::ops`] — the flat curve.
+    pub incremental_evals_per_delta: u64,
+    /// Entries a re-scan pass walked across the whole stream.
+    pub rescan_entries: u64,
+    /// [`Self::rescan_entries`] / [`Self::ops`] — the linear curve.
+    pub rescan_entries_per_delta: u64,
+    /// Wall-clock quantiles of the incremental apply per operation
+    /// (outside the determinism guarantee; scrubbed before replay
+    /// comparison).
+    pub incremental_micros: PhaseQuantiles,
+    /// Wall-clock quantiles of the oracle re-scan per operation (same
+    /// caveat).
+    pub rescan_micros: PhaseQuantiles,
+    /// Hex FNV-1a digest over every deterministic field above plus the
+    /// final result sets — equal across reruns of the same cell.
+    pub fingerprint: String,
+}
+
+impl QueryScaleResult {
+    /// The cell as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"population\":{},\"seed\":{},\"subscriptions\":{},",
+                "\"ops\":{},\"deltas_emitted\":{},",
+                "\"incremental_evals\":{},\"incremental_evals_per_delta\":{},",
+                "\"rescan_entries\":{},\"rescan_entries_per_delta\":{},",
+                "\"incremental_micros\":{},\"rescan_micros\":{},",
+                "\"fingerprint\":\"{}\"}}"
+            ),
+            self.population,
+            self.seed,
+            self.subscriptions,
+            self.ops,
+            self.deltas_emitted,
+            self.incremental_evals,
+            self.incremental_evals_per_delta,
+            self.rescan_entries,
+            self.rescan_entries_per_delta,
+            self.incremental_micros.to_json(),
+            self.rescan_micros.to_json(),
+            self.fingerprint
+        )
+    }
+}
+
+/// Runs one `(population, seed)` cell: prime the panel, replay the
+/// mutation stream, measure both cost curves, then cross-check every
+/// incremental result set against its oracle.
+///
+/// # Errors
+///
+/// Population build errors and [`cscw_query::QueryError`] from the
+/// fixed panel (which must always compile).
+pub fn run(population: usize, seed: u64) -> Result<QueryScaleResult, Box<dyn std::error::Error>> {
+    let (mut dit, collector) = build_population(population)?;
+    let telemetry = Telemetry::new();
+    let mut reg = SubscriptionRegistry::with_telemetry(telemetry.clone());
+    let subs: Vec<SubscriptionId> = PANEL
+        .iter()
+        .map(|src| {
+            let id = reg.subscribe(src, 0)?;
+            reg.prime(id, &dit, 0)?;
+            Ok::<_, cscw_query::QueryError>(id)
+        })
+        .collect::<Result<_, _>>()?;
+    // Priming walks the tree once per query; the measured stream
+    // starts after it.
+    let evals_at_start = telemetry.counter(Layer::Query, "query.eval.entry");
+
+    let mut rng = Rng(seed);
+    let mut deltas_emitted = 0u64;
+    let mut rescan_entries = 0u64;
+    for op in 0..OPS {
+        let person: cscw_directory::Dn = person_dn(rng.below(population as u64)).parse()?;
+        match rng.below(3) {
+            0 => {
+                let sn = format!("Surname{}", rng.below(50));
+                dit.modify(&person, |e| {
+                    e.replace_attr(Attribute::single("sn", sn.as_str()));
+                })?;
+            }
+            1 => {
+                let occupied = dit
+                    .get(&person)
+                    .is_some_and(|e| e.attr("occupiesrole").is_some());
+                dit.modify(&person, |e| {
+                    if occupied {
+                        e.remove_attr(&"occupiesrole".into());
+                    } else {
+                        e.put_attr(Attribute::single("occupiesrole", "cn=coordinator"));
+                    }
+                })?;
+            }
+            _ => {
+                let target = project_dn(rng.below(PROJECTS as u64));
+                dit.modify(&person, |e| {
+                    e.replace_attr(Attribute::single("workson", target.as_str()));
+                })?;
+            }
+        }
+
+        let t0 = Instant::now();
+        deltas_emitted += reg.apply_dit_changes(&collector.drain(), &dit, op).len() as u64;
+        telemetry.record_micros(
+            Layer::Query,
+            "query.phase.incremental",
+            t0.elapsed().as_micros() as u64,
+        );
+
+        // The alternative the incremental path replaces: re-scan one
+        // subscription (round-robin) from scratch for the same
+        // freshness.
+        let probe = subs[op as usize % subs.len()];
+        let t0 = Instant::now();
+        let _ = reg.oracle_matches(probe, &dit);
+        telemetry.record_micros(
+            Layer::Query,
+            "query.phase.rescan",
+            t0.elapsed().as_micros() as u64,
+        );
+        rescan_entries += dit.len() as u64;
+    }
+
+    // Correctness: the incremental sets must equal their oracles.
+    let mut digest = String::new();
+    for (id, src) in subs.iter().zip(PANEL) {
+        let incremental = reg.matches(*id).ok_or("subscription vanished")?;
+        let oracle = reg
+            .oracle_matches(*id, &dit)
+            .ok_or("subscription vanished")?;
+        assert_eq!(
+            incremental, oracle,
+            "population {population} seed {seed}: {src:?} diverged from re-scan"
+        );
+        digest.push_str(&format!("{}:{};", incremental.len(), {
+            let joined: Vec<&str> = incremental.iter().map(String::as_str).collect();
+            format!("{:016x}", fnv1a(&joined.join(",")))
+        }));
+    }
+
+    let incremental_evals = telemetry.counter(Layer::Query, "query.eval.entry") - evals_at_start;
+    let mut r = QueryScaleResult {
+        population,
+        seed,
+        subscriptions: subs.len(),
+        ops: OPS,
+        deltas_emitted,
+        incremental_evals,
+        incremental_evals_per_delta: incremental_evals.div_ceil(OPS),
+        rescan_entries,
+        rescan_entries_per_delta: rescan_entries / OPS,
+        incremental_micros: PhaseQuantiles::from_summary(
+            telemetry.histogram(Layer::Query, "query.phase.incremental"),
+        ),
+        rescan_micros: PhaseQuantiles::from_summary(
+            telemetry.histogram(Layer::Query, "query.phase.rescan"),
+        ),
+        fingerprint: String::new(),
+    };
+    r.fingerprint = format!(
+        "{:016x}",
+        fnv1a(&format!(
+            "query_scale:{}:{}:{}:{}:{}:{}:{}",
+            r.population,
+            r.seed,
+            r.ops,
+            r.deltas_emitted,
+            r.incremental_evals,
+            r.rescan_entries,
+            digest,
+        ))
+    );
+    Ok(r)
+}
+
+/// A cell with its wall-clock quantiles zeroed — the deterministic
+/// view compared across reruns.
+pub fn scrub(mut r: QueryScaleResult) -> QueryScaleResult {
+    r.incremental_micros = PhaseQuantiles::default();
+    r.rescan_micros = PhaseQuantiles::default();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_cell_is_incremental_and_replays() {
+        let a = run(200, 1).expect("cell");
+        assert_eq!(a.ops, OPS);
+        assert!(a.deltas_emitted > 0, "{a:?}");
+        // The panel evaluates a handful of entries per op, not the tree.
+        assert!(
+            a.incremental_evals_per_delta * 10 <= a.rescan_entries_per_delta,
+            "incremental {} must be far below re-scan {}",
+            a.incremental_evals_per_delta,
+            a.rescan_entries_per_delta
+        );
+        let b = run(200, 1).expect("cell");
+        assert_eq!(scrub(a), scrub(b), "cell must replay bit-for-bit");
+    }
+
+    #[test]
+    fn incremental_cost_is_flat_while_rescan_grows() {
+        let small = run(200, 1).expect("cell");
+        let large = run(2_000, 1).expect("cell");
+        assert!(
+            large.incremental_evals_per_delta <= 2 * small.incremental_evals_per_delta.max(1),
+            "10x population must not double per-delta cost: {} -> {}",
+            small.incremental_evals_per_delta,
+            large.incremental_evals_per_delta
+        );
+        assert!(
+            large.rescan_entries_per_delta >= 5 * small.rescan_entries_per_delta,
+            "re-scan must track population: {} -> {}",
+            small.rescan_entries_per_delta,
+            large.rescan_entries_per_delta
+        );
+    }
+
+    #[test]
+    fn json_cell_is_wellformed() {
+        let r = run(200, 1).expect("cell");
+        let json = r.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"population\":200"));
+        assert!(json.contains("\"incremental_evals_per_delta\":"));
+        assert!(json.contains("\"rescan_entries_per_delta\":"));
+        assert!(json.contains("\"incremental_micros\":{\"p50\":"));
+        assert!(json.contains("\"fingerprint\":\""));
+    }
+}

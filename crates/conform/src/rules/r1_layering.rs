@@ -32,6 +32,7 @@ fn layer_of_import(name: &str) -> Option<LayerTag> {
         "cscw_directory" => LayerTag::Directory,
         "odp" => LayerTag::Odp,
         "cscw_federation" => LayerTag::Federation,
+        "cscw_query" => LayerTag::Query,
         "mocca" => LayerTag::Env,
         "groupware" => LayerTag::App,
         _ => return None,

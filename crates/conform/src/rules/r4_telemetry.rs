@@ -40,6 +40,7 @@ fn layer_prefixes(variant: &str) -> &'static [&'static str] {
         "App" => &["app"],
         "Env" => &["env", "resilience"],
         "Federation" => &["federation"],
+        "Query" => &["query"],
         "Odp" => &["odp", "trader"],
         "Directory" => &["dir"],
         "Messaging" => &["mts", "gossip"],

@@ -29,6 +29,10 @@ pub enum LayerTag {
     /// anti-entropy replication) between the ODP functions and the
     /// environment.
     Federation,
+    /// The standing-query layer (incremental subscriptions over the
+    /// directory and replicated knowledge) between the federation and
+    /// the environment.
+    Query,
     /// The CSCW environment (MOCCA).
     Env,
     /// Groupware applications.
@@ -44,8 +48,9 @@ impl LayerTag {
             LayerTag::Messaging | LayerTag::Directory => 2,
             LayerTag::Odp => 3,
             LayerTag::Federation => 4,
-            LayerTag::Env => 5,
-            LayerTag::App => 6,
+            LayerTag::Query => 5,
+            LayerTag::Env => 6,
+            LayerTag::App => 7,
         }
     }
 
@@ -59,6 +64,7 @@ impl LayerTag {
             LayerTag::Directory => Some("Directory"),
             LayerTag::Odp => Some("Odp"),
             LayerTag::Federation => Some("Federation"),
+            LayerTag::Query => Some("Query"),
             LayerTag::Env => Some("Env"),
             LayerTag::App => Some("App"),
         }
@@ -112,6 +118,7 @@ fn classify(dir_name: &str) -> (String, CrateRole) {
         "directory" => ("cscw_directory", CrateRole::Layer(LayerTag::Directory)),
         "odp" => ("odp", CrateRole::Layer(LayerTag::Odp)),
         "federation" => ("cscw_federation", CrateRole::Layer(LayerTag::Federation)),
+        "query" => ("cscw_query", CrateRole::Layer(LayerTag::Query)),
         "core" => ("mocca", CrateRole::Layer(LayerTag::Env)),
         "groupware" => ("groupware", CrateRole::Layer(LayerTag::App)),
         "bench" => ("cscw_bench", CrateRole::Tool),
@@ -249,7 +256,8 @@ mod tests {
         assert_eq!(LayerTag::Messaging.rank(), LayerTag::Directory.rank());
         assert!(LayerTag::Directory.rank() < LayerTag::Odp.rank());
         assert!(LayerTag::Odp.rank() < LayerTag::Federation.rank());
-        assert!(LayerTag::Federation.rank() < LayerTag::Env.rank());
+        assert!(LayerTag::Federation.rank() < LayerTag::Query.rank());
+        assert!(LayerTag::Query.rank() < LayerTag::Env.rank());
         assert!(LayerTag::Env.rank() < LayerTag::App.rank());
     }
 

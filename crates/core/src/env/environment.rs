@@ -18,13 +18,15 @@
 //! ([`LocalPlatform`]) or across a simulated network
 //! ([`SimPlatform`](crate::platform::SimPlatform)).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use cscw_directory::{Attribute, DirOp, Dn, Entry, Rdn};
+use cscw_directory::{Attribute, ChangeCollector, DirOp, Dn, Entry, Rdn};
 use cscw_federation::{FederationPort, RemoteDelivery};
 use cscw_kernel::Layer;
 use cscw_kernel::Timestamp;
 use cscw_messaging::OrAddress;
+use cscw_query::{CompiledQuery, QueryDelta, Source, SubscriptionId, SubscriptionRegistry};
 use parking_lot::RwLock;
 
 use crate::activity::{Activity, ActivityId, ActivityRole, InterActivityModel};
@@ -108,6 +110,10 @@ pub struct CscwEnvironment {
     bus: EventBus,
     platform: Box<dyn Platform>,
     federation: Option<Box<dyn FederationPort>>,
+    queries: SubscriptionRegistry,
+    knowledge_changes: ChangeCollector,
+    query_apps: BTreeMap<SubscriptionId, AppId>,
+    pending_deltas: Vec<(SubscriptionId, QueryDelta)>,
     operations: u64,
 }
 
@@ -162,9 +168,16 @@ impl CscwEnvironment {
             .trader()
             .attach_policy(Box::new(OrgTradingPolicy::new(org.clone())));
         platform.trader().register_service_type(app_service_type());
+        // The knowledge base feeds a change collector; the standing-
+        // query registry consumes its deltas and shares the platform's
+        // telemetry stream.
+        let knowledge_changes = ChangeCollector::new();
+        let mut knowledge = KnowledgeBase::new();
+        knowledge.observe(Arc::new(knowledge_changes.clone()));
+        let queries = SubscriptionRegistry::with_telemetry(platform.telemetry().clone());
         CscwEnvironment {
             org,
-            knowledge: KnowledgeBase::new(),
+            knowledge,
             activities: InterActivityModel::new(),
             repository: InformationRepository::new(),
             comm: CommunicationModel::new(),
@@ -178,6 +191,10 @@ impl CscwEnvironment {
             bus: EventBus::new(),
             platform,
             federation: None,
+            queries,
+            knowledge_changes,
+            query_apps: BTreeMap::new(),
+            pending_deltas: Vec::new(),
             operations: 0,
         }
     }
@@ -297,6 +314,15 @@ impl CscwEnvironment {
         &self.knowledge
     }
 
+    /// Mutable knowledge-base access, for entries maintained beyond
+    /// what [`publish_knowledge`](Self::publish_knowledge) mirrors
+    /// (e.g. project state attributes). Pump afterwards with
+    /// [`pump_queries`](Self::pump_queries) to push the resulting
+    /// standing-query deltas.
+    pub fn knowledge_mut(&mut self) -> &mut KnowledgeBase {
+        &mut self.knowledge
+    }
+
     /// Publishes the organisational model into the knowledge base and
     /// mirrors every entry into the platform's directory (already-
     /// existing entries are left alone — publication is idempotent).
@@ -319,13 +345,171 @@ impl CscwEnvironment {
         // Replicate the organisational model into the federation: each
         // DIT entry becomes a versioned replica entry gossiped to peer
         // environments (publication is idempotent — unchanged values
-        // do not advance the replica clock).
+        // do not advance the replica clock). The same resolved pairs
+        // feed the local knowledge-query shadow.
         if let Some(port) = self.federation.as_mut() {
+            let mut pairs = Vec::with_capacity(entries.len());
             for entry in &entries {
-                port.publish_entry(&format!("org:{}", entry.dn()), &entry.to_string());
+                let key = format!("org:{}", entry.dn());
+                let value = entry.to_string();
+                port.publish_entry(&key, &value);
+                pairs.push((key, value));
+            }
+            let at = self.platform.clock().now_micros();
+            let deltas = self.queries.apply_replicated(&pairs, at);
+            self.dispatch_query_deltas(deltas)?;
+        }
+        // Entry subscriptions see the publication's DIT changes.
+        self.pump_queries()?;
+        Ok(published)
+    }
+
+    // ---- standing queries (selective awareness) ---------------------------
+
+    /// The standing-query registry (result sets, re-scan counter).
+    pub fn queries(&self) -> &SubscriptionRegistry {
+        &self.queries
+    }
+
+    /// Registers a standing query over the organisational knowledge.
+    /// Entry queries (`class = …`, attribute and edge predicates) watch
+    /// the knowledge base's DIT; knowledge queries (`from knowledge
+    /// key/value …`) watch the federation's replicated knowledge. The
+    /// initial result set and every later change arrive as
+    /// [`QueryDelta`]s, collected via
+    /// [`take_query_deltas`](Self::take_query_deltas).
+    ///
+    /// # Errors
+    ///
+    /// [`MoccaError::Query`] when the query fails to parse or compile.
+    pub fn subscribe(&mut self, src: &str) -> Result<SubscriptionId, MoccaError> {
+        self.subscribe_inner(src, None)
+    }
+
+    /// As [`subscribe`](Self::subscribe), but deltas are pushed to the
+    /// registered application's mailbox through the platform's message
+    /// transfer port (subject `query-delta`) instead of being buffered.
+    ///
+    /// # Errors
+    ///
+    /// As [`subscribe`](Self::subscribe).
+    pub fn subscribe_for_app(
+        &mut self,
+        src: &str,
+        app: &AppId,
+    ) -> Result<SubscriptionId, MoccaError> {
+        self.subscribe_inner(src, Some(app.clone()))
+    }
+
+    fn subscribe_inner(
+        &mut self,
+        src: &str,
+        app: Option<AppId>,
+    ) -> Result<SubscriptionId, MoccaError> {
+        self.count_op();
+        // Flush buffered directory changes first so priming sees a
+        // consistent tree and emits no duplicate deltas.
+        self.pump_queries()?;
+        let at = self.platform.clock().now_micros();
+        let source = CompiledQuery::compile(src)?.source();
+        let id = self.queries.subscribe(src, at)?;
+        if let Some(app) = app {
+            self.query_apps.insert(id, app);
+        }
+        let initial = match source {
+            Source::Entries => self.queries.prime(id, self.knowledge.dit(), at)?,
+            Source::Knowledge => {
+                // Seed the knowledge shadow from the replica snapshot;
+                // older subscriptions see real catch-up deltas, if any.
+                if let Some(port) = self.federation.as_ref() {
+                    let snapshot = port.replica_snapshot();
+                    let catchup = self.queries.apply_replicated(&snapshot, at);
+                    self.dispatch_query_deltas(catchup)?;
+                }
+                self.queries.prime_knowledge(id, at)?
+            }
+        };
+        self.emit_env("env.subscribe", format!("{id}: {src}"));
+        let deltas: Vec<_> = initial.into_iter().map(|d| (id, d)).collect();
+        self.dispatch_query_deltas(deltas)?;
+        Ok(id)
+    }
+
+    /// Cancels a standing query; returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        self.query_apps.remove(&id);
+        self.queries.unsubscribe(id)
+    }
+
+    /// Feeds buffered knowledge-base changes through the standing
+    /// queries. Called implicitly by the operations that mutate the
+    /// knowledge base; call it directly after mutating the DIT through
+    /// [`knowledge_mut`](Self::knowledge_mut).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from app-bound delta delivery.
+    pub fn pump_queries(&mut self) -> Result<(), MoccaError> {
+        let changes = self.knowledge_changes.drain();
+        if changes.is_empty() {
+            return Ok(());
+        }
+        let at = self.platform.clock().now_micros();
+        let deltas = self
+            .queries
+            .apply_dit_changes(&changes, self.knowledge.dit(), at);
+        self.dispatch_query_deltas(deltas)
+    }
+
+    /// Feeds resolved replicated-knowledge applies (key, value pairs a
+    /// gossip ingest surfaced) through the standing queries. The
+    /// federation driver calls this on the receiving environment after
+    /// each ingest. Returns how many deltas were emitted.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from app-bound delta delivery.
+    pub fn ingest_replicated(&mut self, pairs: &[(String, String)]) -> Result<usize, MoccaError> {
+        if pairs.is_empty() {
+            return Ok(0);
+        }
+        let at = self.platform.clock().now_micros();
+        let deltas = self.queries.apply_replicated(pairs, at);
+        let emitted = deltas.len();
+        self.dispatch_query_deltas(deltas)?;
+        Ok(emitted)
+    }
+
+    /// Drains the buffered deltas of subscriptions without an app
+    /// binding, in emission order.
+    pub fn take_query_deltas(&mut self) -> Vec<(SubscriptionId, QueryDelta)> {
+        std::mem::take(&mut self.pending_deltas)
+    }
+
+    /// Routes emitted deltas: app-bound subscriptions get a mailbox
+    /// notification through the MTS, the rest buffer for
+    /// [`take_query_deltas`](Self::take_query_deltas).
+    fn dispatch_query_deltas(
+        &mut self,
+        deltas: Vec<(SubscriptionId, QueryDelta)>,
+    ) -> Result<(), MoccaError> {
+        for (id, delta) in deltas {
+            self.emit_env("env.query_delta", format!("{id}: {delta}"));
+            let Some(app) = self.query_apps.get(&id) else {
+                self.pending_deltas.push((id, delta));
+                continue;
+            };
+            let from = OrAddress::new("ZZ", "mocca", ["queries"], id.to_string()).ok();
+            if let (Some(from), Some(dest)) = (from, app_address(app)) {
+                self.platform.transport().notify(
+                    &from,
+                    &dest,
+                    "query-delta",
+                    &format!("{id} {delta}"),
+                )?;
             }
         }
-        Ok(published)
+        Ok(())
     }
 
     /// The engineering platform the environment runs on.
@@ -801,9 +985,15 @@ impl CscwEnvironment {
         let rendered = render_content(&object.content);
         self.repository.store(object)?;
         self.mirror_to_directory(&id, &kind, &owner);
-        // Replicate the information-model record into the federation.
+        // Replicate the information-model record into the federation
+        // (and the local knowledge-query shadow).
         if let Some(port) = self.federation.as_mut() {
-            port.publish_entry(&format!("info:{id}"), &format!("{kind}:{rendered}"));
+            let key = format!("info:{id}");
+            let value = format!("{kind}:{rendered}");
+            port.publish_entry(&key, &value);
+            let at = self.platform.clock().now_micros();
+            let deltas = self.queries.apply_replicated(&[(key, value)], at);
+            self.dispatch_query_deltas(deltas)?;
         }
         self.bus.publish(EnvEvent {
             kind: "object-stored".into(),

@@ -57,6 +57,8 @@ pub enum MoccaError {
     Odp(odp::OdpError),
     /// The federation layer refused an operation.
     Federation(cscw_federation::FederationError),
+    /// The standing-query layer refused an operation.
+    Query(cscw_query::QueryError),
 }
 
 impl fmt::Display for MoccaError {
@@ -87,6 +89,7 @@ impl fmt::Display for MoccaError {
             MoccaError::Messaging(e) => write!(f, "messaging: {e}"),
             MoccaError::Odp(e) => write!(f, "odp: {e}"),
             MoccaError::Federation(e) => write!(f, "federation: {e}"),
+            MoccaError::Query(e) => write!(f, "query: {e}"),
         }
     }
 }
@@ -98,6 +101,7 @@ impl Error for MoccaError {
             MoccaError::Messaging(e) => Some(e),
             MoccaError::Odp(e) => Some(e),
             MoccaError::Federation(e) => Some(e),
+            MoccaError::Query(e) => Some(e),
             _ => None,
         }
     }
@@ -112,6 +116,7 @@ impl cscw_kernel::LayerError for MoccaError {
             MoccaError::Messaging(e) => e.layer(),
             MoccaError::Odp(e) => e.layer(),
             MoccaError::Federation(e) => e.layer(),
+            MoccaError::Query(e) => e.layer(),
             _ => cscw_kernel::Layer::Env,
         }
     }
@@ -133,6 +138,7 @@ impl cscw_kernel::LayerError for MoccaError {
             MoccaError::Messaging(e) => e.kind(),
             MoccaError::Odp(e) => e.kind(),
             MoccaError::Federation(e) => e.kind(),
+            MoccaError::Query(e) => e.kind(),
         }
     }
 
@@ -142,6 +148,7 @@ impl cscw_kernel::LayerError for MoccaError {
             MoccaError::Messaging(e) => e.class(),
             MoccaError::Odp(e) => e.class(),
             MoccaError::Federation(e) => e.class(),
+            MoccaError::Query(e) => e.class(),
             _ => cscw_kernel::ErrorClass::Permanent,
         }
     }
@@ -168,6 +175,12 @@ impl From<odp::OdpError> for MoccaError {
 impl From<cscw_federation::FederationError> for MoccaError {
     fn from(e: cscw_federation::FederationError) -> Self {
         MoccaError::Federation(e)
+    }
+}
+
+impl From<cscw_query::QueryError> for MoccaError {
+    fn from(e: cscw_query::QueryError) -> Self {
+        MoccaError::Query(e)
     }
 }
 

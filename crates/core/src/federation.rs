@@ -293,10 +293,26 @@ impl FederatedEnvironments {
             }
             None => t.span_begin(Layer::Federation, "federation.gossip.apply", at),
         };
-        let applied = self.fabric.ingest_delta(dst, &delta);
+        let report = self.fabric.ingest_delta(dst, &delta);
         t.span_end(span, at);
+        let report = report?;
+        // Surface what the ingest applied to the receiving
+        // environment's standing queries, as resolved key/value pairs
+        // — awareness deltas flow from the change stream, not from
+        // re-scanning the replica.
+        if !report.applied.is_empty() {
+            let keys: std::collections::BTreeSet<String> =
+                report.applied.iter().map(|e| e.key.clone()).collect();
+            let pairs: Vec<(String, String)> = keys
+                .into_iter()
+                .filter_map(|k| self.fabric.replica_get(dst, &k).map(|v| (k, v)))
+                .collect();
+            if let Some(env) = self.envs.get_mut(dst) {
+                env.ingest_replicated(&pairs)?;
+            }
+        }
         Ok(LinkShip::Applied {
-            updates: applied?,
+            updates: report.applied_count(),
             bytes: (digest_wire.len() + delta_wire.len()) as u64,
             micros,
         })

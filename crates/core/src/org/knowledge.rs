@@ -8,28 +8,56 @@
 //! it, so other environments can interoperate through the standard
 //! repository rather than through MOCCA's in-memory structures.
 
-use cscw_directory::{Attribute, Dit, Dn, Dua, Entry, Filter, SearchRequest, SearchScope};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use cscw_directory::{
+    Attribute, Dit, DitObserver, Dn, Dua, Entry, Filter, SearchRequest, SearchScope,
+};
 use cscw_messaging::net::Sim;
 
 use crate::error::MoccaError;
 use crate::org::model::OrganisationalModel;
+use crate::org::objects::RelationKind;
 
 /// Publishes organisational objects as directory entries and answers
 /// people/resource queries from the directory.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct KnowledgeBase {
     dit: Dit,
 }
 
+impl Default for KnowledgeBase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl KnowledgeBase {
-    /// Creates an empty knowledge base backed by a local DIT.
+    /// Creates an empty knowledge base backed by a local DIT (the
+    /// standard schema already carries the CSCW extension classes,
+    /// `cscwproject` included).
     pub fn new() -> Self {
-        Self::default()
+        KnowledgeBase { dit: Dit::new() }
     }
 
     /// The backing DIT.
     pub fn dit(&self) -> &Dit {
         &self.dit
+    }
+
+    /// Mutable access to the backing DIT (for callers that maintain
+    /// entries beyond what [`publish`](Self::publish) mirrors, e.g.
+    /// project state attributes).
+    pub fn dit_mut(&mut self) -> &mut Dit {
+        &mut self.dit
+    }
+
+    /// Attaches a change observer to the backing DIT; every
+    /// publication or direct mutation notifies it (the standing-query
+    /// layer's feed).
+    pub fn observe(&mut self, observer: Arc<dyn DitObserver>) {
+        self.dit.observe(observer);
     }
 
     /// Ensures every ancestor of `dn` exists, fabricating plain
@@ -59,8 +87,75 @@ impl KnowledgeBase {
         Ok(())
     }
 
+    /// The organisational edges a person carries as directory
+    /// attributes: role occupancy, group membership, and project work
+    /// (`MemberOf` relations whose target is a project).
+    fn person_edges(
+        model: &OrganisationalModel,
+        person: &Dn,
+    ) -> [(&'static str, BTreeSet<String>); 3] {
+        let occupies: BTreeSet<String> = model.roles_of(person).iter().map(Dn::to_string).collect();
+        let mut memberof = BTreeSet::new();
+        let mut workson = BTreeSet::new();
+        for rel in model.relations() {
+            if rel.kind != RelationKind::MemberOf || &rel.from != person {
+                continue;
+            }
+            memberof.insert(rel.to.to_string());
+            if model.project(&rel.to).is_some() {
+                workson.insert(rel.to.to_string());
+            }
+        }
+        [
+            ("occupiesrole", occupies),
+            ("memberof", memberof),
+            ("workson", workson),
+        ]
+    }
+
+    /// Brings an existing entry's edge attributes in line with the
+    /// model; a no-op (and silent for observers) when nothing differs.
+    /// Returns 1 when the entry was rewritten.
+    fn sync_edges(
+        &mut self,
+        dn: &Dn,
+        desired: &[(&'static str, BTreeSet<String>)],
+    ) -> Result<usize, MoccaError> {
+        let Some(entry) = self.dit.get(dn) else {
+            return Ok(0);
+        };
+        let differs = desired.iter().any(|(attr, want)| {
+            let have: BTreeSet<String> = entry
+                .attr(*attr)
+                .map(|a| {
+                    a.values()
+                        .iter()
+                        .filter_map(|v| v.as_text())
+                        .map(str::to_owned)
+                        .collect()
+                })
+                .unwrap_or_default();
+            have != *want
+        });
+        if !differs {
+            return Ok(0);
+        }
+        self.dit.modify(dn, |e| {
+            for (attr, want) in desired {
+                if want.is_empty() {
+                    e.remove_attr(&(*attr).into());
+                } else {
+                    e.replace_attr(Attribute::multi(*attr, want.iter().map(String::as_str)));
+                }
+            }
+        })?;
+        Ok(1)
+    }
+
     /// Publishes (or republishes) the whole organisational model into
-    /// the DIT. Returns how many entries were written.
+    /// the DIT. Returns how many entries were written (added, or
+    /// rewritten because their organisational edges changed —
+    /// republishing an unchanged model writes nothing).
     ///
     /// # Errors
     ///
@@ -69,7 +164,9 @@ impl KnowledgeBase {
         let mut written = 0;
         for person in model.people() {
             self.ensure_ancestors(&person.dn)?;
+            let edges = Self::person_edges(model, &person.dn);
             if self.dit.get(&person.dn).is_some() {
+                written += self.sync_edges(&person.dn, &edges)?;
                 continue;
             }
             let mut e = Entry::new(person.dn.clone())
@@ -86,10 +183,37 @@ impl KnowledgeBase {
             if let Some(mb) = &person.mailbox {
                 e.put_attr(Attribute::single("mail", mb.to_string()));
             }
-            // Roles become multi-valued attributes for searchability.
-            for role in model.roles_of(&person.dn) {
-                e.put_attr(Attribute::single("occupiesrole", role.to_string()));
+            // Edges become multi-valued attributes for searchability
+            // (and for the query layer's edge traversal).
+            for (attr, values) in &edges {
+                for value in values {
+                    e.put_attr(Attribute::single(*attr, value.as_str()));
+                }
             }
+            self.dit.add(e)?;
+            written += 1;
+        }
+        // Projects and units become entries of their own, so edge
+        // targets (`works-on`, `member-of`) resolve within the DIT.
+        for project in model.projects() {
+            self.ensure_ancestors(&project.dn)?;
+            if self.dit.get(&project.dn).is_some() {
+                continue;
+            }
+            let e = Entry::new(project.dn.clone())
+                .with_class("cscwproject")
+                .with_attr(Attribute::single("cn", project.name.as_str()));
+            self.dit.add(e)?;
+            written += 1;
+        }
+        for unit in model.units() {
+            self.ensure_ancestors(&unit.dn)?;
+            if self.dit.get(&unit.dn).is_some() {
+                continue;
+            }
+            let e = Entry::new(unit.dn.clone())
+                .with_class("organizationalunit")
+                .with_attr(Attribute::single("ou", unit.name.as_str()));
             self.dit.add(e)?;
             written += 1;
         }

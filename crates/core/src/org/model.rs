@@ -124,6 +124,21 @@ impl OrganisationalModel {
         self.resources.values()
     }
 
+    /// All projects.
+    pub fn projects(&self) -> impl Iterator<Item = &Project> {
+        self.projects.values()
+    }
+
+    /// All organisational units.
+    pub fn units(&self) -> impl Iterator<Item = &OrgUnit> {
+        self.units.values()
+    }
+
+    /// A project by DN.
+    pub fn project(&self, dn: &Dn) -> Option<&Project> {
+        self.projects.get(dn)
+    }
+
     /// All rules.
     pub fn rules(&self) -> &[OrgRule] {
         &self.rules

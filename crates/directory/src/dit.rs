@@ -6,12 +6,14 @@
 //! each) over the simulated network.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use crate::attribute::{Attribute, AttributeType, AttributeValue};
 use crate::entry::Entry;
 use crate::error::DirectoryError;
 use crate::filter::Filter;
 use crate::name::Dn;
+use crate::observer::{DitChange, DitObserver};
 use crate::schema::Schema;
 use crate::search::{SearchOutcome, SearchRequest, SearchScope};
 
@@ -38,16 +40,31 @@ use crate::search::{SearchOutcome, SearchRequest, SearchScope};
 /// assert_eq!(out.entries.len(), 1);
 /// # Ok::<(), cscw_directory::DirectoryError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Dit {
     entries: BTreeMap<Dn, Entry>,
     children: BTreeMap<Dn, BTreeSet<Dn>>,
     schema: Schema,
+    observers: Vec<Arc<dyn DitObserver>>,
 }
 
 impl Default for Dit {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Clone for Dit {
+    /// Cloning copies entries, structure and schema but **not**
+    /// observers: a clone is a detached snapshot, and mutations on it
+    /// must not surprise subscribers of the original.
+    fn clone(&self) -> Self {
+        Dit {
+            entries: self.entries.clone(),
+            children: self.children.clone(),
+            schema: self.schema.clone(),
+            observers: Vec::new(),
+        }
     }
 }
 
@@ -58,6 +75,7 @@ impl Dit {
             entries: BTreeMap::new(),
             children: BTreeMap::new(),
             schema: Schema::standard(),
+            observers: Vec::new(),
         }
     }
 
@@ -67,6 +85,20 @@ impl Dit {
             entries: BTreeMap::new(),
             children: BTreeMap::new(),
             schema,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Registers an observer notified after every applied mutation
+    /// (see [`DitChange`]). Observers are invoked in registration
+    /// order; clones of the DIT do not inherit them.
+    pub fn observe(&mut self, observer: Arc<dyn DitObserver>) {
+        self.observers.push(observer);
+    }
+
+    fn notify(&self, change: DitChange) {
+        for obs in &self.observers {
+            obs.on_change(&change);
         }
     }
 
@@ -115,7 +147,11 @@ impl Dit {
         }
         self.schema.validate(&entry)?;
         self.children.entry(parent).or_default().insert(dn.clone());
+        let snapshot = (!self.observers.is_empty()).then(|| entry.clone());
         self.entries.insert(dn, entry);
+        if let Some(added) = snapshot {
+            self.notify(DitChange::Added(added));
+        }
         Ok(())
     }
 
@@ -157,9 +193,14 @@ impl Dit {
             siblings.remove(dn);
         }
         self.children.remove(dn);
-        self.entries
+        let entry = self
+            .entries
             .remove(dn)
-            .ok_or_else(|| DirectoryError::NoSuchEntry(dn.clone()))
+            .ok_or_else(|| DirectoryError::NoSuchEntry(dn.clone()))?;
+        if !self.observers.is_empty() {
+            self.notify(DitChange::Removed(entry.clone()));
+        }
+        Ok(entry)
     }
 
     /// Removes an entire subtree rooted at `dn` (inclusive); returns how
@@ -179,13 +220,21 @@ impl Dit {
             .filter(|k| dn.is_prefix_of(k))
             .cloned()
             .collect();
+        let mut removed = Vec::with_capacity(doomed.len());
         for d in &doomed {
-            self.entries.remove(d);
+            if let Some(e) = self.entries.remove(d) {
+                removed.push(e);
+            }
             self.children.remove(d);
         }
         if let Some(parent) = dn.parent() {
             if let Some(siblings) = self.children.get_mut(&parent) {
                 siblings.remove(dn);
+            }
+        }
+        if !self.observers.is_empty() {
+            for e in removed {
+                self.notify(DitChange::Removed(e));
             }
         }
         Ok(doomed.len())
@@ -210,6 +259,14 @@ impl Dit {
         if let Err(e) = self.schema.validate(entry) {
             *entry = backup;
             return Err(e);
+        }
+        let change =
+            (!self.observers.is_empty() && *entry != backup).then(|| DitChange::Modified {
+                before: backup,
+                after: entry.clone(),
+            });
+        if let Some(c) = change {
+            self.notify(c);
         }
         Ok(())
     }
@@ -253,7 +310,11 @@ impl Dit {
             .entry(to_parent)
             .or_default()
             .insert(to.clone());
+        let snapshot = (!self.observers.is_empty()).then(|| entry.clone());
         self.entries.insert(to, entry);
+        if let Some(added) = snapshot {
+            self.notify(DitChange::Added(added));
+        }
         Ok(())
     }
 

@@ -53,6 +53,7 @@ mod entry;
 mod error;
 mod filter;
 mod name;
+mod observer;
 mod schema;
 mod search;
 
@@ -63,5 +64,6 @@ pub use entry::{Entry, OBJECT_CLASS};
 pub use error::DirectoryError;
 pub use filter::{Filter, SubstringPattern};
 pub use name::{Dn, Rdn};
+pub use observer::{ChangeCollector, DitChange, DitObserver};
 pub use schema::{ObjectClass, Schema};
 pub use search::{SearchOutcome, SearchRequest, SearchScope};

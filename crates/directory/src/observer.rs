@@ -1,0 +1,221 @@
+//! Change observation on a [`Dit`](crate::Dit).
+//!
+//! The standing-query layer (and anything else that wants push-based
+//! awareness of directory state) registers a [`DitObserver`] on a DIT;
+//! every successful mutation — `add`, `modify`, `remove`,
+//! `remove_subtree`, `rename`, `add_value` — is reported as a
+//! [`DitChange`] carrying the full before/after entries, so observers
+//! can evaluate incrementally without re-reading the tree.
+//!
+//! Observers are notified *after* the mutation has been applied and
+//! validated; failed operations (schema violations, missing parents)
+//! produce no change. The provided [`ChangeCollector`] is a buffering
+//! observer for callers that prefer to drain changes at a point where
+//! they hold `&Dit` again, rather than react re-entrantly.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::entry::Entry;
+
+/// One applied mutation on a DIT, with full entry state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DitChange {
+    /// An entry was inserted (by `add` or the insert half of `rename`).
+    Added(Entry),
+    /// An entry was modified in place; `before != after` is guaranteed
+    /// (no-op modifications are not reported).
+    Modified {
+        /// The entry as it was before the modification.
+        before: Entry,
+        /// The entry after the modification.
+        after: Entry,
+    },
+    /// An entry was removed (by `remove`, `remove_subtree`, or the
+    /// remove half of `rename`).
+    Removed(Entry),
+}
+
+impl DitChange {
+    /// The entry state after the change — the removed entry for
+    /// [`DitChange::Removed`] (useful for interest matching: a removal
+    /// is relevant to whoever matched the old state).
+    pub fn entry(&self) -> &Entry {
+        match self {
+            DitChange::Added(e) | DitChange::Removed(e) => e,
+            DitChange::Modified { after, .. } => after,
+        }
+    }
+}
+
+/// A hook invoked after every applied DIT mutation.
+pub trait DitObserver: fmt::Debug + Send + Sync {
+    /// Called once per applied change, in application order.
+    fn on_change(&self, change: &DitChange);
+}
+
+/// A [`DitObserver`] that buffers changes for later draining.
+///
+/// Clones share the same buffer, so a caller can keep one handle and
+/// install another on the DIT:
+///
+/// ```
+/// use cscw_directory::{Attribute, ChangeCollector, Dit, DitChange, Entry};
+///
+/// let collector = ChangeCollector::new();
+/// let mut dit = Dit::new();
+/// dit.observe(std::sync::Arc::new(collector.clone()));
+/// dit.add(Entry::new("c=UK".parse()?)
+///     .with_class("country")
+///     .with_attr(Attribute::single("c", "UK")))?;
+/// let changes = collector.drain();
+/// assert!(matches!(changes.as_slice(), [DitChange::Added(_)]));
+/// # Ok::<(), cscw_directory::DirectoryError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChangeCollector {
+    buffer: Arc<Mutex<Vec<DitChange>>>,
+}
+
+impl ChangeCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes every buffered change, oldest first.
+    pub fn drain(&self) -> Vec<DitChange> {
+        let mut buf = self
+            .buffer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        std::mem::take(&mut *buf)
+    }
+
+    /// Number of buffered changes.
+    pub fn len(&self) -> usize {
+        self.buffer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl DitObserver for ChangeCollector {
+    fn on_change(&self, change: &DitChange) {
+        self.buffer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(change.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::dit::Dit;
+    use crate::name::Dn;
+
+    fn person(dn: &str, cn: &str, sn: &str) -> Entry {
+        Entry::new(dn.parse().unwrap())
+            .with_class("person")
+            .with_attr(Attribute::single("cn", cn))
+            .with_attr(Attribute::single("sn", sn))
+    }
+
+    fn observed() -> (Dit, ChangeCollector) {
+        let collector = ChangeCollector::new();
+        let mut dit = Dit::new();
+        dit.observe(Arc::new(collector.clone()));
+        dit.add(
+            Entry::new("c=UK".parse().unwrap())
+                .with_class("country")
+                .with_attr(Attribute::single("c", "UK")),
+        )
+        .unwrap();
+        collector.drain();
+        (dit, collector)
+    }
+
+    #[test]
+    fn add_modify_remove_are_observed_in_order() {
+        let (mut dit, collector) = observed();
+        let dn: Dn = "c=UK,cn=Tom Rodden".parse().unwrap();
+        dit.add(person("c=UK,cn=Tom Rodden", "Tom Rodden", "Rodden"))
+            .unwrap();
+        dit.add_value(&dn, "mail", "tom@lancs.ac.uk").unwrap();
+        dit.remove(&dn).unwrap();
+        let changes = collector.drain();
+        assert_eq!(changes.len(), 3);
+        assert!(matches!(&changes[0], DitChange::Added(e) if e.dn() == &dn));
+        match &changes[1] {
+            DitChange::Modified { before, after } => {
+                assert_eq!(before.first_text("mail"), None);
+                assert_eq!(after.first_text("mail"), Some("tom@lancs.ac.uk"));
+            }
+            other => panic!("expected Modified, got {other:?}"),
+        }
+        assert!(matches!(&changes[2], DitChange::Removed(e) if e.dn() == &dn));
+    }
+
+    #[test]
+    fn failed_and_noop_mutations_are_silent() {
+        let (mut dit, collector) = observed();
+        let dn: Dn = "c=UK,cn=Tom Rodden".parse().unwrap();
+        dit.add(person("c=UK,cn=Tom Rodden", "Tom Rodden", "Rodden"))
+            .unwrap();
+        collector.drain();
+        // Schema violation rolls back: no change event.
+        assert!(dit
+            .modify(&dn, |e| {
+                e.remove_attr(&"sn".into());
+            })
+            .is_err());
+        // A modification that leaves the entry identical is a no-op.
+        dit.modify(&dn, |_| {}).unwrap();
+        // A failed add (duplicate) is silent too.
+        assert!(dit
+            .add(person("c=UK,cn=Tom Rodden", "Tom Rodden", "Rodden"))
+            .is_err());
+        assert!(collector.drain().is_empty());
+    }
+
+    #[test]
+    fn subtree_removal_reports_every_entry() {
+        let (mut dit, collector) = observed();
+        dit.add(person("c=UK,cn=A", "A A", "A")).unwrap();
+        dit.add(person("c=UK,cn=B", "B B", "B")).unwrap();
+        collector.drain();
+        dit.remove_subtree(&"c=UK".parse().unwrap()).unwrap();
+        let changes = collector.drain();
+        assert_eq!(changes.len(), 3);
+        assert!(changes.iter().all(|c| matches!(c, DitChange::Removed(_))));
+    }
+
+    #[test]
+    fn rename_is_a_remove_plus_add() {
+        let (mut dit, collector) = observed();
+        dit.add(person("c=UK,cn=A", "A A", "A")).unwrap();
+        collector.drain();
+        dit.rename(&"c=UK,cn=A".parse().unwrap(), "c=UK,cn=A2".parse().unwrap())
+            .unwrap();
+        let changes = collector.drain();
+        assert_eq!(changes.len(), 2);
+        assert!(matches!(&changes[0], DitChange::Removed(e) if e.dn().to_string() == "c=UK,cn=A"));
+        assert!(matches!(&changes[1], DitChange::Added(e) if e.dn().to_string() == "c=UK,cn=A2"));
+    }
+
+    #[test]
+    fn clones_do_not_share_observers() {
+        let (dit, collector) = observed();
+        let mut copy = dit.clone();
+        copy.add(person("c=UK,cn=A", "A A", "A")).unwrap();
+        assert!(collector.is_empty(), "clone mutations must not leak");
+    }
+}

@@ -127,6 +127,11 @@ impl Schema {
                 ["description", "owner", "location"],
             ),
             ObjectClass::new(
+                "cscwproject",
+                ["cn"],
+                ["description", "projectstate", "owner"],
+            ),
+            ObjectClass::new(
                 "informationobject",
                 ["cn", "contenttype"],
                 ["description", "owner", "partof", "version"],

@@ -18,7 +18,9 @@ use odp::LinkState;
 use parking_lot::Mutex;
 
 use crate::error::FederationError;
-use crate::replica::{decode_delta, decode_digest, encode_delta, encode_digest, ReplicatedStore};
+use crate::replica::{
+    decode_delta, decode_digest, encode_delta, encode_digest, IngestReport, ReplicatedStore,
+};
 use crate::trader::{FederatedTrader, Resolution, ResolutionSource};
 
 /// One remote exchange in flight: an artifact lowered to common-model
@@ -81,6 +83,14 @@ pub trait FederationPort: std::fmt::Debug + Send {
 
     /// Canonical fingerprint of this domain's replicated knowledge.
     fn replica_fingerprint(&self) -> String;
+
+    /// Resolved `(key, value)` pairs of this domain's replica in key
+    /// order — the query layer primes standing knowledge subscriptions
+    /// from it at subscribe time. Ports without a replica return the
+    /// default: nothing.
+    fn replica_snapshot(&self) -> Vec<(String, String)> {
+        Vec::new()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -305,8 +315,9 @@ impl FederationFabric {
         Ok(GossipFrame::delta(domain, encode_delta(&delta)).with_ctx(ctx))
     }
 
-    /// Applies a delta frame to `domain`'s replica; returns how many
-    /// updates applied.
+    /// Applies a delta frame to `domain`'s replica; returns the
+    /// [`IngestReport`] saying which updates applied, how many were
+    /// buffered out-of-order, and how many were stale.
     ///
     /// # Errors
     ///
@@ -315,20 +326,30 @@ impl FederationFabric {
         &self,
         domain: &str,
         delta: &GossipFrame,
-    ) -> Result<usize, FederationError> {
+    ) -> Result<IngestReport, FederationError> {
         let updates = decode_delta(&delta.body)?;
         let mut inner = self.inner.lock();
         let state = inner
             .domains
             .get_mut(domain)
             .ok_or_else(|| FederationError::UnknownDomain(domain.to_owned()))?;
-        let applied = state.replica.ingest(updates);
+        let report = state.replica.ingest(updates);
         inner.telemetry.add(
             Layer::Federation,
             "federation.gossip.applied",
-            applied as u64,
+            report.applied_count() as u64,
         );
-        Ok(applied)
+        inner.telemetry.add(
+            Layer::Federation,
+            "federation.gossip.buffered",
+            report.buffered as u64,
+        );
+        inner.telemetry.add(
+            Layer::Federation,
+            "federation.gossip.stale",
+            report.stale as u64,
+        );
+        Ok(report)
     }
 
     /// Expires stale trader cache entries at `now`; returns how many
@@ -466,6 +487,20 @@ impl FederationPort for DomainPort {
             .map(|s| s.replica.fingerprint())
             .unwrap_or_default()
     }
+
+    fn replica_snapshot(&self) -> Vec<(String, String)> {
+        self.inner
+            .lock()
+            .domains
+            .get(&self.domain)
+            .map(|s| {
+                s.replica
+                    .entries()
+                    .map(|e| (e.key.clone(), e.value.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -562,7 +597,12 @@ mod tests {
             let delta = fabric
                 .delta_frame_capped("env-a", &digest, Some(2))
                 .unwrap();
-            applied_per_round.push(fabric.ingest_delta("env-b", &delta).unwrap());
+            applied_per_round.push(
+                fabric
+                    .ingest_delta("env-b", &delta)
+                    .unwrap()
+                    .applied_count(),
+            );
         }
         assert_eq!(applied_per_round, vec![2, 2, 2, 1]);
         assert_eq!(a.replica_fingerprint(), b.replica_fingerprint());
@@ -585,7 +625,13 @@ mod tests {
         let digest = GossipFrame::decode(&digest.encode()).unwrap();
         let delta = fabric.delta_frame("env-a", &digest).unwrap();
         let delta = GossipFrame::decode(&delta.encode()).unwrap();
-        assert_eq!(fabric.ingest_delta("env-b", &delta).unwrap(), 1);
+        assert_eq!(
+            fabric
+                .ingest_delta("env-b", &delta)
+                .unwrap()
+                .applied_count(),
+            1
+        );
         assert_eq!(
             fabric.replica_get("env-b", "k").as_deref(),
             Some("v|with\nhostile\x1echars")

@@ -46,6 +46,6 @@ pub mod trader;
 pub use clock::{ClockOrder, VectorClock};
 pub use error::FederationError;
 pub use fabric::{DomainPort, FederationFabric, FederationPort, RemoteDelivery};
-pub use replica::{ReplEntry, ReplicatedStore};
+pub use replica::{IngestReport, ReplEntry, ReplicatedStore};
 pub use runtime::{FedEvent, FederationRuntime, Pulse, RuntimeConfig};
 pub use trader::{FederatedTrader, Resolution, ResolutionSource, DEFAULT_HOP_LIMIT};

@@ -152,6 +152,31 @@ pub fn decode_digest(body: &str) -> Result<BTreeMap<String, u64>, FederationErro
     Ok(digest)
 }
 
+/// What one [`ReplicatedStore::ingest`] call did with its batch.
+///
+/// Consumers that need more than a count — the standing-query layer
+/// turns applied entries into subscription deltas — read `applied`;
+/// `buffered` and `stale` feed gossip telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Updates applied this call, in causal application order
+    /// (includes previously buffered updates whose gap just filled).
+    pub applied: Vec<ReplEntry>,
+    /// Updates from this batch still parked out-of-order in the
+    /// pending buffer after the drain.
+    pub buffered: usize,
+    /// Updates dropped: already applied (seq at or below the origin's
+    /// watermark) or from this replica's own origin.
+    pub stale: usize,
+}
+
+impl IngestReport {
+    /// Number of updates applied.
+    pub fn applied_count(&self) -> usize {
+        self.applied.len()
+    }
+}
+
 /// A replica of the federated knowledge state for one environment.
 #[derive(Debug, Clone, Default)]
 pub struct ReplicatedStore {
@@ -242,14 +267,23 @@ impl ReplicatedStore {
     /// update applies only once every earlier update from its origin
     /// has applied; later arrivals buffer until the gap fills.
     ///
-    /// Returns how many updates were *applied* (buffered ones count
-    /// when their gap fills).
-    pub fn ingest(&mut self, updates: Vec<ReplEntry>) -> usize {
-        let mut applied_count = 0;
+    /// Returns an [`IngestReport`]: *which* updates applied (buffered
+    /// ones appear when their gap fills), how many still wait for a
+    /// gap, and how many were stale duplicates.
+    pub fn ingest(&mut self, updates: Vec<ReplEntry>) -> IngestReport {
+        let mut report = IngestReport::default();
+        let mut inserted: Vec<(String, u64)> = Vec::new();
         for update in updates {
             if update.origin == self.domain {
-                continue; // own history is authoritative locally
+                report.stale += 1; // own history is authoritative locally
+                continue;
             }
+            let watermark = self.applied.get(&update.origin).copied().unwrap_or(0);
+            if update.seq <= watermark {
+                report.stale += 1; // duplicate of an already-applied seq
+                continue;
+            }
+            inserted.push((update.origin.clone(), update.seq));
             self.pending
                 .entry(update.origin.clone())
                 .or_default()
@@ -273,11 +307,19 @@ impl ReplicatedStore {
                     .push(entry.clone());
                 self.applied.insert(origin.clone(), next_seq);
                 self.clock.merge(&entry.clock);
-                self.resolve(entry);
-                applied_count += 1;
+                self.resolve(entry.clone());
+                report.applied.push(entry);
             }
         }
-        applied_count
+        report.buffered = inserted
+            .iter()
+            .filter(|(origin, seq)| {
+                self.pending
+                    .get(origin)
+                    .is_some_and(|buf| buf.contains_key(seq))
+            })
+            .count();
+        report
     }
 
     /// Conflict resolution: the surviving version is the maximum under
@@ -325,7 +367,7 @@ mod tests {
     use super::*;
 
     fn sync(from: &ReplicatedStore, to: &mut ReplicatedStore) -> usize {
-        to.ingest(from.delta_since(&to.digest()))
+        to.ingest(from.delta_since(&to.digest())).applied_count()
     }
 
     #[test]
@@ -353,13 +395,41 @@ mod tests {
         let delta = a.delta_since(&BTreeMap::new());
         let mut b = ReplicatedStore::new("env-b");
         // Deliver out of order: seq 3 and 2 first — nothing applies.
-        assert_eq!(b.ingest(vec![delta[2].clone()]), 0);
-        assert_eq!(b.ingest(vec![delta[1].clone()]), 0);
+        let first = b.ingest(vec![delta[2].clone()]);
+        assert_eq!(
+            (first.applied_count(), first.buffered, first.stale),
+            (0, 1, 0)
+        );
+        assert_eq!(b.ingest(vec![delta[1].clone()]).applied_count(), 0);
         assert!(b.is_empty());
         // The gap fills: all three apply, in causal order.
-        assert_eq!(b.ingest(vec![delta[0].clone()]), 3);
+        let third = b.ingest(vec![delta[0].clone()]);
+        assert_eq!(third.applied_count(), 3);
+        assert_eq!(
+            third.applied.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "applied entries surface in causal order"
+        );
         assert_eq!(b.get("k1"), Some("v2"));
         assert_eq!(b.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn stale_and_own_origin_updates_are_dropped_not_buffered() {
+        let mut a = ReplicatedStore::new("env-a");
+        a.put("k", "v");
+        let delta = a.delta_since(&BTreeMap::new());
+        let mut b = ReplicatedStore::new("env-b");
+        assert_eq!(b.ingest(delta.clone()).applied_count(), 1);
+        // Re-delivery is stale: dropped, not parked in pending forever.
+        let again = b.ingest(delta.clone());
+        assert_eq!(
+            (again.applied_count(), again.buffered, again.stale),
+            (0, 0, 1)
+        );
+        // A replica never re-applies its own history.
+        let own = a.ingest(delta);
+        assert_eq!((own.applied_count(), own.stale), (0, 1));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Federated awareness: standing queries push organisational change
+//! across sites.
+//!
+//! The paper's motivating scenario for shared organisational context
+//! is *awareness*: a user at one autonomously-managed site should
+//! learn that the cooperative arrangement changed — someone joined the
+//! project, a role moved — without polling the other site's
+//! directory. This module stages that scenario over the two-site
+//! federation from [`sites`](crate::sites): a subscriber at
+//! `site-async` registers a standing query over the *replicated
+//! knowledge*, the project membership changes at `site-sync`, gossip
+//! carries the replica update, and the subscriber receives a push
+//! delta — with zero re-scans of the knowledge base anywhere.
+
+use cscw_directory::Dn;
+use cscw_query::{QueryDelta, SubscriptionId};
+use mocca::org::{Person, Project, RelationKind};
+
+use crate::sites::two_site_federation;
+use crate::GroupwareError;
+
+/// The knowledge query the asynchronous site's subscriber registers:
+/// every replicated organisational entry that carries membership edges.
+pub const AWARENESS_QUERY: &str =
+    r#"from knowledge key prefix "org:" and value matches "*memberof*""#;
+
+/// The entry query a local subscriber at the synchronous site
+/// registers: people working on the staged project.
+pub const PROJECT_QUERY: &str = r#"class = person and works-on "cn=odp-paper""#;
+
+/// What the federated awareness demo observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AwarenessReport {
+    /// The remote subscription at `site-async`.
+    pub subscription: SubscriptionId,
+    /// Members of the awareness result set right after subscribing
+    /// (the staged model starts with one project member).
+    pub initial_matches: usize,
+    /// Deltas the `site-async` subscriber received after the
+    /// membership change at `site-sync`, rendered `kind id`.
+    pub awareness_deltas: Vec<String>,
+    /// Deltas the local `site-sync` project subscriber received for
+    /// the same change, rendered `kind id`.
+    pub local_deltas: Vec<String>,
+    /// Full re-scans the `site-async` registry performed — the demo's
+    /// point is that this stays `0`.
+    pub remote_rescans: u64,
+    /// Did the sites' replicated knowledge converge?
+    pub converged: bool,
+}
+
+fn dn(s: &str) -> Result<Dn, GroupwareError> {
+    s.parse()
+        .map_err(|e: cscw_directory::DirectoryError| GroupwareError::Mocca(e.into()))
+}
+
+fn render(deltas: Vec<(SubscriptionId, QueryDelta)>) -> Vec<String> {
+    deltas.into_iter().map(|(_, d)| d.to_string()).collect()
+}
+
+/// Runs the federated awareness scenario on a fresh
+/// [`two_site_federation`]:
+///
+/// 1. `site-sync` stages an organisational model — two people and the
+///    `cn=odp-paper` project, with one member — and publishes it into
+///    the knowledge base (replicated as `org:` entries).
+/// 2. Gossip converges both sites.
+/// 3. A subscriber at `site-async` registers [`AWARENESS_QUERY`] over
+///    the replicated knowledge; a subscriber at `site-sync` registers
+///    [`PROJECT_QUERY`] over the directory.
+/// 4. The second person joins the project at `site-sync` and the model
+///    is republished: the local subscriber is notified from the DIT
+///    change, gossip ships the rewritten replica entry, and the
+///    remote subscriber is notified from the ingest — no re-scans.
+///
+/// # Errors
+///
+/// Population errors, and [`GroupwareError::Mocca`] on publish,
+/// subscribe or gossip failures.
+pub fn awareness_demo() -> Result<AwarenessReport, GroupwareError> {
+    let mut fed = two_site_federation()?;
+    let tom = dn("c=UK,o=Lancaster,cn=Tom Rodden")?;
+    let wolfgang = dn("c=DE,o=GMD,cn=Wolfgang Prinz")?;
+    let project = dn("cn=odp-paper")?;
+
+    // 1. Stage and publish the model at the synchronous site.
+    {
+        let env = fed
+            .env_mut("site-sync")
+            .ok_or_else(|| GroupwareError::UnknownApp("site-sync".to_owned()))?;
+        {
+            let org = env.org();
+            let mut org = org.write();
+            org.add_person(Person::new(tom.clone(), "Tom Rodden"));
+            org.add_person(Person::new(wolfgang.clone(), "Wolfgang Prinz"));
+            org.add_project(Project::new(project.clone(), "odp-paper"));
+            org.relate(&tom, RelationKind::MemberOf, &project)
+                .map_err(GroupwareError::Mocca)?;
+        }
+        env.publish_knowledge()?;
+    }
+
+    // 2. Converge the replicas.
+    fed.run_until_converged(1, 60_000_000)?;
+
+    // 3. Subscribe on both sides.
+    let remote_sub = {
+        let env = fed
+            .env_mut("site-async")
+            .ok_or_else(|| GroupwareError::UnknownApp("site-async".to_owned()))?;
+        let id = env.subscribe(AWARENESS_QUERY)?;
+        // The prime's initial Added set is not "awareness" yet.
+        env.take_query_deltas();
+        id
+    };
+    let initial_matches = fed
+        .env("site-async")
+        .and_then(|env| env.queries().matches(remote_sub))
+        .map(|set| set.len())
+        .unwrap_or(0);
+    let local_sub = {
+        let env = fed
+            .env_mut("site-sync")
+            .ok_or_else(|| GroupwareError::UnknownApp("site-sync".to_owned()))?;
+        let id = env.subscribe(PROJECT_QUERY)?;
+        env.take_query_deltas();
+        id
+    };
+
+    // 4. Wolfgang joins the project; republish and converge.
+    {
+        let env = fed
+            .env_mut("site-sync")
+            .ok_or_else(|| GroupwareError::UnknownApp("site-sync".to_owned()))?;
+        {
+            let org = env.org();
+            let mut org = org.write();
+            org.relate(&wolfgang, RelationKind::MemberOf, &project)
+                .map_err(GroupwareError::Mocca)?;
+        }
+        env.publish_knowledge()?;
+    }
+    let converged = fed.run_until_converged(1, 60_000_000)?.converged;
+
+    let local_deltas = fed
+        .env_mut("site-sync")
+        .map(|env| {
+            render(
+                env.take_query_deltas()
+                    .into_iter()
+                    .filter(|(id, _)| *id == local_sub)
+                    .collect(),
+            )
+        })
+        .unwrap_or_default();
+    let (awareness_deltas, remote_rescans) = match fed.env_mut("site-async") {
+        Some(env) => (render(env.take_query_deltas()), env.queries().rescans()),
+        None => (Vec::new(), 0),
+    };
+    Ok(AwarenessReport {
+        subscription: remote_sub,
+        initial_matches,
+        awareness_deltas,
+        local_deltas,
+        remote_rescans,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_change_pushes_a_delta_across_sites_without_rescans() {
+        let report = awareness_demo().unwrap();
+        assert!(report.converged, "replicas must converge");
+        assert_eq!(
+            report.initial_matches, 1,
+            "only Tom carries membership edges at subscribe time"
+        );
+        // The rewritten replica entry for Wolfgang arrives as a push.
+        assert!(
+            report
+                .awareness_deltas
+                .iter()
+                .any(|d| d.starts_with("added") && d.contains("Wolfgang")),
+            "remote subscriber must learn of the new member: {:?}",
+            report.awareness_deltas
+        );
+        // The local project subscriber saw the same change from the
+        // DIT stream.
+        assert!(
+            report
+                .local_deltas
+                .iter()
+                .any(|d| d.starts_with("added") && d.contains("Wolfgang")),
+            "local subscriber must see the project join: {:?}",
+            report.local_deltas
+        );
+        assert_eq!(report.remote_rescans, 0, "awareness must be scan-free");
+    }
+
+    #[test]
+    fn demo_is_deterministic() {
+        assert_eq!(awareness_demo().unwrap(), awareness_demo().unwrap());
+    }
+}

@@ -17,11 +17,14 @@
 //! vocabularies, per-app common-model mappings, and composed pairwise
 //! adapters for the closed-world baseline. [`sites`] restages the
 //! population across a *two-site federation* of environments
-//! (trader interworking + anti-entropy knowledge replication).
+//! (trader interworking + anti-entropy knowledge replication), and
+//! [`awareness`] shows a standing query pushing an organisational
+//! change from one site's knowledge base to a subscriber on the other.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod awareness;
 pub mod bbs;
 pub mod closed;
 pub mod conference;
@@ -31,6 +34,7 @@ pub mod meeting_room;
 pub mod procedure;
 pub mod sites;
 
+pub use awareness::{awareness_demo, AwarenessReport, AWARENESS_QUERY, PROJECT_QUERY};
 pub use bbs::{BbsClient, BbsEntry, BbsServer};
 pub use closed::{
     closed_world_adapter_count, descriptor_for, direct_adapter, mapping_for,

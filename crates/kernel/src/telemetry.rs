@@ -6,7 +6,8 @@
 //! shared [`Telemetry`] handle, each tagged with the [`Layer`] it came
 //! from, and opens [`SpanRecord`]s parented on the work above it, so a
 //! single end-to-end operation is a causally-ordered tree down the
-//! stack: App → Env → Federation → Odp → Messaging/Directory → Net.
+//! stack: App → Env → Query → Federation → Odp → Messaging/Directory →
+//! Net.
 //!
 //! `Telemetry` is a cheaply-cloneable handle: the simulator core, every
 //! simulated node, and the platform front-end all hold clones of the
@@ -38,6 +39,10 @@ pub enum Layer {
     /// The inter-environment federation layer: trader interworking,
     /// anti-entropy knowledge replication, remote exchange routing.
     Federation,
+    /// The standing-query layer: subscription registries evaluating
+    /// filter expressions incrementally over directory changes and
+    /// replicated-knowledge applies.
+    Query,
     /// The CSCW environment (MOCCA): sharing, exchange, org knowledge.
     Env,
     /// Applications (groupware tools) above the environment.
@@ -45,7 +50,7 @@ pub enum Layer {
 }
 
 /// Shard count: one lock per [`Layer`] variant.
-const LAYER_COUNT: usize = 7;
+const LAYER_COUNT: usize = 8;
 
 /// Every layer, in `Layer`'s `Ord` order (Net first).
 const LAYERS: [Layer; LAYER_COUNT] = [
@@ -54,6 +59,7 @@ const LAYERS: [Layer; LAYER_COUNT] = [
     Layer::Messaging,
     Layer::Odp,
     Layer::Federation,
+    Layer::Query,
     Layer::Env,
     Layer::App,
 ];
@@ -63,6 +69,7 @@ const LAYERS: [Layer; LAYER_COUNT] = [
 const LAYERS_BY_DEPTH: [Layer; LAYER_COUNT] = [
     Layer::App,
     Layer::Env,
+    Layer::Query,
     Layer::Federation,
     Layer::Odp,
     Layer::Directory,
@@ -79,23 +86,27 @@ impl Layer {
             Layer::Messaging => "messaging",
             Layer::Odp => "odp",
             Layer::Federation => "federation",
+            Layer::Query => "query",
             Layer::Env => "env",
             Layer::App => "app",
         }
     }
 
-    /// Position in the Figure-4 stack, top (App = 0) to bottom (Net = 5).
-    /// Directory and Messaging are peers at the same depth; the
-    /// federation layer sits between the environment and the ODP
-    /// functions it interworks.
+    /// Position in the Figure-4 stack, top (App = 0) to bottom (Net = 6).
+    /// Directory and Messaging are peers at the same depth; the query
+    /// layer sits between the environment it notifies and the
+    /// directory/federation substrates whose changes feed it, and the
+    /// federation layer between queries and the ODP functions it
+    /// interworks.
     pub fn depth(self) -> u8 {
         match self {
             Layer::App => 0,
             Layer::Env => 1,
-            Layer::Federation => 2,
-            Layer::Odp => 3,
-            Layer::Directory | Layer::Messaging => 4,
-            Layer::Net => 5,
+            Layer::Query => 2,
+            Layer::Federation => 3,
+            Layer::Odp => 4,
+            Layer::Directory | Layer::Messaging => 5,
+            Layer::Net => 6,
         }
     }
 
@@ -107,8 +118,9 @@ impl Layer {
             Layer::Messaging => 2,
             Layer::Odp => 3,
             Layer::Federation => 4,
-            Layer::Env => 5,
-            Layer::App => 6,
+            Layer::Query => 5,
+            Layer::Env => 6,
+            Layer::App => 7,
         }
     }
 }
@@ -635,7 +647,8 @@ mod tests {
     #[test]
     fn depth_orders_the_figure_4_stack() {
         assert!(Layer::App.depth() < Layer::Env.depth());
-        assert!(Layer::Env.depth() < Layer::Federation.depth());
+        assert!(Layer::Env.depth() < Layer::Query.depth());
+        assert!(Layer::Query.depth() < Layer::Federation.depth());
         assert!(Layer::Federation.depth() < Layer::Odp.depth());
         assert!(Layer::Odp.depth() < Layer::Messaging.depth());
         assert_eq!(Layer::Messaging.depth(), Layer::Directory.depth());

@@ -1,0 +1,467 @@
+//! Compilation: AST → [`directory::Filter`](cscw_directory::Filter)
+//! combinators plus join and knowledge-predicate plans.
+//!
+//! Entry predicates compile directly onto the directory's own filter
+//! algebra (`eq`/`present`/`and`/`or`/`not`/substring/range), so a
+//! compiled query evaluates an [`Entry`] exactly the way
+//! `Dit::search` would. Edges compile to equality on the published
+//! edge attributes (`memberof`, `workson`, `occupiesrole`); a one-hop
+//! join keeps its inner expression as a separate join-free [`Filter`]
+//! whose matching entries form the join's *target set*, maintained
+//! incrementally by the registry. Knowledge predicates compile to a
+//! small plan over `(key, value)` pairs.
+
+use std::collections::BTreeSet;
+
+use cscw_directory::{
+    AttributeType, AttributeValue, Entry, Filter, SubstringPattern, OBJECT_CLASS,
+};
+
+use crate::error::QueryError;
+use crate::lang::{self, Ast, CmpOp, EdgeTarget, KeyOp, Literal, SourceClause, ValueOp};
+
+/// Which change stream a compiled query watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Directory entries (the DIT change stream).
+    Entries,
+    /// Replicated knowledge `(key, value)` pairs (gossip applies and
+    /// local publishes).
+    Knowledge,
+}
+
+/// Evaluation tree over entries. Leaves are directory filters; joins
+/// are indices into the compiled query's join table.
+#[derive(Debug, Clone)]
+pub(crate) enum ENode {
+    Leaf(Filter),
+    Join(usize),
+    And(Vec<ENode>),
+    Or(Vec<ENode>),
+    Not(Box<ENode>),
+}
+
+/// One one-hop join: the entry's `attr` value must name an entry
+/// matching `inner`.
+#[derive(Debug, Clone)]
+pub(crate) struct JoinSpec {
+    pub(crate) attr: AttributeType,
+    pub(crate) inner: Filter,
+}
+
+/// Evaluation tree over knowledge `(key, value)` pairs.
+#[derive(Debug, Clone)]
+pub(crate) enum KNode {
+    KeyEq(String),
+    KeyPrefix(String),
+    KeyMatch(SubstringPattern),
+    ValueEq(String),
+    ValueMatch(SubstringPattern),
+    And(Vec<KNode>),
+    Or(Vec<KNode>),
+    Not(Box<KNode>),
+}
+
+/// A parsed and compiled standing query.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    source: Source,
+    pub(crate) entry: Option<ENode>,
+    pub(crate) joins: Vec<JoinSpec>,
+    pub(crate) knowledge: Option<KNode>,
+    /// Every attribute type the query references anywhere (predicates,
+    /// edge attributes, join inner filters) — the registry's attribute
+    /// interest index.
+    pub(crate) attrs: BTreeSet<String>,
+    /// True when attribute interest cannot prune (the query contains a
+    /// negation, which can match entries carrying none of the
+    /// referenced attributes).
+    pub(crate) wildcard: bool,
+    src: String,
+}
+
+impl CompiledQuery {
+    /// Parses and compiles a query source string.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Parse`] on bad syntax, [`QueryError::MixedDomains`]
+    /// when entry and knowledge predicates are mixed (or contradict an
+    /// explicit `from` clause), [`QueryError::NestedJoin`] when a join
+    /// target contains another join.
+    pub fn compile(src: &str) -> Result<Self, QueryError> {
+        let q = lang::parse(src)?;
+        let uses_knowledge = uses_knowledge(&q.expr);
+        let uses_entries = uses_entries(&q.expr);
+        if uses_knowledge && uses_entries {
+            return Err(QueryError::MixedDomains(src.to_owned()));
+        }
+        let source = match (q.from, uses_knowledge) {
+            (Some(SourceClause::Knowledge), false) if uses_entries => {
+                return Err(QueryError::MixedDomains(src.to_owned()));
+            }
+            (Some(SourceClause::Entries), true) => {
+                return Err(QueryError::MixedDomains(src.to_owned()));
+            }
+            (Some(SourceClause::Knowledge), _) | (None, true) => Source::Knowledge,
+            _ => Source::Entries,
+        };
+        let mut compiled = CompiledQuery {
+            source,
+            entry: None,
+            joins: Vec::new(),
+            knowledge: None,
+            attrs: BTreeSet::new(),
+            wildcard: false,
+            src: src.to_owned(),
+        };
+        match source {
+            Source::Entries => {
+                let root = compiled.entry_node(&q.expr)?;
+                compiled.entry = Some(root);
+            }
+            Source::Knowledge => {
+                let root = compiled.knowledge_node(&q.expr)?;
+                compiled.knowledge = Some(root);
+            }
+        }
+        Ok(compiled)
+    }
+
+    /// The change stream this query watches.
+    pub fn source(&self) -> Source {
+        self.source
+    }
+
+    /// The original query source text.
+    pub fn src(&self) -> &str {
+        &self.src
+    }
+
+    /// Evaluates an entry against the compiled plan, with the current
+    /// join target sets (one per join, in join order).
+    pub(crate) fn eval_entry(&self, entry: &Entry, targets: &[BTreeSet<String>]) -> bool {
+        match &self.entry {
+            Some(root) => eval_enode(root, entry, &self.joins, targets),
+            None => false,
+        }
+    }
+
+    /// Evaluates a knowledge `(key, value)` pair.
+    pub(crate) fn eval_kv(&self, key: &str, value: &str) -> bool {
+        match &self.knowledge {
+            Some(root) => eval_knode(root, key, value),
+            None => false,
+        }
+    }
+
+    /// A key prefix every match must carry, if one is derivable — the
+    /// registry's key interest index (`None` means every key is of
+    /// interest).
+    pub(crate) fn key_prefix(&self) -> Option<&str> {
+        self.knowledge.as_ref().and_then(knode_prefix)
+    }
+
+    fn entry_node(&mut self, ast: &Ast) -> Result<ENode, QueryError> {
+        Ok(match ast {
+            Ast::Or(children) => ENode::Or(
+                children
+                    .iter()
+                    .map(|c| self.entry_node(c))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Ast::And(children) => ENode::And(
+                children
+                    .iter()
+                    .map(|c| self.entry_node(c))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Ast::Not(inner) => {
+                self.wildcard = true;
+                ENode::Not(Box::new(self.entry_node(inner)?))
+            }
+            Ast::Edge {
+                kind,
+                target: EdgeTarget::Join(inner),
+            } => {
+                self.attrs.insert(kind.attr().to_owned());
+                let filter = self.entry_filter(inner)?;
+                self.joins.push(JoinSpec {
+                    attr: AttributeType::new(kind.attr()),
+                    inner: filter,
+                });
+                ENode::Join(self.joins.len() - 1)
+            }
+            leaf => ENode::Leaf(self.leaf_filter(leaf)?),
+        })
+    }
+
+    /// Compiles a join-free sub-expression to a plain [`Filter`] (used
+    /// for join targets).
+    fn entry_filter(&mut self, ast: &Ast) -> Result<Filter, QueryError> {
+        Ok(match ast {
+            Ast::Or(children) => Filter::or(
+                children
+                    .iter()
+                    .map(|c| self.entry_filter(c))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Ast::And(children) => Filter::and(
+                children
+                    .iter()
+                    .map(|c| self.entry_filter(c))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Ast::Not(inner) => {
+                self.wildcard = true;
+                Filter::not(self.entry_filter(inner)?)
+            }
+            leaf => self.leaf_filter(leaf)?,
+        })
+    }
+
+    fn leaf_filter(&mut self, ast: &Ast) -> Result<Filter, QueryError> {
+        Ok(match ast {
+            Ast::Class(class) => {
+                self.attrs.insert(OBJECT_CLASS.to_owned());
+                Filter::eq(OBJECT_CLASS, class.as_str())
+            }
+            Ast::Present(attr) => {
+                self.attrs.insert(attr.clone());
+                Filter::present(attr.as_str())
+            }
+            Ast::Cmp { attr, op, value } => {
+                self.attrs.insert(attr.clone());
+                let ty = AttributeType::new(attr);
+                match op {
+                    CmpOp::Matches => Filter::Substring(ty, substring(text_of(value))?),
+                    CmpOp::Eq => Filter::Equals(ty, attr_value(value)),
+                    CmpOp::Ge => Filter::GreaterOrEqual(ty, attr_value(value)),
+                    CmpOp::Le => Filter::LessOrEqual(ty, attr_value(value)),
+                }
+            }
+            Ast::Edge {
+                kind,
+                target: EdgeTarget::Literal(dn),
+            } => {
+                self.attrs.insert(kind.attr().to_owned());
+                Filter::eq(kind.attr(), dn.as_str())
+            }
+            Ast::Edge {
+                kind: _,
+                target: EdgeTarget::Join(_),
+            } => return Err(QueryError::NestedJoin(self.src.clone())),
+            Ast::Key { .. } | Ast::Value { .. } => {
+                return Err(QueryError::MixedDomains(self.src.clone()));
+            }
+            // Or/And/Not normally arrive at entry_filter first; route
+            // them back so the match is total without a panic path.
+            other => self.entry_filter(other)?,
+        })
+    }
+
+    fn knowledge_node(&mut self, ast: &Ast) -> Result<KNode, QueryError> {
+        Ok(match ast {
+            Ast::Or(children) => KNode::Or(
+                children
+                    .iter()
+                    .map(|c| self.knowledge_node(c))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Ast::And(children) => KNode::And(
+                children
+                    .iter()
+                    .map(|c| self.knowledge_node(c))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Ast::Not(inner) => KNode::Not(Box::new(self.knowledge_node(inner)?)),
+            Ast::Key { op, pattern } => match op {
+                KeyOp::Eq => KNode::KeyEq(pattern.clone()),
+                KeyOp::Prefix => KNode::KeyPrefix(pattern.clone()),
+                KeyOp::Matches => KNode::KeyMatch(substring(pattern)?),
+            },
+            Ast::Value { op, pattern } => match op {
+                ValueOp::Eq => KNode::ValueEq(pattern.clone()),
+                ValueOp::Matches => KNode::ValueMatch(substring(pattern)?),
+            },
+            _ => return Err(QueryError::MixedDomains(self.src.clone())),
+        })
+    }
+}
+
+fn text_of(lit: &Literal) -> &str {
+    match lit {
+        Literal::Text(s) => s,
+        Literal::Int(_) => "",
+    }
+}
+
+fn attr_value(lit: &Literal) -> AttributeValue {
+    match lit {
+        Literal::Text(s) => AttributeValue::from(s.as_str()),
+        Literal::Int(n) => AttributeValue::from(*n),
+    }
+}
+
+fn substring(pattern: &str) -> Result<SubstringPattern, QueryError> {
+    SubstringPattern::parse(pattern).map_err(|e| QueryError::Parse {
+        at: 0,
+        message: format!("bad substring pattern {pattern:?}: {e}"),
+    })
+}
+
+fn uses_knowledge(ast: &Ast) -> bool {
+    match ast {
+        Ast::Key { .. } | Ast::Value { .. } => true,
+        Ast::Or(c) | Ast::And(c) => c.iter().any(uses_knowledge),
+        Ast::Not(inner) => uses_knowledge(inner),
+        _ => false,
+    }
+}
+
+fn uses_entries(ast: &Ast) -> bool {
+    match ast {
+        Ast::Class(_) | Ast::Present(_) | Ast::Cmp { .. } | Ast::Edge { .. } => true,
+        Ast::Or(c) | Ast::And(c) => c.iter().any(uses_entries),
+        Ast::Not(inner) => uses_entries(inner),
+        Ast::Key { .. } | Ast::Value { .. } => false,
+    }
+}
+
+fn eval_enode(
+    node: &ENode,
+    entry: &Entry,
+    joins: &[JoinSpec],
+    targets: &[BTreeSet<String>],
+) -> bool {
+    match node {
+        ENode::Leaf(filter) => filter.matches(entry),
+        ENode::Join(j) => {
+            let Some(spec) = joins.get(*j) else {
+                return false;
+            };
+            let Some(set) = targets.get(*j) else {
+                return false;
+            };
+            entry
+                .attr(spec.attr.as_str())
+                .map(|a| {
+                    a.values()
+                        .iter()
+                        .filter_map(|v| v.as_text())
+                        .any(|v| set.contains(v))
+                })
+                .unwrap_or(false)
+        }
+        ENode::And(children) => children
+            .iter()
+            .all(|c| eval_enode(c, entry, joins, targets)),
+        ENode::Or(children) => children
+            .iter()
+            .any(|c| eval_enode(c, entry, joins, targets)),
+        ENode::Not(inner) => !eval_enode(inner, entry, joins, targets),
+    }
+}
+
+fn eval_knode(node: &KNode, key: &str, value: &str) -> bool {
+    match node {
+        KNode::KeyEq(k) => key == k,
+        KNode::KeyPrefix(p) => key.starts_with(p.as_str()),
+        KNode::KeyMatch(pat) => pat.matches(key),
+        KNode::ValueEq(v) => value == v,
+        KNode::ValueMatch(pat) => pat.matches(value),
+        KNode::And(children) => children.iter().all(|c| eval_knode(c, key, value)),
+        KNode::Or(children) => children.iter().any(|c| eval_knode(c, key, value)),
+        KNode::Not(inner) => !eval_knode(inner, key, value),
+    }
+}
+
+/// A prefix every matching key must start with, when derivable.
+fn knode_prefix(node: &KNode) -> Option<&str> {
+    match node {
+        KNode::KeyEq(k) => Some(k.as_str()),
+        KNode::KeyPrefix(p) => Some(p.as_str()),
+        KNode::And(children) => children.iter().find_map(knode_prefix),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscw_directory::Attribute;
+
+    fn person(dn: &str, cn: &str, sn: &str) -> Entry {
+        Entry::new(dn.parse().unwrap())
+            .with_class("person")
+            .with_attr(Attribute::single("cn", cn))
+            .with_attr(Attribute::single("sn", sn))
+    }
+
+    #[test]
+    fn entry_predicates_compile_onto_directory_filters() {
+        let q =
+            CompiledQuery::compile(r#"class = person and sn matches "R*" and not mail present"#)
+                .unwrap();
+        assert_eq!(q.source(), Source::Entries);
+        assert!(q.wildcard, "negation disables attribute pruning");
+        assert!(q.attrs.contains("objectclass") && q.attrs.contains("sn"));
+        let e = person("c=UK,cn=Tom", "Tom Rodden", "Rodden");
+        assert!(q.eval_entry(&e, &[]));
+        let mut with_mail = e.clone();
+        with_mail.put_attr(Attribute::single("mail", "t@x"));
+        assert!(!q.eval_entry(&with_mail, &[]));
+    }
+
+    #[test]
+    fn numeric_comparisons_use_typed_values() {
+        let q = CompiledQuery::compile("capabilitylevel >= 3").unwrap();
+        let mut e = person("c=UK,cn=A", "A A", "A");
+        e.put_attr(Attribute::single("capabilitylevel", 4i64));
+        assert!(q.eval_entry(&e, &[]));
+        e.replace_attr(Attribute::single("capabilitylevel", 2i64));
+        assert!(!q.eval_entry(&e, &[]));
+    }
+
+    #[test]
+    fn joins_evaluate_against_target_sets() {
+        let q =
+            CompiledQuery::compile(r#"class = person and works-on (class = cscwproject)"#).unwrap();
+        assert_eq!(q.joins.len(), 1);
+        let mut e = person("c=UK,cn=A", "A A", "A");
+        e.put_attr(Attribute::single("workson", "cn=odp-paper"));
+        let empty = BTreeSet::new();
+        assert!(!q.eval_entry(&e, std::slice::from_ref(&empty)));
+        let targets = BTreeSet::from(["cn=odp-paper".to_owned()]);
+        assert!(q.eval_entry(&e, std::slice::from_ref(&targets)));
+    }
+
+    #[test]
+    fn knowledge_queries_evaluate_pairs_and_expose_prefix() {
+        let q =
+            CompiledQuery::compile(r#"key prefix "org:" and value matches "*member*""#).unwrap();
+        assert_eq!(q.source(), Source::Knowledge);
+        assert_eq!(q.key_prefix(), Some("org:"));
+        assert!(q.eval_kv("org:cn=A", "person A memberof: x"));
+        assert!(!q.eval_kv("info:doc", "person A memberof: x"));
+        assert!(!q.eval_kv("org:cn=A", "person A"));
+    }
+
+    #[test]
+    fn domain_mixing_and_nested_joins_are_rejected() {
+        assert!(matches!(
+            CompiledQuery::compile(r#"class = person and key = "org:x""#),
+            Err(QueryError::MixedDomains(_))
+        ));
+        assert!(matches!(
+            CompiledQuery::compile(r#"from entries key = "org:x""#),
+            Err(QueryError::MixedDomains(_))
+        ));
+        assert!(matches!(
+            CompiledQuery::compile(
+                r#"member-of (class = groupofnames and member-of (class = organization))"#
+            ),
+            Err(QueryError::NestedJoin(_))
+        ));
+    }
+}

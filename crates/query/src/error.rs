@@ -1,0 +1,60 @@
+//! Query-layer error type.
+
+use std::error::Error;
+use std::fmt;
+
+use cscw_kernel::{Layer, LayerError};
+
+/// Errors from parsing, compiling or operating standing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query source failed to lex or parse.
+    Parse {
+        /// Byte offset of the offending token in the source.
+        at: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The query mixed entry predicates (`class`, attributes, edges)
+    /// with knowledge predicates (`key`, `value`) — a standing query
+    /// watches exactly one change stream.
+    MixedDomains(String),
+    /// A one-hop join target contained another join; joins do not
+    /// nest.
+    NestedJoin(String),
+    /// No subscription with this id exists (it was never registered,
+    /// or was cancelled).
+    UnknownSubscription(u64),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { at, message } => {
+                write!(f, "query parse error at byte {at}: {message}")
+            }
+            QueryError::MixedDomains(s) => {
+                write!(f, "query mixes entry and knowledge predicates: {s}")
+            }
+            QueryError::NestedJoin(s) => write!(f, "joins do not nest: {s}"),
+            QueryError::UnknownSubscription(id) => write!(f, "unknown subscription: {id}"),
+        }
+    }
+}
+
+impl Error for QueryError {}
+
+impl LayerError for QueryError {
+    fn layer(&self) -> Layer {
+        Layer::Query
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            QueryError::Parse { .. } => "parse",
+            QueryError::MixedDomains(_) => "mixed_domains",
+            QueryError::NestedJoin(_) => "nested_join",
+            QueryError::UnknownSubscription(_) => "unknown_subscription",
+        }
+    }
+}

@@ -1,0 +1,592 @@
+//! The standing-query language: lexer, AST and recursive-descent
+//! parser.
+//!
+//! The grammar (EBNF; see DESIGN.md §15 for the full rationale):
+//!
+//! ```text
+//! query   = [ "from" source ] , expr ;
+//! source  = "entries" | "knowledge" ;
+//! expr    = term , { "or" , term } ;
+//! term    = factor , { "and" , factor } ;
+//! factor  = "not" , factor | "(" , expr , ")" | pred ;
+//! pred    = "class" , "=" , name
+//!         | "key" , ( "=" | "prefix" | "matches" ) , string
+//!         | "value" , ( "=" | "matches" ) , string
+//!         | edge , ( string | "(" , expr , ")" )
+//!         | name , "present"
+//!         | name , ( "=" | ">=" | "<=" ) , literal
+//!         | name , "matches" , string ;
+//! edge    = "member-of" | "works-on" | "occupies" ;
+//! literal = string | name | integer ;
+//! ```
+//!
+//! Entry predicates (`class`, attribute comparisons, edges) watch the
+//! directory change stream; `key`/`value` predicates watch replicated
+//! knowledge. A query must stay in one domain — the compiler rejects
+//! mixtures.
+
+use crate::error::QueryError;
+
+/// One lexical token, with its byte offset for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub(crate) at: usize,
+    pub(crate) kind: TokenKind,
+}
+
+/// Token kinds. Keywords are recognised by the parser, not the lexer,
+/// so attribute names are free to shadow nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    /// A bare word: keyword, attribute name, or unquoted value.
+    Ident(String),
+    /// A double-quoted string (escapes: `\"` and `\\`).
+    Str(String),
+    /// A signed integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+}
+
+/// The parsed query, before compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Query {
+    /// Explicit `from` clause, if any (checked against the inferred
+    /// domain at compile time).
+    pub(crate) from: Option<SourceClause>,
+    pub(crate) expr: Ast,
+}
+
+/// The declared change stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SourceClause {
+    /// Directory entries.
+    Entries,
+    /// Replicated knowledge keys.
+    Knowledge,
+}
+
+/// Expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Ast {
+    Or(Vec<Ast>),
+    And(Vec<Ast>),
+    Not(Box<Ast>),
+    /// `class = person`
+    Class(String),
+    /// `mail present`
+    Present(String),
+    /// `cn = "Tom Rodden"`, `capabilitylevel >= 3`, `sn matches "R*"`
+    Cmp {
+        attr: String,
+        op: CmpOp,
+        value: Literal,
+    },
+    /// `member-of "cn=odp-paper"` or `works-on (class = cscwproject)`
+    Edge {
+        kind: EdgeKind,
+        target: EdgeTarget,
+    },
+    /// `key = "org:cn=Tom"`, `key prefix "org:"`, `key matches "*Tom*"`
+    Key {
+        op: KeyOp,
+        pattern: String,
+    },
+    /// `value = "..."`, `value matches "*memberof*"`
+    Value {
+        op: ValueOp,
+        pattern: String,
+    },
+}
+
+/// Attribute comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CmpOp {
+    Eq,
+    Ge,
+    Le,
+    Matches,
+}
+
+/// Organisational edges the language can traverse, each mapping to a
+/// published DIT attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EdgeKind {
+    /// `member-of` → the `memberof` attribute.
+    MemberOf,
+    /// `works-on` → the `workson` attribute.
+    WorksOn,
+    /// `occupies` → the `occupiesrole` attribute.
+    Occupies,
+}
+
+impl EdgeKind {
+    /// The DIT attribute this edge is published as.
+    pub(crate) fn attr(self) -> &'static str {
+        match self {
+            EdgeKind::MemberOf => "memberof",
+            EdgeKind::WorksOn => "workson",
+            EdgeKind::Occupies => "occupiesrole",
+        }
+    }
+}
+
+/// An edge target: a literal DN string, or a one-hop join whose inner
+/// expression selects target entries.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum EdgeTarget {
+    Literal(String),
+    Join(Box<Ast>),
+}
+
+/// Knowledge-key predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KeyOp {
+    Eq,
+    Prefix,
+    Matches,
+}
+
+/// Knowledge-value predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ValueOp {
+    Eq,
+    Matches,
+}
+
+/// A comparison literal.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Literal {
+    Text(String),
+    Int(i64),
+}
+
+fn parse_err(at: usize, message: impl Into<String>) -> QueryError {
+    QueryError::Parse {
+        at,
+        message: message.into(),
+    }
+}
+
+/// Lexes the source into tokens.
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push(Token {
+                    at: i,
+                    kind: TokenKind::LParen,
+                });
+                i += 1;
+            }
+            ')' => {
+                toks.push(Token {
+                    at: i,
+                    kind: TokenKind::RParen,
+                });
+                i += 1;
+            }
+            '=' => {
+                toks.push(Token {
+                    at: i,
+                    kind: TokenKind::Eq,
+                });
+                i += 1;
+            }
+            '>' | '<' => {
+                if bytes.get(i + 1) != Some(&b'=') {
+                    return Err(parse_err(i, format!("expected `{c}=`")));
+                }
+                toks.push(Token {
+                    at: i,
+                    kind: if c == '>' {
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Le
+                    },
+                });
+                i += 2;
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i).map(|&b| b as char) {
+                        None => return Err(parse_err(start, "unterminated string")),
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            match bytes.get(i + 1).map(|&b| b as char) {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                _ => return Err(parse_err(i, "bad escape in string")),
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Strings are UTF-8; copy the whole scalar.
+                            let ch = src[i..].chars().next().unwrap_or('\u{fffd}');
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push(Token {
+                    at: start,
+                    kind: TokenKind::Str(s),
+                });
+            }
+            _ if c.is_ascii_digit()
+                || (c == '-' && matches!(bytes.get(i + 1), Some(b) if b.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                while matches!(bytes.get(i), Some(b) if b.is_ascii_digit()) {
+                    i += 1;
+                }
+                let n: i64 = src[start..i]
+                    .parse()
+                    .map_err(|_| parse_err(start, "integer out of range"))?;
+                toks.push(Token {
+                    at: start,
+                    kind: TokenKind::Int(n),
+                });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while matches!(bytes.get(i), Some(&b) if (b as char).is_ascii_alphanumeric() || b == b'_' || b == b'-')
+                {
+                    i += 1;
+                }
+                toks.push(Token {
+                    at: start,
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
+                });
+            }
+            _ => return Err(parse_err(i, format!("unexpected character `{c}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+/// Recursive-descent parser over the token stream.
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|t| t.at)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t.map(|t| t.kind)
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(TokenKind::Ident(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_str(&mut self, what: &str) -> Result<String, QueryError> {
+        let at = self.at();
+        match self.bump() {
+            Some(TokenKind::Str(s)) => Ok(s),
+            _ => Err(parse_err(
+                at,
+                format!("expected quoted string after {what}"),
+            )),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        let from = if self.eat_ident("from") {
+            let at = self.at();
+            match self.bump() {
+                Some(TokenKind::Ident(w)) if w == "entries" => Some(SourceClause::Entries),
+                Some(TokenKind::Ident(w)) if w == "knowledge" => Some(SourceClause::Knowledge),
+                _ => {
+                    return Err(parse_err(
+                        at,
+                        "expected `entries` or `knowledge` after `from`",
+                    ));
+                }
+            }
+        } else {
+            None
+        };
+        let expr = self.expr()?;
+        if self.pos != self.toks.len() {
+            return Err(parse_err(self.at(), "trailing input after query"));
+        }
+        Ok(Query { from, expr })
+    }
+
+    fn expr(&mut self) -> Result<Ast, QueryError> {
+        let first = self.term()?;
+        if !self.eat_ident("or") {
+            return Ok(first);
+        }
+        let mut terms = vec![first, self.term()?];
+        while self.eat_ident("or") {
+            terms.push(self.term()?);
+        }
+        Ok(Ast::Or(terms))
+    }
+
+    fn term(&mut self) -> Result<Ast, QueryError> {
+        let first = self.factor()?;
+        if !self.eat_ident("and") {
+            return Ok(first);
+        }
+        let mut factors = vec![first, self.factor()?];
+        while self.eat_ident("and") {
+            factors.push(self.factor()?);
+        }
+        Ok(Ast::And(factors))
+    }
+
+    fn factor(&mut self) -> Result<Ast, QueryError> {
+        if self.eat_ident("not") {
+            return Ok(Ast::Not(Box::new(self.factor()?)));
+        }
+        if matches!(self.peek(), Some(TokenKind::LParen)) {
+            self.pos += 1;
+            let inner = self.expr()?;
+            let at = self.at();
+            if !matches!(self.bump(), Some(TokenKind::RParen)) {
+                return Err(parse_err(at, "expected `)`"));
+            }
+            return Ok(inner);
+        }
+        self.pred()
+    }
+
+    fn pred(&mut self) -> Result<Ast, QueryError> {
+        let at = self.at();
+        let word = match self.bump() {
+            Some(TokenKind::Ident(w)) => w,
+            _ => return Err(parse_err(at, "expected a predicate")),
+        };
+        match word.as_str() {
+            "class" => {
+                let at = self.at();
+                if !matches!(self.bump(), Some(TokenKind::Eq)) {
+                    return Err(parse_err(at, "expected `=` after `class`"));
+                }
+                let at = self.at();
+                match self.bump() {
+                    Some(TokenKind::Ident(name)) => Ok(Ast::Class(name)),
+                    Some(TokenKind::Str(name)) => Ok(Ast::Class(name)),
+                    _ => Err(parse_err(at, "expected a class name")),
+                }
+            }
+            "key" => {
+                let at = self.at();
+                let op = match self.bump() {
+                    Some(TokenKind::Eq) => KeyOp::Eq,
+                    Some(TokenKind::Ident(w)) if w == "prefix" => KeyOp::Prefix,
+                    Some(TokenKind::Ident(w)) if w == "matches" => KeyOp::Matches,
+                    _ => {
+                        return Err(parse_err(
+                            at,
+                            "expected `=`, `prefix` or `matches` after `key`",
+                        ));
+                    }
+                };
+                Ok(Ast::Key {
+                    op,
+                    pattern: self.expect_str("`key`")?,
+                })
+            }
+            "value" => {
+                let at = self.at();
+                let op = match self.bump() {
+                    Some(TokenKind::Eq) => ValueOp::Eq,
+                    Some(TokenKind::Ident(w)) if w == "matches" => ValueOp::Matches,
+                    _ => return Err(parse_err(at, "expected `=` or `matches` after `value`")),
+                };
+                Ok(Ast::Value {
+                    op,
+                    pattern: self.expect_str("`value`")?,
+                })
+            }
+            "member-of" | "works-on" | "occupies" => {
+                let kind = match word.as_str() {
+                    "member-of" => EdgeKind::MemberOf,
+                    "works-on" => EdgeKind::WorksOn,
+                    _ => EdgeKind::Occupies,
+                };
+                let at = self.at();
+                let target = match self.bump() {
+                    Some(TokenKind::Str(s)) => EdgeTarget::Literal(s),
+                    Some(TokenKind::LParen) => {
+                        let inner = self.expr()?;
+                        let at = self.at();
+                        if !matches!(self.bump(), Some(TokenKind::RParen)) {
+                            return Err(parse_err(at, "expected `)` closing the join target"));
+                        }
+                        EdgeTarget::Join(Box::new(inner))
+                    }
+                    _ => {
+                        return Err(parse_err(
+                            at,
+                            format!("expected a quoted DN or `( … )` join after `{word}`"),
+                        ));
+                    }
+                };
+                Ok(Ast::Edge { kind, target })
+            }
+            attr => {
+                // Attribute predicate: `present` or a comparison.
+                if self.eat_ident("present") {
+                    return Ok(Ast::Present(attr.to_owned()));
+                }
+                if self.eat_ident("matches") {
+                    return Ok(Ast::Cmp {
+                        attr: attr.to_owned(),
+                        op: CmpOp::Matches,
+                        value: Literal::Text(self.expect_str("`matches`")?),
+                    });
+                }
+                let at = self.at();
+                let op = match self.bump() {
+                    Some(TokenKind::Eq) => CmpOp::Eq,
+                    Some(TokenKind::Ge) => CmpOp::Ge,
+                    Some(TokenKind::Le) => CmpOp::Le,
+                    _ => {
+                        return Err(parse_err(
+                            at,
+                            format!(
+                                "expected `present`, `matches`, `=`, `>=` or `<=` after `{attr}`"
+                            ),
+                        ));
+                    }
+                };
+                let at = self.at();
+                let value = match self.bump() {
+                    Some(TokenKind::Str(s)) => Literal::Text(s),
+                    Some(TokenKind::Ident(w)) => Literal::Text(w),
+                    Some(TokenKind::Int(n)) => Literal::Int(n),
+                    _ => return Err(parse_err(at, "expected a comparison value")),
+                };
+                Ok(Ast::Cmp {
+                    attr: attr.to_owned(),
+                    op,
+                    value,
+                })
+            }
+        }
+    }
+}
+
+/// Parses a query source string.
+pub(crate) fn parse(src: &str) -> Result<Query, QueryError> {
+    let toks = lex(src)?;
+    if toks.is_empty() {
+        return Err(parse_err(0, "empty query"));
+    }
+    Parser { toks, pos: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_operators_strings_and_numbers() {
+        let toks = lex(r#"cn = "Tom \"R\"" and level >= -3 (x)"#).unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokenKind::Ident(w) if w == "cn"));
+        assert!(matches!(kinds[1], TokenKind::Eq));
+        assert!(matches!(kinds[2], TokenKind::Str(s) if s == "Tom \"R\""));
+        assert!(matches!(kinds[4], TokenKind::Ident(w) if w == "level"));
+        assert!(matches!(kinds[5], TokenKind::Ge));
+        assert!(matches!(kinds[6], TokenKind::Int(-3)));
+        assert!(matches!(kinds[7], TokenKind::LParen));
+    }
+
+    #[test]
+    fn precedence_binds_and_tighter_than_or() {
+        let q = parse("class = person or class = cscwresource and cn present").unwrap();
+        match q.expr {
+            Ast::Or(terms) => {
+                assert_eq!(terms.len(), 2);
+                assert!(matches!(&terms[0], Ast::Class(c) if c == "person"));
+                assert!(matches!(&terms[1], Ast::And(fs) if fs.len() == 2));
+            }
+            other => panic!("expected Or at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_edges_joins_and_knowledge_preds() {
+        let q = parse(r#"member-of "cn=odp-paper" and works-on (class = cscwproject)"#).unwrap();
+        match q.expr {
+            Ast::And(fs) => {
+                assert!(matches!(
+                    &fs[0],
+                    Ast::Edge { kind: EdgeKind::MemberOf, target: EdgeTarget::Literal(dn) }
+                        if dn == "cn=odp-paper"
+                ));
+                assert!(matches!(
+                    &fs[1],
+                    Ast::Edge {
+                        kind: EdgeKind::WorksOn,
+                        target: EdgeTarget::Join(_)
+                    }
+                ));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+        let q = parse(r#"from knowledge key prefix "org:" and value matches "*member*""#).unwrap();
+        assert_eq!(q.from, Some(SourceClause::Knowledge));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "cn =",
+            "cn ! x",
+            "(cn = a",
+            r#"key near "x""#,
+            "from nowhere cn present",
+            "cn = a extra",
+            r#"cn = "unterminated"#,
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -17,6 +17,9 @@
 //! - [`federation`] — inter-environment federation (trader
 //!   interworking, anti-entropy knowledge replication, remote exchange
 //!   routing).
+//! - [`query`] — standing queries: filter language plus incremental
+//!   subscription evaluation over the directory and replicated
+//!   knowledge.
 //! - [`mocca`] — the CSCW environment itself (the paper's contribution).
 //! - [`groupware`] — example groupware applications covering the
 //!   time–space matrix.
@@ -28,6 +31,7 @@ pub use cscw_directory as directory;
 pub use cscw_federation as federation;
 pub use cscw_kernel as kernel;
 pub use cscw_messaging as messaging;
+pub use cscw_query as query;
 pub use groupware;
 pub use mocca;
 pub use odp;
